@@ -1,0 +1,160 @@
+package main
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/device"
+	"repro/internal/scene"
+)
+
+func TestParseScalar(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"true", true},
+		{"false", false},
+		{"null", nil},
+		{"42", int64(42)},
+		{"-3", int64(-3)},
+		{"0.5", 0.5},
+		{"on", "on"},
+		{"room-1", "room-1"},
+	}
+	for _, c := range cases {
+		if got := parseScalar(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("parseScalar(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseKVs(t *testing.T) {
+	got, err := parseKVs([]string{"managed=false", "interval_ms=250", "trigger_prob=0.9"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]any{"managed": false, "interval_ms": int64(250), "trigger_prob": 0.9}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %#v", got)
+	}
+	if _, err := parseKVs([]string{"novalue"}); err == nil {
+		t.Error("malformed kv accepted")
+	}
+	if m, err := parseKVs(nil); err != nil || m != nil {
+		t.Errorf("empty kvs: %v %v", m, err)
+	}
+}
+
+func TestSetNested(t *testing.T) {
+	patch := map[string]any{}
+	setNested(patch, "power.intent", "on")
+	setNested(patch, "power.extra", int64(1))
+	setNested(patch, "top", true)
+	power, ok := patch["power"].(map[string]any)
+	if !ok || power["intent"] != "on" || power["extra"] != int64(1) || patch["top"] != true {
+		t.Errorf("patch = %#v", patch)
+	}
+}
+
+// startDaemon builds an in-process dboxd-equivalent for CLI dispatch
+// tests.
+func startDaemon(t *testing.T) *ctl.Client {
+	t.Helper()
+	tb, err := core.New(core.Options{
+		LocalRepoDir:  filepath.Join(t.TempDir(), "local"),
+		RemoteRepoDir: filepath.Join(t.TempDir(), "remote"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	device.RegisterAll(tb.Registry)
+	scene.RegisterAll(tb.Registry)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	srv := &ctl.Server{TB: tb}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return &ctl.Client{Base: "http://" + srv.Addr()}
+}
+
+func TestDispatchTable1Workflow(t *testing.T) {
+	cli := startDaemon(t)
+	steps := [][]string{
+		{"run", "Occupancy", "O1", "managed=false"},
+		{"run", "Lamp", "L1"},
+		{"run", "Room", "R1", "managed=false"},
+		{"attach", "O1", "R1"},
+		{"attach", "L1", "R1"},
+		{"edit", "R1", "human_presence=true"},
+		{"check", "R1"},
+		{"ls"},
+		{"status"},
+		{"watch", "L1", "1"},
+		{"commit", "R1"},
+		{"commit", "-k", "Lamp"},
+		{"push", "R1"},
+		{"pull", "R1"},
+		{"trace", "push", "r1-trace"},
+		{"replay", "r1-trace", "0"},
+		{"attach", "-d", "O1", "R1"},
+		{"stop", "O1"},
+	}
+	for _, step := range steps {
+		if step[0] == "watch" {
+			// watch blocks until an update arrives; provide one.
+			go func() {
+				time.Sleep(100 * time.Millisecond)
+				cli.Edit("L1", map[string]any{"intensity": map[string]any{"intent": 0.42}})
+			}()
+		}
+		if err := dispatch(cli, step); err != nil {
+			t.Fatalf("dbox %v: %v", step, err)
+		}
+	}
+}
+
+func TestDispatchTraceSave(t *testing.T) {
+	cli := startDaemon(t)
+	if err := dispatch(cli, []string{"run", "Occupancy", "O1"}); err != nil {
+		t.Fatal(err)
+	}
+	out := filepath.Join(t.TempDir(), "trace.zip")
+	if err := dispatch(cli, []string{"trace", "save", out}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDispatchErrors(t *testing.T) {
+	cli := startDaemon(t)
+	bad := [][]string{
+		{"run"},                      // missing args
+		{"run", "Bogus", "X"},        // unknown type
+		{"stop"},                     // missing args
+		{"stop", "ghost"},            // missing digi
+		{"check"},                    // missing args
+		{"check", "ghost"},           // missing digi
+		{"attach", "only-one"},       // missing args
+		{"edit", "X"},                // missing patch
+		{"edit", "X", "noequals"},    // malformed patch
+		{"commit"},                   // missing args
+		{"recreate"},                 // missing args
+		{"replay", "x", "fast"},      // bad speed
+		{"watch", "ghost", "nan"},    // bad max
+		{"trace", "bogus"},           // bad subcommand
+		{"definitely-not-a-command"}, // unknown
+	}
+	for _, args := range bad {
+		if err := dispatch(cli, args); err == nil {
+			t.Errorf("dbox %v succeeded, want error", args)
+		}
+	}
+}

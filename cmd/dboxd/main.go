@@ -1,0 +1,112 @@
+// Command dboxd hosts a Digibox testbed: the model store, digi
+// runtime, kube cluster, MQTT broker, REST device gateway, trace log,
+// and the control API that the dbox command-line tool drives.
+//
+// Usage:
+//
+//	dboxd [flags]
+//
+//	-ctl   addr     control API listen address   (default 127.0.0.1:7825)
+//	-mqtt  addr     MQTT broker listen address   (default 127.0.0.1:1883)
+//	-rest  addr     REST gateway listen address  (default 127.0.0.1:8080)
+//	-repo  dir      local scene repository       (default ~/.dbox/repo)
+//	-remote dir     remote scene repository path (shared directory)
+//	-nodes n        number of simulated nodes    (default 1)
+//	-node-capacity  pods per node                (default 4096)
+//	-zone-delay-ms  inter-zone one-way delay when nodes > 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/device"
+	"repro/internal/scene"
+)
+
+func main() {
+	var (
+		ctlAddr   = flag.String("ctl", "127.0.0.1:7825", "control API listen address")
+		mqttAddr  = flag.String("mqtt", "127.0.0.1:1883", "MQTT broker listen address")
+		restAddr  = flag.String("rest", "127.0.0.1:8080", "REST gateway listen address")
+		repoDir   = flag.String("repo", defaultRepoDir(), "local scene repository directory")
+		remoteDir = flag.String("remote", "", "remote scene repository directory (optional)")
+		nodes     = flag.Int("nodes", 1, "number of simulated cluster nodes")
+		capacity  = flag.Int("node-capacity", 4096, "pod capacity per node")
+		zoneDelay = flag.Int("zone-delay-ms", 0, "one-way delay between gateway zone and cluster zone (ms)")
+	)
+	flag.Parse()
+
+	opts := core.Options{
+		BrokerAddr:   *mqttAddr,
+		RESTAddr:     *restAddr,
+		LocalRepoDir: *repoDir,
+	}
+	if *remoteDir != "" {
+		opts.RemoteRepoDir = *remoteDir
+	}
+	zone := "local"
+	if *nodes > 1 || *zoneDelay > 0 {
+		zone = "cluster"
+	}
+	for i := 0; i < *nodes; i++ {
+		opts.Nodes = append(opts.Nodes, core.NodeSpec{
+			Name:     fmt.Sprintf("node-%d", i),
+			Capacity: *capacity,
+			Zone:     zone,
+		})
+	}
+	if *zoneDelay > 0 {
+		opts.GatewayZone = "client"
+		opts.ZoneDelays = []core.ZoneDelay{
+			{A: "client", B: zone, Delay: time.Duration(*zoneDelay) * time.Millisecond},
+		}
+	}
+
+	tb, err := core.New(opts)
+	if err != nil {
+		log.Fatalf("dboxd: %v", err)
+	}
+	if err := device.RegisterAll(tb.Registry); err != nil {
+		log.Fatalf("dboxd: register devices: %v", err)
+	}
+	if err := scene.RegisterAll(tb.Registry); err != nil {
+		log.Fatalf("dboxd: register scenes: %v", err)
+	}
+	if err := tb.Start(); err != nil {
+		log.Fatalf("dboxd: start: %v", err)
+	}
+	defer tb.Stop()
+
+	srv := &ctl.Server{TB: tb}
+	if err := srv.ListenAndServe(*ctlAddr); err != nil {
+		log.Fatalf("dboxd: control API: %v", err)
+	}
+	defer srv.Close()
+
+	log.Printf("dboxd: control API on %s", srv.Addr())
+	log.Printf("dboxd: MQTT broker on %s", tb.BrokerAddr())
+	log.Printf("dboxd: REST gateway on %s", tb.RESTAddr())
+	log.Printf("dboxd: %d node(s), repo %s", *nodes, *repoDir)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Printf("dboxd: shutting down")
+}
+
+func defaultRepoDir() string {
+	home, err := os.UserHomeDir()
+	if err != nil {
+		return ".dbox/repo"
+	}
+	return filepath.Join(home, ".dbox", "repo")
+}

@@ -1,0 +1,142 @@
+package main
+
+import (
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestBinariesEndToEnd builds the real dboxd and dbox binaries and
+// drives a full Table-1 session through them: the closest this
+// repository gets to the paper's Fig. 1 console experience.
+func TestBinariesEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping binary e2e in -short mode")
+	}
+	bin := t.TempDir()
+	build := exec.Command("go", "build", "-o", bin, "./...")
+	build.Dir = repoRoot(t)
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	ctlAddr := pickAddr(t)
+	mqttAddr := pickAddr(t)
+	restAddr := pickAddr(t)
+	repoDir := filepath.Join(t.TempDir(), "repo")
+	remoteDir := filepath.Join(t.TempDir(), "remote")
+
+	daemon := exec.Command(filepath.Join(bin, "dboxd"),
+		"-ctl", ctlAddr, "-mqtt", mqttAddr, "-rest", restAddr,
+		"-repo", repoDir, "-remote", remoteDir)
+	daemon.Stdout = os.Stderr
+	daemon.Stderr = os.Stderr
+	if err := daemon.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		daemon.Process.Kill()
+		daemon.Wait()
+	})
+
+	dbox := func(args ...string) (string, error) {
+		cmd := exec.Command(filepath.Join(bin, "dbox"),
+			append([]string{"-d", ctlAddr}, args...)...)
+		out, err := cmd.CombinedOutput()
+		return string(out), err
+	}
+
+	// Wait for the daemon to come up.
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if _, err := dbox("status"); err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("dboxd never became ready")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	steps := [][]string{
+		{"run", "Occupancy", "O1", "managed=false"},
+		{"run", "Lamp", "L1"},
+		{"run", "Room", "MeetingRoom", "managed=false"},
+		{"attach", "O1", "MeetingRoom"},
+		{"attach", "L1", "MeetingRoom"},
+		{"edit", "MeetingRoom", "human_presence=true"},
+		{"ls"},
+		{"commit", "MeetingRoom"},
+		{"push", "MeetingRoom"},
+		{"trace", "push", "mr-trace"},
+		{"replay", "mr-trace", "0"},
+		{"stop", "O1"},
+		{"status"},
+	}
+	for _, s := range steps {
+		out, err := dbox(s...)
+		if err != nil {
+			t.Fatalf("dbox %v: %v\n%s", s, err, out)
+		}
+	}
+
+	// dbox check shows the coordinated state.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		out, err := dbox("check", "L1")
+		if err != nil {
+			t.Fatalf("dbox check: %v\n%s", err, out)
+		}
+		if strings.Contains(out, "type: Lamp") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("check output never showed the lamp:\n%s", out)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// The REST gateway the daemon exposes serves the same models.
+	out, err := dbox("ls")
+	if err != nil || !strings.Contains(out, "MeetingRoom") {
+		t.Fatalf("ls: %v\n%s", err, out)
+	}
+}
+
+func pickAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cmd/dboxd -> repo root is two levels up.
+	root := filepath.Dir(filepath.Dir(wd))
+	if _, err := os.Stat(filepath.Join(root, "go.mod")); err != nil {
+		t.Fatalf("repo root not found from %s", wd)
+	}
+	return root
+}
+
+func TestDefaultRepoDir(t *testing.T) {
+	dir := defaultRepoDir()
+	if dir == "" || !strings.Contains(dir, ".dbox") {
+		t.Errorf("defaultRepoDir = %q", dir)
+	}
+	_ = fmt.Sprint(dir)
+}

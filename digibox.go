@@ -1,0 +1,104 @@
+// Package digibox is a prototyping environment for IoT applications —
+// a from-scratch Go reproduction of "The Internet of Things in a
+// Laptop: Rapid Prototyping for IoT Applications with Digibox"
+// (HotNets'22).
+//
+// Digibox enables scene-centric prototyping: developers program an
+// ensemble of simulated devices — mocks — and the scenes that
+// coordinate them, then test applications against the ensemble over
+// the same protocols real devices speak (MQTT and REST). Setups are
+// described as Infrastructure-as-Code configurations that can be
+// committed, pushed, pulled, and recreated; every event, action, and
+// message is logged for debugging and deterministic replay.
+//
+// # Quick start
+//
+//	tb, _ := digibox.New(digibox.Options{})
+//	tb.Start()
+//	defer tb.Stop()
+//
+//	tb.Run("Occupancy", "O1", nil)              // dbox run Occupancy O1
+//	tb.Run("Lamp", "L1", nil)                   // dbox run Lamp L1
+//	tb.Run("Room", "MeetingRoom",
+//	       map[string]any{"managed": false})    // dbox run Room MeetingRoom
+//	tb.Attach("O1", "MeetingRoom")              // dbox attach O1 MeetingRoom
+//	tb.Attach("L1", "MeetingRoom")
+//
+//	tb.Edit("MeetingRoom",
+//	        map[string]any{"human_presence": true}) // scene event
+//	doc, _ := tb.Check("O1")                    // dbox check O1
+//
+// The package re-exports the core testbed together with the shipped
+// libraries of 20 device mocks and 18 scenes; New registers both.
+// Lower-level building blocks live in the internal packages (model,
+// digi, broker, kube, rest, trace, repo, iac, property).
+package digibox
+
+import (
+	"repro/internal/core"
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/model"
+	"repro/internal/property"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+// Testbed is a Digibox prototyping environment; see core.Testbed for
+// the full verb set (Run, StopDigi, Check, Watch, Attach, Edit,
+// CommitScene, Push, Pull, Recreate, Replay, ...).
+type Testbed = core.Testbed
+
+// Options configures a testbed (nodes, zones, listener addresses,
+// repositories).
+type Options = core.Options
+
+// NodeSpec declares a simulated machine.
+type NodeSpec = core.NodeSpec
+
+// ZoneDelay declares a simulated inter-zone network delay.
+type ZoneDelay = core.ZoneDelay
+
+// Stats is a testbed state snapshot.
+type Stats = core.Stats
+
+// Kind defines a mock or scene type (schema + Loop/Sim handlers).
+type Kind = digi.Kind
+
+// Doc is a model document.
+type Doc = model.Doc
+
+// Property declares a scene property for runtime checking.
+type Property = property.Property
+
+// Condition is a conjunction of property terms.
+type Condition = property.Condition
+
+// Term is one property comparison.
+type Term = property.Term
+
+// Record is one trace log record.
+type Record = trace.Record
+
+// New assembles a testbed with the full shipped kind libraries (20
+// devices, 18 scenes) registered. Use core.New directly to start from
+// an empty registry.
+func New(opts Options) (*Testbed, error) {
+	tb, err := core.New(opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := device.RegisterAll(tb.Registry); err != nil {
+		return nil, err
+	}
+	if err := scene.RegisterAll(tb.Registry); err != nil {
+		return nil, err
+	}
+	return tb, nil
+}
+
+// DeviceKinds returns the shipped device library (20 mocks).
+func DeviceKinds() []*Kind { return device.All() }
+
+// SceneKinds returns the shipped scene library (18 scenes).
+func SceneKinds() []*Kind { return scene.All() }

@@ -1,0 +1,172 @@
+package digibox
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/property"
+)
+
+func startTB(t *testing.T, opts Options) *Testbed {
+	t.Helper()
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	return tb
+}
+
+func TestNewRegistersShippedLibraries(t *testing.T) {
+	tb, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	types := tb.Registry.Types()
+	if len(types) != 38 {
+		t.Fatalf("registered %d kinds, want 38 (20 devices + 18 scenes)", len(types))
+	}
+	if got := len(DeviceKinds()); got != 20 {
+		t.Errorf("DeviceKinds = %d", got)
+	}
+	if got := len(SceneKinds()); got != 18 {
+		t.Errorf("SceneKinds = %d", got)
+	}
+}
+
+// TestWorkflowFig1 walks the full prototyping loop of Fig. 1 through
+// the public API: write scenes (reuse shipped ones), run them, run an
+// "application" against the mocks, observe logs, and check a property.
+func TestWorkflowFig1(t *testing.T) {
+	tb := startTB(t, Options{})
+
+	// ② write/run scenes and mocks.
+	for _, step := range []struct {
+		typ, name string
+		cfg       map[string]any
+	}{
+		{"Occupancy", "O1", nil},
+		{"Lamp", "L1", nil},
+		{"Room", "MeetingRoom", map[string]any{"managed": false}},
+	} {
+		if err := tb.Run(step.typ, step.name, step.cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tb.Attach("O1", "MeetingRoom"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Attach("L1", "MeetingRoom"); err != nil {
+		t.Fatal(err)
+	}
+
+	// scene property from §3.3.
+	if err := tb.AddProperty(&Property{
+		Name: "lamp-off-when-unoccupied",
+		Kind: property.Never,
+		Cond: Condition{
+			{Model: "O1", Path: "triggered", Op: property.Eq, Value: false},
+			{Model: "L1", Path: "power.status", Op: property.Eq, Value: "on"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ④ the application: read over REST, command over REST.
+	app := tb.RESTClient()
+	if err := tb.Edit("MeetingRoom", map[string]any{"human_presence": true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(10*time.Second, func() bool {
+		s, err := app.Status("L1")
+		return err == nil && s["power"] == "on"
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	// ⑤ logs available for debugging/analysis.
+	if tb.Log.Len() == 0 {
+		t.Error("no trace records")
+	}
+	if v := tb.Violations(); len(v) != 0 {
+		t.Errorf("property violated during legal run: %v", v)
+	}
+}
+
+func TestApplicationOverMQTTWithConnectivityFault(t *testing.T) {
+	tb := startTB(t, Options{})
+	if err := tb.Run("Occupancy", "O1", map[string]any{"interval_ms": int64(30)}); err != nil {
+		t.Fatal(err)
+	}
+
+	dialApp := func() (*broker.Client, chan struct{}) {
+		cli, err := broker.Dial(tb.BrokerAddr(), &broker.ClientOptions{ClientID: "app"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := make(chan struct{}, 1)
+		if err := cli.Subscribe("digibox/O1/status", 0, func(broker.Message) {
+			select {
+			case got <- struct{}{}:
+			default:
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return cli, got
+	}
+
+	cli, got := dialApp()
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no MQTT delivery before fault")
+	}
+
+	// Network fault: the broker drops the app's connection (§6).
+	if !tb.Broker.Kick("app") {
+		t.Fatal("kick failed")
+	}
+	select {
+	case <-cli.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("app connection not dropped")
+	}
+
+	// The app reconnects (as real apps do) and service resumes.
+	cli2, got2 := dialApp()
+	defer cli2.Close()
+	select {
+	case <-got2:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no MQTT delivery after reconnect")
+	}
+}
+
+func TestFacadeTypesUsable(t *testing.T) {
+	// The exported aliases must compose without importing internals.
+	var (
+		_ Doc       = Doc{}
+		_ Stats     = Stats{}
+		_ NodeSpec  = NodeSpec{}
+		_ ZoneDelay = ZoneDelay{}
+		_ *Kind     = nil
+		_ Record    = Record{}
+		_ Term      = Term{}
+	)
+	opts := Options{
+		Nodes: []NodeSpec{{Name: "edge", Capacity: 8, Zone: "edge"}},
+	}
+	tb := startTB(t, opts)
+	if err := tb.Run("SmartPlug", "P1", nil); err != nil {
+		t.Fatal(err)
+	}
+	d, err := tb.Check("P1")
+	if err != nil || d.Type() != "SmartPlug" {
+		t.Fatalf("check: %v %v", d, err)
+	}
+}

@@ -1,0 +1,101 @@
+// Quickstart: the smallest useful Digibox session.
+//
+// It brings up a testbed on this machine ("the Internet of Things in a
+// laptop"), runs a mock occupancy sensor, a mock lamp, and a room
+// scene that coordinates them, interacts with the mocks the way a user
+// and an application would, and prints what happened.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	digibox "repro"
+)
+
+func main() {
+	tb, err := digibox.New(digibox.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+
+	// dbox run Occupancy O1 ; dbox run Lamp L1 ; dbox run Room MeetingRoom
+	must(tb.Run("Occupancy", "O1", nil))
+	must(tb.Run("Lamp", "L1", nil))
+	must(tb.Run("Room", "MeetingRoom", map[string]any{"managed": false}))
+
+	// dbox attach O1 MeetingRoom ; dbox attach L1 MeetingRoom
+	must(tb.Attach("O1", "MeetingRoom"))
+	must(tb.Attach("L1", "MeetingRoom"))
+
+	fmt.Println("== scene event: a human enters the meeting room")
+	must(tb.Edit("MeetingRoom", map[string]any{"human_presence": true}))
+	must(tb.WaitConverged(5*time.Second, func() bool {
+		o1, _ := tb.Check("O1")
+		l1, _ := tb.Check("L1")
+		return o1 != nil && o1.GetBool("triggered") &&
+			l1 != nil && l1.GetString("power.status") == "on"
+	}))
+	printState(tb)
+
+	fmt.Println("\n== the application reads device status over REST")
+	cli := tb.RESTClient()
+	status, err := cli.Status("L1")
+	must(err)
+	fmt.Printf("GET /v1/models/L1/status -> %v\n", status)
+
+	fmt.Println("\n== user interaction: dbox edit L1 intensity.intent=0.3")
+	must(tb.Edit("L1", map[string]any{"intensity": map[string]any{"intent": 0.3}}))
+	must(tb.WaitConverged(5*time.Second, func() bool {
+		l1, _ := tb.Check("L1")
+		v, _ := l1.GetFloat("intensity.status")
+		return v == 0.3
+	}))
+	printState(tb)
+
+	fmt.Println("\n== scene event: the room empties; the ensemble follows")
+	must(tb.Edit("MeetingRoom", map[string]any{"human_presence": false}))
+	must(tb.WaitConverged(5*time.Second, func() bool {
+		o1, _ := tb.Check("O1")
+		l1, _ := tb.Check("L1")
+		return o1 != nil && !o1.GetBool("triggered") &&
+			l1 != nil && l1.GetString("power.status") == "off"
+	}))
+	printState(tb)
+
+	fmt.Printf("\n== trace: %d records logged (events, actions, messages)\n", tb.Log.Len())
+	st := tb.Stats()
+	fmt.Printf("== testbed: %d models, %d pods running, broker %s\n",
+		st.Models, st.PodsRunning, tb.BrokerAddr())
+}
+
+func printState(tb *digibox.Testbed) {
+	for _, name := range []string{"MeetingRoom", "O1", "L1"} {
+		d, err := tb.Check(name)
+		if err != nil {
+			continue
+		}
+		switch name {
+		case "MeetingRoom":
+			fmt.Printf("  %-12s human_presence=%v\n", name, d.GetBool("human_presence"))
+		case "O1":
+			fmt.Printf("  %-12s triggered=%v\n", name, d.GetBool("triggered"))
+		case "L1":
+			i, _ := d.GetFloat("intensity.status")
+			fmt.Printf("  %-12s power=%s intensity=%.1f\n", name, d.GetString("power.status"), i)
+		}
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Smart building: the paper's walkthrough application (§3, Fig. 6),
+// end to end.
+//
+// The scene side builds the ConfCenter hierarchy — a Building scene
+// with a MeetingRoom and a Kitchen, occupancy sensors (ceiling and
+// under-desk), and a lamp. The application side is a small smart
+// building app of the kind the paper's introduction motivates: it
+// subscribes to the sensors over MQTT, derives per-room occupancy,
+// alerts on overcrowding, and reacts to conditions — exactly the app
+// logic / scene logic split Digibox advocates.
+//
+// The run also demonstrates the reproducibility workflow: a scene
+// property is checked at run time, the setup is committed to a scene
+// repository, and the trace is saved for replay.
+//
+//	go run ./examples/smartbuilding
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	digibox "repro"
+	"repro/internal/broker"
+	"repro/internal/property"
+)
+
+// occupancyApp is the application under test. It holds only app logic:
+// how to process device data, never how devices behave.
+type occupancyApp struct {
+	mu       sync.Mutex
+	readings map[string]bool // sensor -> triggered
+	rooms    map[string][]string
+	alerts   []string
+}
+
+func newOccupancyApp(rooms map[string][]string) *occupancyApp {
+	return &occupancyApp{readings: map[string]bool{}, rooms: rooms}
+}
+
+// consume handles one MQTT status message from a sensor.
+func (a *occupancyApp) consume(sensor string, payload []byte) {
+	var status struct {
+		Triggered bool `json:"triggered"`
+	}
+	if err := json.Unmarshal(payload, &status); err != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.readings[sensor] = status.Triggered
+}
+
+// occupiedRooms derives room occupancy from sensor readings (the app
+// logic the testbed exists to exercise).
+func (a *occupancyApp) occupiedRooms() []string {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	var out []string
+	for room, sensors := range a.rooms {
+		for _, s := range sensors {
+			if a.readings[s] {
+				out = append(out, room)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func main() {
+	repoDir := filepath.Join(os.TempDir(), "digibox-smartbuilding-repo")
+	defer os.RemoveAll(repoDir)
+	tb, err := digibox.New(digibox.Options{LocalRepoDir: repoDir})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+
+	// --- Scene side (Fig. 6 hierarchy) ---
+	must(tb.Run("Occupancy", "O1", nil))
+	must(tb.Run("Underdesk", "D1", nil))
+	must(tb.Run("Lamp", "L1", nil))
+	must(tb.Run("Occupancy", "O2", nil))
+	must(tb.Run("Room", "MeetingRoom", map[string]any{"managed": false}))
+	must(tb.Run("Room", "Kitchen", map[string]any{"managed": false}))
+	must(tb.Run("Building", "ConfCenter", map[string]any{"managed": false}))
+	for _, att := range [][2]string{
+		{"O1", "MeetingRoom"}, {"D1", "MeetingRoom"}, {"L1", "MeetingRoom"},
+		{"O2", "Kitchen"},
+		{"MeetingRoom", "ConfCenter"}, {"Kitchen", "ConfCenter"},
+	} {
+		must(tb.Attach(att[0], att[1]))
+	}
+
+	// Scene property (§3.3): the lamp may not burn in an empty room.
+	must(tb.AddProperty(&digibox.Property{
+		Name: "no-light-in-empty-room",
+		Kind: property.Never,
+		Cond: digibox.Condition{
+			{Model: "O1", Path: "triggered", Op: property.Eq, Value: false},
+			{Model: "L1", Path: "power.status", Op: property.Eq, Value: "on"},
+		},
+	}))
+
+	// --- Application side: subscribe to sensors over MQTT (Fig. 2) ---
+	app := newOccupancyApp(map[string][]string{
+		"MeetingRoom": {"O1", "D1"},
+		"Kitchen":     {"O2"},
+	})
+	mqtt, err := broker.Dial(tb.BrokerAddr(), &broker.ClientOptions{ClientID: "smartbuilding-app"})
+	must(err)
+	defer mqtt.Close()
+	for _, sensor := range []string{"O1", "D1", "O2"} {
+		sensor := sensor
+		must(mqtt.Subscribe("digibox/"+sensor+"/status", 1, func(m broker.Message) {
+			app.consume(sensor, m.Payload)
+		}))
+	}
+
+	// --- Drive the scene and validate the app ---
+	fmt.Println("== 2 humans enter ConfCenter")
+	must(tb.Edit("ConfCenter", map[string]any{"num_human": 2}))
+	waitFor(tb, func() bool {
+		rooms := app.occupiedRooms()
+		return len(rooms) == 2
+	}, "app sees both rooms occupied")
+	fmt.Printf("   app derives occupied rooms: %v\n", app.occupiedRooms())
+
+	fmt.Println("== building empties")
+	must(tb.Edit("ConfCenter", map[string]any{"num_human": 0}))
+	waitFor(tb, func() bool { return len(app.occupiedRooms()) == 0 }, "app sees building empty")
+	fmt.Printf("   app derives occupied rooms: %v\n", app.occupiedRooms())
+
+	if v := tb.Violations(); len(v) == 0 {
+		fmt.Println("== scene property held throughout: no light in empty room")
+	} else {
+		fmt.Printf("== property violations: %d (first: %s)\n", len(v), v[0].Detail)
+	}
+
+	// --- Reproducibility: commit setup, save trace ---
+	version, err := tb.CommitScene("ConfCenter")
+	must(err)
+	fmt.Printf("== committed setup ConfCenter %s to the scene repository\n", version)
+	tracePath := filepath.Join(os.TempDir(), "confcenter-trace.zip")
+	must(tb.SaveTrace(tracePath))
+	info, _ := os.Stat(tracePath)
+	fmt.Printf("== saved trace archive %s (%d bytes, %d records)\n",
+		tracePath, info.Size(), tb.Log.Len())
+	os.Remove(tracePath)
+}
+
+func waitFor(tb *digibox.Testbed, cond func() bool, what string) {
+	if err := tb.WaitConverged(10*time.Second, cond); err != nil {
+		log.Fatalf("timed out waiting for %s", what)
+	}
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

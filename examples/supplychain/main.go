@@ -1,0 +1,125 @@
+// Supply chain: cold-chain logistics prototyping (§1, §5).
+//
+// Three refrigerated trucks carry cargo instrumented with condition
+// sensors; a ColdChain scene audits them and a SupplyChain scene
+// dispatches shipments. The application is a logistics monitor of the
+// kind the paper's intro motivates ("track cargo and inventory
+// conditions to audit, automate, and optimize operational logistics"):
+// it polls cargo conditions over REST and raises an audit finding when
+// any cargo breaches the cold-chain temperature ceiling, which this
+// run forces by failing one truck's reefer.
+//
+//	go run ./examples/supplychain
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	digibox "repro"
+)
+
+func main() {
+	tb, err := digibox.New(digibox.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer tb.Stop()
+
+	// Three trucks, each with a GPS tracker and a cargo sensor. The
+	// trucks are unmanaged: we drive the scenario deterministically.
+	trucks := []string{"truck-a", "truck-b", "truck-c"}
+	for _, tr := range trucks {
+		must(tb.Run("Truck", tr, map[string]any{"managed": false}))
+		must(tb.Run("GPSTracker", tr+"-gps", nil))
+		must(tb.Run("CargoSensor", tr+"-cargo", map[string]any{"shock_prob": 0.0}))
+		must(tb.Attach(tr+"-gps", tr))
+		must(tb.Attach(tr+"-cargo", tr))
+	}
+	// The cold-chain auditor watches every cargo sensor.
+	must(tb.Run("ColdChain", "coldchain", map[string]any{"managed": false}))
+	for _, tr := range trucks {
+		must(tb.Attach(tr+"-cargo", "coldchain"))
+	}
+	// The supply-chain controller dispatches the trucks.
+	must(tb.Run("SupplyChain", "logistics", map[string]any{"managed": false}))
+	for _, tr := range trucks {
+		must(tb.Attach(tr, "logistics"))
+	}
+
+	cli := tb.RESTClient()
+
+	fmt.Println("== dispatch: all shipments released")
+	must(tb.Edit("logistics", map[string]any{"dispatch": true}))
+	must(tb.WaitConverged(10*time.Second, func() bool {
+		for _, tr := range trucks {
+			d, err := tb.Check(tr)
+			if err != nil || d.GetString("stage") != "transit" {
+				return false
+			}
+		}
+		return true
+	}))
+	for _, tr := range trucks {
+		st, err := cli.Status(tr + "-gps")
+		must(err)
+		fmt.Printf("   %s in transit, tracker moving=%v\n", tr, st["moving"])
+	}
+
+	fmt.Println("== fault injection: truck-b's reefer fails mid-route")
+	must(tb.Edit("truck-b", map[string]any{"reefer_on": false}))
+
+	// The logistics monitor (app logic): poll cargo over REST, audit
+	// against the 8C cold-chain ceiling.
+	fmt.Println("== logistics monitor polling cargo conditions over REST")
+	var breached string
+	deadline := time.Now().Add(20 * time.Second)
+	for breached == "" && time.Now().Before(deadline) {
+		for _, tr := range trucks {
+			st, err := cli.Status(tr + "-cargo")
+			must(err)
+			if temp, ok := st["temperature"].(float64); ok && temp > 8.0 {
+				breached = tr
+				fmt.Printf("   AUDIT ALERT: %s cargo at %.1fC exceeds 8.0C ceiling\n", tr, temp)
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if breached != "truck-b" {
+		log.Fatalf("monitor flagged %q, expected truck-b", breached)
+	}
+
+	// The ColdChain scene reaches the same verdict from the scene side.
+	must(tb.WaitConverged(10*time.Second, func() bool {
+		d, err := tb.Check("coldchain")
+		return err == nil && d.GetBool("breach")
+	}))
+	fmt.Println("== cold-chain scene confirms the breach (scene-side audit)")
+
+	fmt.Println("== deliveries complete")
+	for _, tr := range trucks {
+		must(tb.Edit(tr, map[string]any{"stage": "delivered"}))
+	}
+	must(tb.WaitConverged(10*time.Second, func() bool {
+		d, err := tb.Check("logistics")
+		if err != nil {
+			return false
+		}
+		n, _ := d.GetInt("delivered")
+		return n == int64(len(trucks))
+	}))
+	d, _ := tb.Check("logistics")
+	n, _ := d.GetInt("delivered")
+	fmt.Printf("   supply chain reports %d/%d shipments delivered\n", n, len(trucks))
+	fmt.Printf("== trace: %d records logged\n", tb.Log.Len())
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,478 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Stats is a snapshot of broker counters.
+type Stats struct {
+	Connections   int   // currently connected sessions
+	Subscriptions int   // live subscriptions across all sessions
+	Retained      int   // retained messages held
+	PublishesIn   int64 // PUBLISH packets received
+	MessagesOut   int64 // PUBLISH packets delivered to subscribers
+	Dropped       int64 // messages dropped on slow/full sessions
+}
+
+// Options configures a Broker.
+type Options struct {
+	// OutboundQueue bounds each session's outbound message queue.
+	// When full, QoS 0 messages to that session are dropped (counted
+	// in Stats.Dropped); this mirrors broker back-pressure behaviour.
+	OutboundQueue int
+	// GraceKeepAlive is the multiplier on the negotiated keepalive
+	// after which an idle session is terminated. MQTT mandates 1.5.
+	GraceKeepAlive float64
+	// Logf, when set, receives debug log lines.
+	Logf func(format string, args ...any)
+}
+
+func (o *Options) withDefaults() Options {
+	out := Options{OutboundQueue: 256, GraceKeepAlive: 1.5}
+	if o != nil {
+		if o.OutboundQueue > 0 {
+			out.OutboundQueue = o.OutboundQueue
+		}
+		if o.GraceKeepAlive > 0 {
+			out.GraceKeepAlive = o.GraceKeepAlive
+		}
+		out.Logf = o.Logf
+	}
+	return out
+}
+
+// Broker is an MQTT 3.1.1 broker. Create with NewBroker, start with
+// Serve or ListenAndServe, stop with Close.
+type Broker struct {
+	opts Options
+
+	subs     *subTrie
+	retained sync.Map // topic -> *Packet (with Retain set)
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	listener net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+
+	publishesIn int64
+	messagesOut int64
+	dropped     int64
+	retainCount int64
+}
+
+// NewBroker returns an idle broker.
+func NewBroker(opts *Options) *Broker {
+	return &Broker{
+		opts:     opts.withDefaults(),
+		subs:     newSubTrie(),
+		sessions: map[string]*session{},
+	}
+}
+
+// ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until
+// Close. It returns once the listener is bound; serving continues in
+// the background. Use Addr for the bound address.
+func (b *Broker) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		ln.Close()
+		return errors.New("mqtt: broker closed")
+	}
+	b.listener = ln
+	b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		b.acceptLoop(ln)
+	}()
+	return nil
+}
+
+// Addr returns the bound listener address, or "" before ListenAndServe.
+func (b *Broker) Addr() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.listener == nil {
+		return ""
+	}
+	return b.listener.Addr().String()
+}
+
+func (b *Broker) acceptLoop(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		b.wg.Add(1)
+		go func() {
+			defer b.wg.Done()
+			b.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops the listener and terminates all sessions.
+func (b *Broker) Close() {
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	b.closed = true
+	ln := b.listener
+	sessions := make([]*session, 0, len(b.sessions))
+	for _, s := range b.sessions {
+		sessions = append(sessions, s)
+	}
+	b.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	for _, s := range sessions {
+		s.terminate()
+	}
+	b.wg.Wait()
+}
+
+// Stats returns a snapshot of broker counters.
+func (b *Broker) Stats() Stats {
+	b.mu.Lock()
+	conns := len(b.sessions)
+	b.mu.Unlock()
+	return Stats{
+		Connections:   conns,
+		Subscriptions: b.subs.countSubscriptions(),
+		Retained:      int(atomic.LoadInt64(&b.retainCount)),
+		PublishesIn:   atomic.LoadInt64(&b.publishesIn),
+		MessagesOut:   atomic.LoadInt64(&b.messagesOut),
+		Dropped:       atomic.LoadInt64(&b.dropped),
+	}
+}
+
+func (b *Broker) logf(format string, args ...any) {
+	if b.opts.Logf != nil {
+		b.opts.Logf(format, args...)
+	}
+}
+
+// session is one connected client.
+type session struct {
+	broker   *Broker
+	conn     net.Conn
+	clientID string
+
+	outbound  chan *Packet
+	closeOnce sync.Once
+	closedCh  chan struct{}
+
+	keepAlive time.Duration
+}
+
+func (b *Broker) serveConn(conn net.Conn) {
+	defer conn.Close()
+	// The first packet must be CONNECT, within a handshake deadline.
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	pkt, err := ReadPacket(conn)
+	if err != nil {
+		if errors.Is(err, errBadVersion) {
+			ack, _ := (&Packet{Type: CONNACK, ReturnCode: ConnRefusedVersion}).Encode()
+			conn.Write(ack)
+		}
+		return
+	}
+	if pkt.Type != CONNECT {
+		return
+	}
+	if pkt.ClientID == "" {
+		if !pkt.CleanSession {
+			ack, _ := (&Packet{Type: CONNACK, ReturnCode: ConnRefusedIdentifier}).Encode()
+			conn.Write(ack)
+			return
+		}
+		pkt.ClientID = fmt.Sprintf("anon-%s", conn.RemoteAddr())
+	}
+
+	s := &session{
+		broker:   b,
+		conn:     conn,
+		clientID: pkt.ClientID,
+		outbound: make(chan *Packet, b.opts.OutboundQueue),
+		closedCh: make(chan struct{}),
+	}
+	if pkt.KeepAliveSec > 0 {
+		s.keepAlive = time.Duration(float64(pkt.KeepAliveSec)*b.opts.GraceKeepAlive) * time.Second
+	}
+
+	b.mu.Lock()
+	if b.closed {
+		b.mu.Unlock()
+		return
+	}
+	if old, ok := b.sessions[s.clientID]; ok {
+		// MQTT: a second CONNECT with the same client id takes over.
+		b.mu.Unlock()
+		old.terminate()
+		b.mu.Lock()
+	}
+	b.sessions[s.clientID] = s
+	b.mu.Unlock()
+
+	defer func() {
+		b.mu.Lock()
+		if b.sessions[s.clientID] == s {
+			delete(b.sessions, s.clientID)
+		}
+		b.mu.Unlock()
+		b.subs.removeClient(s.clientID)
+		s.terminate()
+	}()
+
+	ack, err := (&Packet{Type: CONNACK, ReturnCode: ConnAccepted}).Encode()
+	if err != nil {
+		return
+	}
+	if _, err := conn.Write(ack); err != nil {
+		return
+	}
+	b.logf("mqtt: session %s connected from %s", s.clientID, conn.RemoteAddr())
+
+	go s.writeLoop()
+	s.readLoop()
+}
+
+func (s *session) terminate() {
+	s.closeOnce.Do(func() {
+		close(s.closedCh)
+		s.conn.Close()
+	})
+}
+
+func (s *session) writeLoop() {
+	for {
+		select {
+		case pkt := <-s.outbound:
+			data, err := pkt.Encode()
+			if err != nil {
+				s.broker.logf("mqtt: encode to %s: %v", s.clientID, err)
+				continue
+			}
+			if _, err := s.conn.Write(data); err != nil {
+				s.terminate()
+				return
+			}
+		case <-s.closedCh:
+			return
+		}
+	}
+}
+
+// send enqueues a packet for the session; drops QoS0 publishes when
+// the queue is full, blocks (briefly) otherwise to preserve acks.
+func (s *session) send(pkt *Packet) {
+	select {
+	case s.outbound <- pkt:
+	default:
+		if pkt.Type == PUBLISH && pkt.QoS == 0 {
+			atomic.AddInt64(&s.broker.dropped, 1)
+			return
+		}
+		select {
+		case s.outbound <- pkt:
+		case <-s.closedCh:
+		}
+	}
+}
+
+func (s *session) readLoop() {
+	for {
+		if s.keepAlive > 0 {
+			s.conn.SetReadDeadline(time.Now().Add(s.keepAlive))
+		} else {
+			s.conn.SetReadDeadline(time.Time{})
+		}
+		pkt, err := ReadPacket(s.conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) && !isTimeout(err) {
+				s.broker.logf("mqtt: read from %s: %v", s.clientID, err)
+			}
+			return
+		}
+		switch pkt.Type {
+		case PUBLISH:
+			atomic.AddInt64(&s.broker.publishesIn, 1)
+			s.broker.route(pkt)
+			if pkt.QoS == 1 {
+				s.send(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+			}
+		case SUBSCRIBE:
+			granted := make([]byte, len(pkt.Filters))
+			for i, f := range pkt.Filters {
+				q := pkt.QoSs[i]
+				if q > 1 {
+					q = 1 // downgrade: QoS 2 not supported
+				}
+				granted[i] = q
+				s.broker.subs.subscribe(&subscription{
+					clientID: s.clientID,
+					filter:   f,
+					qos:      q,
+					deliver:  s.send,
+				})
+			}
+			s.send(&Packet{Type: SUBACK, PacketID: pkt.PacketID, QoSs: granted})
+			// Retained messages are delivered after the SUBACK.
+			s.broker.deliverRetained(pkt.Filters, s)
+		case UNSUBSCRIBE:
+			for _, f := range pkt.Filters {
+				s.broker.subs.unsubscribe(s.clientID, f)
+			}
+			s.send(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
+		case PINGREQ:
+			s.send(&Packet{Type: PINGRESP})
+		case PUBACK:
+			// QoS 1 broker->client ack; at-least-once bookkeeping is
+			// the client's concern in this implementation.
+		case DISCONNECT:
+			return
+		default:
+			s.broker.logf("mqtt: unexpected %v from %s", pkt.Type, s.clientID)
+			return
+		}
+	}
+}
+
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// route fans a PUBLISH out to matching subscribers and updates the
+// retained store.
+func (b *Broker) route(pkt *Packet) {
+	if pkt.Retain {
+		key := pkt.Topic
+		if len(pkt.Payload) == 0 {
+			if _, loaded := b.retained.LoadAndDelete(key); loaded {
+				atomic.AddInt64(&b.retainCount, -1)
+			}
+		} else {
+			stored := *pkt
+			stored.Dup = false
+			if _, loaded := b.retained.Swap(key, &stored); !loaded {
+				atomic.AddInt64(&b.retainCount, 1)
+			}
+		}
+	}
+	matches := b.subs.match(pkt.Topic)
+	if len(matches) == 0 {
+		return
+	}
+	// Overlapping filters: deliver once per client at the max QoS.
+	perClient := make(map[string]*subscription, len(matches))
+	for _, sub := range matches {
+		if cur, ok := perClient[sub.clientID]; !ok || sub.qos > cur.qos {
+			perClient[sub.clientID] = sub
+		}
+	}
+	for _, sub := range perClient {
+		out := &Packet{
+			Type:    PUBLISH,
+			Topic:   pkt.Topic,
+			Payload: pkt.Payload,
+			QoS:     min(pkt.QoS, sub.qos),
+			// Retain flag is false on live routing per spec §3.3.1.3.
+		}
+		if out.QoS > 0 {
+			out.PacketID = nextBrokerPacketID()
+		}
+		atomic.AddInt64(&b.messagesOut, 1)
+		sub.deliver(out)
+	}
+}
+
+var brokerPacketID uint32
+
+func nextBrokerPacketID() uint16 {
+	for {
+		id := uint16(atomic.AddUint32(&brokerPacketID, 1))
+		if id != 0 {
+			return id
+		}
+	}
+}
+
+// deliverRetained sends stored retained messages matching any of the
+// new filters to the subscribing session, with the retain flag set.
+func (b *Broker) deliverRetained(filters []string, s *session) {
+	b.retained.Range(func(key, value any) bool {
+		topic := key.(string)
+		stored := value.(*Packet)
+		for _, f := range filters {
+			if MatchTopic(f, topic) {
+				out := *stored
+				out.Retain = true
+				if out.QoS > 0 {
+					out.PacketID = nextBrokerPacketID()
+				}
+				atomic.AddInt64(&b.messagesOut, 1)
+				s.send(&out)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// Kick forcibly disconnects a client session, emulating a network
+// connectivity fault between a device and the broker (§6 "network
+// connectivity between devices"). It reports whether the session
+// existed. The client sees a broken connection; its subscriptions are
+// dropped with the session (clean-session semantics).
+func (b *Broker) Kick(clientID string) bool {
+	b.mu.Lock()
+	s, ok := b.sessions[clientID]
+	b.mu.Unlock()
+	if !ok {
+		return false
+	}
+	s.terminate()
+	return true
+}
+
+// Clients returns the ids of currently connected sessions, sorted.
+func (b *Broker) Clients() []string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]string, 0, len(b.sessions))
+	for id := range b.sessions {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Publish injects a message into the broker from within the process,
+// without a client connection. Mocks co-located with the broker use
+// this fast path; the wire path behaves identically.
+func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	if err := ValidateTopicName(topic); err != nil {
+		return err
+	}
+	atomic.AddInt64(&b.publishesIn, 1)
+	b.route(&Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain})
+	return nil
+}

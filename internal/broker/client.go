@@ -1,0 +1,340 @@
+package broker
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// Message is a received application message.
+type Message struct {
+	Topic    string
+	Payload  []byte
+	QoS      byte
+	Retained bool
+}
+
+// Handler consumes messages delivered to a subscription. Handlers run
+// on the client's single dispatch goroutine: a slow handler delays
+// later messages for the same client but never corrupts state.
+type Handler func(Message)
+
+// ClientOptions configures Dial.
+type ClientOptions struct {
+	ClientID  string
+	KeepAlive time.Duration // 0 disables client keepalive
+	// ConnectTimeout bounds the TCP dial plus CONNECT handshake.
+	ConnectTimeout time.Duration
+	// AckTimeout bounds waiting for SUBACK/UNSUBACK/PUBACK.
+	AckTimeout time.Duration
+}
+
+func (o *ClientOptions) withDefaults() ClientOptions {
+	out := ClientOptions{
+		KeepAlive:      30 * time.Second,
+		ConnectTimeout: 5 * time.Second,
+		AckTimeout:     5 * time.Second,
+	}
+	if o != nil {
+		if o.ClientID != "" {
+			out.ClientID = o.ClientID
+		}
+		if o.KeepAlive != 0 {
+			out.KeepAlive = o.KeepAlive
+		}
+		if o.ConnectTimeout > 0 {
+			out.ConnectTimeout = o.ConnectTimeout
+		}
+		if o.AckTimeout > 0 {
+			out.AckTimeout = o.AckTimeout
+		}
+	}
+	return out
+}
+
+// Client is an MQTT 3.1.1 client. Safe for concurrent use.
+type Client struct {
+	opts ClientOptions
+	conn net.Conn
+
+	writeMu sync.Mutex // serialises packet writes
+
+	mu       sync.Mutex
+	subs     map[string]Handler // filter -> handler
+	pending  map[uint16]chan *Packet
+	nextID   uint16
+	closed   bool
+	closeErr error
+
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// Dial connects and completes the MQTT handshake.
+func Dial(addr string, opts *ClientOptions) (*Client, error) {
+	o := opts.withDefaults()
+	if o.ClientID == "" {
+		o.ClientID = fmt.Sprintf("dbox-%d", time.Now().UnixNano())
+	}
+	conn, err := net.DialTimeout("tcp", addr, o.ConnectTimeout)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		opts:    o,
+		conn:    conn,
+		subs:    map[string]Handler{},
+		pending: map[uint16]chan *Packet{},
+		done:    make(chan struct{}),
+	}
+	connect := &Packet{
+		Type:         CONNECT,
+		ClientID:     o.ClientID,
+		CleanSession: true,
+		KeepAliveSec: uint16(o.KeepAlive / time.Second),
+	}
+	conn.SetDeadline(time.Now().Add(o.ConnectTimeout))
+	if err := c.write(connect); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	ack, err := ReadPacket(conn)
+	if err != nil {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: handshake: %w", err)
+	}
+	if ack.Type != CONNACK {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: expected CONNACK, got %v", ack.Type)
+	}
+	if ack.ReturnCode != ConnAccepted {
+		conn.Close()
+		return nil, fmt.Errorf("mqtt: connection refused (code %d)", ack.ReturnCode)
+	}
+	conn.SetDeadline(time.Time{})
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		c.readLoop()
+	}()
+	if o.KeepAlive > 0 {
+		c.wg.Add(1)
+		go func() {
+			defer c.wg.Done()
+			c.pingLoop()
+		}()
+	}
+	return c, nil
+}
+
+func (c *Client) write(p *Packet) error {
+	data, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	c.writeMu.Lock()
+	defer c.writeMu.Unlock()
+	_, err = c.conn.Write(data)
+	return err
+}
+
+func (c *Client) readLoop() {
+	for {
+		pkt, err := ReadPacket(c.conn)
+		if err != nil {
+			c.shutdown(err)
+			return
+		}
+		switch pkt.Type {
+		case PUBLISH:
+			c.dispatch(pkt)
+			if pkt.QoS == 1 {
+				c.write(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
+			}
+		case PUBACK, SUBACK, UNSUBACK:
+			c.mu.Lock()
+			ch := c.pending[pkt.PacketID]
+			delete(c.pending, pkt.PacketID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- pkt
+			}
+		case PINGRESP:
+			// keepalive satisfied
+		default:
+			// Ignore everything else; 3.1.1 clients never receive
+			// CONNECT/SUBSCRIBE.
+		}
+	}
+}
+
+func (c *Client) dispatch(pkt *Packet) {
+	c.mu.Lock()
+	var h Handler
+	for filter, handler := range c.subs {
+		if MatchTopic(filter, pkt.Topic) {
+			h = handler
+			break
+		}
+	}
+	c.mu.Unlock()
+	if h != nil {
+		h(Message{Topic: pkt.Topic, Payload: pkt.Payload, QoS: pkt.QoS, Retained: pkt.Retain})
+	}
+}
+
+func (c *Client) pingLoop() {
+	interval := c.opts.KeepAlive / 2
+	if interval < time.Second {
+		interval = time.Second
+	}
+	t := time.NewTicker(interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if err := c.write(&Packet{Type: PINGREQ}); err != nil {
+				c.shutdown(err)
+				return
+			}
+		case <-c.done:
+			return
+		}
+	}
+}
+
+func (c *Client) allocID() (uint16, chan *Packet) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		c.nextID++
+		if c.nextID == 0 {
+			c.nextID = 1
+		}
+		if _, busy := c.pending[c.nextID]; !busy {
+			ch := make(chan *Packet, 1)
+			c.pending[c.nextID] = ch
+			return c.nextID, ch
+		}
+	}
+}
+
+func (c *Client) await(id uint16, ch chan *Packet, want PacketType) (*Packet, error) {
+	select {
+	case pkt, ok := <-ch:
+		if !ok {
+			return nil, c.err()
+		}
+		if pkt.Type != want {
+			return nil, fmt.Errorf("mqtt: expected %v, got %v", want, pkt.Type)
+		}
+		return pkt, nil
+	case <-time.After(c.opts.AckTimeout):
+		c.mu.Lock()
+		delete(c.pending, id)
+		c.mu.Unlock()
+		return nil, fmt.Errorf("mqtt: timeout waiting for %v", want)
+	case <-c.done:
+		return nil, c.err()
+	}
+}
+
+// Publish sends an application message. QoS 1 blocks until the broker
+// acknowledges (at-least-once); QoS 0 is fire-and-forget.
+func (c *Client) Publish(topic string, payload []byte, qos byte, retain bool) error {
+	if qos > 1 {
+		return fmt.Errorf("mqtt: QoS %d not supported", qos)
+	}
+	pkt := &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain}
+	if qos == 0 {
+		return c.write(pkt)
+	}
+	id, ch := c.allocID()
+	pkt.PacketID = id
+	if err := c.write(pkt); err != nil {
+		return err
+	}
+	_, err := c.await(id, ch, PUBACK)
+	return err
+}
+
+// Subscribe registers a handler for a topic filter and blocks until
+// the broker acknowledges. Retained messages matching the filter are
+// delivered asynchronously after subscription.
+func (c *Client) Subscribe(filter string, qos byte, h Handler) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if qos > 1 {
+		qos = 1
+	}
+	c.mu.Lock()
+	c.subs[filter] = h
+	c.mu.Unlock()
+	id, ch := c.allocID()
+	pkt := &Packet{Type: SUBSCRIBE, PacketID: id, Filters: []string{filter}, QoSs: []byte{qos}}
+	if err := c.write(pkt); err != nil {
+		return err
+	}
+	ack, err := c.await(id, ch, SUBACK)
+	if err != nil {
+		return err
+	}
+	if len(ack.QoSs) != 1 || ack.QoSs[0] == 0x80 {
+		return errors.New("mqtt: subscription rejected")
+	}
+	return nil
+}
+
+// Unsubscribe removes a subscription.
+func (c *Client) Unsubscribe(filter string) error {
+	c.mu.Lock()
+	delete(c.subs, filter)
+	c.mu.Unlock()
+	id, ch := c.allocID()
+	if err := c.write(&Packet{Type: UNSUBSCRIBE, PacketID: id, Filters: []string{filter}}); err != nil {
+		return err
+	}
+	_, err := c.await(id, ch, UNSUBACK)
+	return err
+}
+
+// Close sends DISCONNECT and tears the connection down.
+func (c *Client) Close() error {
+	c.write(&Packet{Type: DISCONNECT})
+	c.shutdown(errors.New("mqtt: client closed"))
+	c.wg.Wait()
+	return nil
+}
+
+func (c *Client) shutdown(err error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	pend := c.pending
+	c.pending = map[uint16]chan *Packet{}
+	c.mu.Unlock()
+	close(c.done)
+	c.conn.Close()
+	for _, ch := range pend {
+		close(ch)
+	}
+}
+
+// Done is closed when the client connection terminates.
+func (c *Client) Done() <-chan struct{} { return c.done }
+
+func (c *Client) err() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closeErr != nil {
+		return c.closeErr
+	}
+	return errors.New("mqtt: client closed")
+}

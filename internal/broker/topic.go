@@ -1,0 +1,237 @@
+package broker
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// ValidateTopicName checks a concrete topic used in PUBLISH: non-empty,
+// no wildcards, no NUL, within the length limit (spec §4.7).
+func ValidateTopicName(topic string) error {
+	if topic == "" {
+		return fmt.Errorf("mqtt: empty topic")
+	}
+	if len(topic) > maxTopicLength {
+		return fmt.Errorf("mqtt: topic too long (%d bytes)", len(topic))
+	}
+	if strings.ContainsAny(topic, "+#") {
+		return fmt.Errorf("mqtt: wildcards not allowed in topic name %q", topic)
+	}
+	if strings.ContainsRune(topic, 0) {
+		return fmt.Errorf("mqtt: NUL in topic name")
+	}
+	return nil
+}
+
+// ValidateTopicFilter checks a subscription filter: "+" must occupy a
+// whole level; "#" must be the final level (spec §4.7.1).
+func ValidateTopicFilter(filter string) error {
+	if filter == "" {
+		return fmt.Errorf("mqtt: empty topic filter")
+	}
+	if len(filter) > maxTopicLength {
+		return fmt.Errorf("mqtt: filter too long (%d bytes)", len(filter))
+	}
+	if strings.ContainsRune(filter, 0) {
+		return fmt.Errorf("mqtt: NUL in topic filter")
+	}
+	levels := strings.Split(filter, "/")
+	for i, lv := range levels {
+		switch {
+		case lv == "#":
+			if i != len(levels)-1 {
+				return fmt.Errorf("mqtt: '#' must be the last level in %q", filter)
+			}
+		case lv == "+":
+			// ok anywhere as a full level
+		case strings.ContainsAny(lv, "+#"):
+			return fmt.Errorf("mqtt: wildcard must occupy a whole level in %q", filter)
+		}
+	}
+	return nil
+}
+
+// MatchTopic reports whether a concrete topic matches a filter,
+// following MQTT semantics: "#" also matches the parent level
+// ("a/#" matches "a"), and "+" matches exactly one level including the
+// empty level. Topics starting with "$" are not matched by wildcards
+// at the first level (spec §4.7.2).
+func MatchTopic(filter, topic string) bool {
+	if strings.HasPrefix(topic, "$") && (strings.HasPrefix(filter, "+") || strings.HasPrefix(filter, "#")) {
+		return false
+	}
+	return matchLevels(strings.Split(filter, "/"), strings.Split(topic, "/"))
+}
+
+func matchLevels(filter, topic []string) bool {
+	for i, f := range filter {
+		if f == "#" {
+			return true
+		}
+		if i >= len(topic) {
+			return false
+		}
+		if f != "+" && f != topic[i] {
+			return false
+		}
+	}
+	return len(topic) == len(filter)
+}
+
+// subTrie indexes subscriptions by topic filter for O(levels) matching
+// instead of scanning every subscription per publish. Each node maps a
+// topic level to children, with the special child keys "+" and "#".
+type subTrie struct {
+	mu   sync.RWMutex
+	root *trieNode
+}
+
+type trieNode struct {
+	children map[string]*trieNode
+	subs     map[string]*subscription // keyed by client id
+}
+
+type subscription struct {
+	clientID string
+	filter   string
+	qos      byte
+	deliver  func(*Packet) // enqueue on the session's outbound path
+}
+
+func newSubTrie() *subTrie {
+	return &subTrie{root: newTrieNode()}
+}
+
+func newTrieNode() *trieNode {
+	return &trieNode{children: map[string]*trieNode{}}
+}
+
+// subscribe inserts or replaces a client's subscription to filter.
+func (t *subTrie) subscribe(sub *subscription) {
+	levels := strings.Split(sub.filter, "/")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	node := t.root
+	for _, lv := range levels {
+		next, ok := node.children[lv]
+		if !ok {
+			next = newTrieNode()
+			node.children[lv] = next
+		}
+		node = next
+	}
+	if node.subs == nil {
+		node.subs = map[string]*subscription{}
+	}
+	node.subs[sub.clientID] = sub
+}
+
+// unsubscribe removes a client's subscription to filter, pruning empty
+// branches. It reports whether the subscription existed.
+func (t *subTrie) unsubscribe(clientID, filter string) bool {
+	levels := strings.Split(filter, "/")
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return unsubscribeAt(t.root, levels, clientID)
+}
+
+func unsubscribeAt(node *trieNode, levels []string, clientID string) bool {
+	if len(levels) == 0 {
+		if node.subs == nil {
+			return false
+		}
+		if _, ok := node.subs[clientID]; !ok {
+			return false
+		}
+		delete(node.subs, clientID)
+		return true
+	}
+	child, ok := node.children[levels[0]]
+	if !ok {
+		return false
+	}
+	removed := unsubscribeAt(child, levels[1:], clientID)
+	if removed && len(child.children) == 0 && len(child.subs) == 0 {
+		delete(node.children, levels[0])
+	}
+	return removed
+}
+
+// removeClient drops every subscription held by a client (on clean
+// disconnect).
+func (t *subTrie) removeClient(clientID string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pruneClient(t.root, clientID)
+}
+
+func pruneClient(node *trieNode, clientID string) {
+	delete(node.subs, clientID)
+	for lv, child := range node.children {
+		pruneClient(child, clientID)
+		if len(child.children) == 0 && len(child.subs) == 0 {
+			delete(node.children, lv)
+		}
+	}
+}
+
+// match collects all subscriptions whose filter matches topic. The
+// returned slice is freshly allocated; duplicate client subscriptions
+// via overlapping filters are all included (the broker de-duplicates
+// per-client at delivery time, matching MQTT overlapping-subscription
+// semantics of delivering at the highest QoS).
+func (t *subTrie) match(topic string) []*subscription {
+	levels := strings.Split(topic, "/")
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []*subscription
+	skipWild := strings.HasPrefix(topic, "$")
+	matchAt(t.root, levels, skipWild, &out)
+	return out
+}
+
+func matchAt(node *trieNode, levels []string, firstLevelNoWild bool, out *[]*subscription) {
+	if len(levels) == 0 {
+		for _, s := range node.subs {
+			*out = append(*out, s)
+		}
+		// "a/#" matches "a": a child "#" at the exact end also fires.
+		if hash, ok := node.children["#"]; ok {
+			for _, s := range hash.subs {
+				*out = append(*out, s)
+			}
+		}
+		return
+	}
+	lv := levels[0]
+	if child, ok := node.children[lv]; ok {
+		matchAt(child, levels[1:], false, out)
+	}
+	if !firstLevelNoWild {
+		if child, ok := node.children["+"]; ok {
+			matchAt(child, levels[1:], false, out)
+		}
+		if child, ok := node.children["#"]; ok {
+			for _, s := range child.subs {
+				*out = append(*out, s)
+			}
+		}
+	}
+}
+
+// countSubscriptions returns the total number of stored subscriptions
+// (used by tests and broker stats).
+func (t *subTrie) countSubscriptions() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return countAt(t.root)
+}
+
+func countAt(node *trieNode) int {
+	n := len(node.subs)
+	for _, c := range node.children {
+		n += countAt(c)
+	}
+	return n
+}

@@ -1,0 +1,184 @@
+package broker
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateTopicName(t *testing.T) {
+	good := []string{"a", "a/b", "home/room 1/lamp", "$SYS/broker", "a//b"}
+	for _, s := range good {
+		if err := ValidateTopicName(s); err != nil {
+			t.Errorf("ValidateTopicName(%q) = %v", s, err)
+		}
+	}
+	bad := []string{"", "a/+", "#", "a/#", "a\x00b", strings.Repeat("x", 70000)}
+	for _, s := range bad {
+		if err := ValidateTopicName(s); err == nil {
+			t.Errorf("ValidateTopicName(%q) passed", s)
+		}
+	}
+}
+
+func TestValidateTopicFilter(t *testing.T) {
+	good := []string{"a", "a/b", "+", "#", "a/+/b", "a/#", "+/+", "a/+/#"}
+	for _, s := range good {
+		if err := ValidateTopicFilter(s); err != nil {
+			t.Errorf("ValidateTopicFilter(%q) = %v", s, err)
+		}
+	}
+	bad := []string{"", "a/#/b", "#/a", "a+", "a/b+", "a/#b", "a\x00"}
+	for _, s := range bad {
+		if err := ValidateTopicFilter(s); err == nil {
+			t.Errorf("ValidateTopicFilter(%q) passed", s)
+		}
+	}
+}
+
+func TestMatchTopic(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/+", "a/b", true},
+		{"a/+", "a/b/c", false},
+		{"a/#", "a/b/c", true},
+		{"a/#", "a", true}, // '#' matches the parent level
+		{"#", "a/b", true},
+		{"+/+", "a/b", true},
+		{"+/+", "a", false},
+		{"+", "a", true},
+		{"a/+/c", "a/b/c", true},
+		{"a/+/c", "a/b/d", false},
+		{"#", "$SYS/x", false}, // $-topics hidden from wildcards
+		{"+/x", "$SYS/x", false},
+		{"$SYS/#", "$SYS/x", true},
+		{"a//b", "a//b", true},
+		{"a/+/b", "a//b", true}, // '+' matches the empty level
+	}
+	for _, c := range cases {
+		if got := MatchTopic(c.filter, c.topic); got != c.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func collectClients(subs []*subscription) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, s := range subs {
+		if !seen[s.clientID] {
+			seen[s.clientID] = true
+			out = append(out, s.clientID)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestTrieSubscribeMatch(t *testing.T) {
+	trie := newSubTrie()
+	add := func(client, filter string) {
+		trie.subscribe(&subscription{clientID: client, filter: filter})
+	}
+	add("c1", "home/+/lamp")
+	add("c2", "home/#")
+	add("c3", "home/kitchen/lamp")
+	add("c4", "other/topic")
+
+	got := collectClients(trie.match("home/kitchen/lamp"))
+	want := []string{"c1", "c2", "c3"}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("match = %v, want %v", got, want)
+	}
+	if got := collectClients(trie.match("home")); fmt.Sprint(got) != "[c2]" {
+		t.Errorf("parent-level # match = %v", got)
+	}
+	if got := trie.match("nomatch"); len(got) != 0 {
+		t.Errorf("unexpected matches %v", got)
+	}
+}
+
+func TestTrieUnsubscribePrunes(t *testing.T) {
+	trie := newSubTrie()
+	trie.subscribe(&subscription{clientID: "c1", filter: "a/b/c"})
+	trie.subscribe(&subscription{clientID: "c2", filter: "a/b"})
+	if !trie.unsubscribe("c1", "a/b/c") {
+		t.Fatal("unsubscribe failed")
+	}
+	if trie.unsubscribe("c1", "a/b/c") {
+		t.Error("double unsubscribe should return false")
+	}
+	if n := trie.countSubscriptions(); n != 1 {
+		t.Errorf("count = %d", n)
+	}
+	// The a/b/c branch must be pruned but a/b intact.
+	if got := collectClients(trie.match("a/b")); fmt.Sprint(got) != "[c2]" {
+		t.Errorf("match after prune = %v", got)
+	}
+}
+
+func TestTrieRemoveClient(t *testing.T) {
+	trie := newSubTrie()
+	trie.subscribe(&subscription{clientID: "c1", filter: "a/+"})
+	trie.subscribe(&subscription{clientID: "c1", filter: "b/#"})
+	trie.subscribe(&subscription{clientID: "c2", filter: "a/x"})
+	trie.removeClient("c1")
+	if n := trie.countSubscriptions(); n != 1 {
+		t.Errorf("count = %d after removeClient", n)
+	}
+	if got := collectClients(trie.match("a/x")); fmt.Sprint(got) != "[c2]" {
+		t.Errorf("match = %v", got)
+	}
+}
+
+func TestTrieResubscribeReplaces(t *testing.T) {
+	trie := newSubTrie()
+	trie.subscribe(&subscription{clientID: "c1", filter: "a", qos: 0})
+	trie.subscribe(&subscription{clientID: "c1", filter: "a", qos: 1})
+	subs := trie.match("a")
+	if len(subs) != 1 || subs[0].qos != 1 {
+		t.Errorf("resubscribe did not replace: %+v", subs)
+	}
+}
+
+// Property: trie matching agrees with the reference MatchTopic on
+// random filters and topics.
+func TestQuickTrieAgreesWithMatchTopic(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		trie := newSubTrie()
+		filters := make([]string, 1+r.Intn(8))
+		for i := range filters {
+			filters[i] = genTopic(r, true)
+			trie.subscribe(&subscription{
+				clientID: fmt.Sprintf("c%d", i),
+				filter:   filters[i],
+			})
+		}
+		for trial := 0; trial < 10; trial++ {
+			topic := genTopic(r, false)
+			got := map[string]bool{}
+			for _, s := range trie.match(topic) {
+				got[s.filter] = true
+			}
+			for _, fl := range filters {
+				want := MatchTopic(fl, topic)
+				if got[fl] != want {
+					t.Logf("filter %q topic %q: trie=%v ref=%v", fl, topic, got[fl], want)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,289 @@
+// Package core implements Digibox's primary contribution: the
+// scene-centric prototyping testbed.
+//
+// A Testbed assembles the substrates — model store, digi runtime, MQTT
+// broker, REST gateway, kube cluster, trace log, property checker, and
+// scene repository — and exposes the dbox verb set of Table 1:
+//
+//	Run / Stop        run or stop a mock or scene (as a pod)
+//	Check / Watch     inspect or stream a model
+//	Attach / Detach   wire mocks into scenes, scenes into scenes
+//	Edit              set intents (emulating user interaction)
+//	CommitKind        version a mock/scene type in the repository
+//	CommitScene       version a scene subtree as a shareable setup
+//	Push / Pull       share setups via a remote repository
+//	Recreate          instantiate a pulled setup
+//	Replay            replay a recorded trace against live digis
+//
+// The package is deliberately thin over the substrates: scene-centric
+// semantics live in the digi runtime and the kind libraries; this
+// package provides composition, lifecycle, and the workflow verbs.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/digi"
+	"repro/internal/kube"
+	"repro/internal/model"
+	"repro/internal/property"
+	"repro/internal/repo"
+	"repro/internal/rest"
+	"repro/internal/trace"
+)
+
+// NodeSpec declares one simulated machine for the testbed cluster.
+type NodeSpec struct {
+	Name     string
+	Capacity int
+	Zone     string
+}
+
+// ZoneDelay declares a simulated one-way delay between two zones.
+type ZoneDelay struct {
+	A, B  string
+	Delay time.Duration
+}
+
+// Options configures a Testbed. The zero value gives a single-node
+// "laptop" deployment with an in-process broker and gateway on
+// ephemeral loopback ports.
+type Options struct {
+	// Nodes defaults to one node {"laptop", 4096, "local"}.
+	Nodes []NodeSpec
+	// ZoneDelays declares inter-zone network delays.
+	ZoneDelays []ZoneDelay
+	// GatewayZone is the zone the REST gateway (and the application
+	// under test) is considered to run in; requests to mocks on nodes
+	// in other zones incur the inter-zone delay. Defaults to the first
+	// node's zone.
+	GatewayZone string
+	// BrokerAddr / RESTAddr default to "127.0.0.1:0". Empty string
+	// selects the default; "none" disables the listener (in-process
+	// use only).
+	BrokerAddr string
+	RESTAddr   string
+	// LocalRepoDir / RemoteRepoDir, when set, open scene repositories
+	// for commit/push/pull. Unset leaves repository verbs disabled.
+	LocalRepoDir  string
+	RemoteRepoDir string
+	// ReadyTimeout bounds digi startup waits; default 10s.
+	ReadyTimeout time.Duration
+}
+
+// Testbed is one Digibox prototyping environment.
+type Testbed struct {
+	opts Options
+
+	Store    *model.Store
+	Log      *trace.Log
+	Registry *digi.Registry
+	Runtime  *digi.Runtime
+	Broker   *broker.Broker
+	Cluster  *kube.Cluster
+	Gateway  *rest.Gateway
+	Checker  *property.Checker
+
+	localRepo  *repo.Repo
+	remoteRepo *repo.Repo
+
+	mu      sync.Mutex
+	started bool
+	stopped bool
+	// podNode caches digi -> node placements for delay lookups.
+	podNode sync.Map // name -> node name
+}
+
+// New assembles a testbed; call Start to bring it up.
+func New(opts Options) (*Testbed, error) {
+	if len(opts.Nodes) == 0 {
+		opts.Nodes = []NodeSpec{{Name: "laptop", Capacity: 4096, Zone: "local"}}
+	}
+	if opts.GatewayZone == "" {
+		opts.GatewayZone = opts.Nodes[0].Zone
+	}
+	if opts.BrokerAddr == "" {
+		opts.BrokerAddr = "127.0.0.1:0"
+	}
+	if opts.RESTAddr == "" {
+		opts.RESTAddr = "127.0.0.1:0"
+	}
+	if opts.ReadyTimeout <= 0 {
+		opts.ReadyTimeout = 10 * time.Second
+	}
+
+	tb := &Testbed{
+		opts:     opts,
+		Store:    model.NewStore(),
+		Log:      trace.NewLog(),
+		Registry: digi.NewRegistry(),
+	}
+	tb.Runtime = &digi.Runtime{
+		Store:    tb.Store,
+		Log:      tb.Log,
+		Registry: tb.Registry,
+	}
+	tb.Cluster = kube.NewCluster()
+	tb.Cluster.RegisterImage("digi", tb.Runtime.ImageFactory())
+	for _, n := range opts.Nodes {
+		if err := tb.Cluster.AddNode(n.Name, n.Capacity, n.Zone); err != nil {
+			return nil, err
+		}
+	}
+	for _, zd := range opts.ZoneDelays {
+		tb.Cluster.SetZoneDelay(zd.A, zd.B, zd.Delay)
+	}
+	tb.Checker = property.NewChecker(tb.Store, tb.Log)
+
+	if opts.LocalRepoDir != "" {
+		r, err := repo.Open(opts.LocalRepoDir)
+		if err != nil {
+			return nil, err
+		}
+		tb.localRepo = r
+	}
+	if opts.RemoteRepoDir != "" {
+		r, err := repo.Open(opts.RemoteRepoDir)
+		if err != nil {
+			return nil, err
+		}
+		tb.remoteRepo = r
+	}
+	return tb, nil
+}
+
+// Start brings up the broker, cluster, gateway, and checker.
+func (tb *Testbed) Start() error {
+	tb.mu.Lock()
+	if tb.started {
+		tb.mu.Unlock()
+		return nil
+	}
+	tb.started = true
+	tb.mu.Unlock()
+
+	if tb.opts.BrokerAddr != "none" {
+		tb.Broker = broker.NewBroker(nil)
+		if err := tb.Broker.ListenAndServe(tb.opts.BrokerAddr); err != nil {
+			return fmt.Errorf("core: broker: %w", err)
+		}
+		tb.Runtime.Broker = tb.Broker
+	}
+	tb.Cluster.Start()
+	if tb.opts.RESTAddr != "none" {
+		tb.Gateway = &rest.Gateway{
+			Store: tb.Store,
+			Log:   tb.Log,
+			Delay: tb.gatewayDelay,
+		}
+		if err := tb.Gateway.ListenAndServe(tb.opts.RESTAddr); err != nil {
+			return fmt.Errorf("core: gateway: %w", err)
+		}
+	}
+	tb.Checker.Start()
+	return nil
+}
+
+// gatewayDelay computes the simulated one-way delay from the gateway's
+// zone to the node hosting the named digi's pod.
+func (tb *Testbed) gatewayDelay(name string) time.Duration {
+	nodeName, ok := tb.podNode.Load(name)
+	if !ok {
+		pod, err := tb.Cluster.GetPod(podName(name))
+		if err != nil || pod.Status.NodeName == "" {
+			return 0
+		}
+		nodeName = pod.Status.NodeName
+		tb.podNode.Store(name, nodeName)
+	}
+	return tb.Cluster.ZoneDelay(tb.opts.GatewayZone, tb.Cluster.NodeZone(nodeName.(string)))
+}
+
+// Stop tears the testbed down. Safe to call more than once.
+func (tb *Testbed) Stop() {
+	tb.mu.Lock()
+	if !tb.started || tb.stopped {
+		tb.mu.Unlock()
+		return
+	}
+	tb.stopped = true
+	tb.mu.Unlock()
+
+	tb.Checker.Stop()
+	if tb.Gateway != nil {
+		tb.Gateway.Close()
+	}
+	tb.Cluster.Stop()
+	if tb.Broker != nil {
+		tb.Broker.Close()
+	}
+}
+
+// BrokerAddr returns the MQTT listener address ("" if disabled).
+func (tb *Testbed) BrokerAddr() string {
+	if tb.Broker == nil {
+		return ""
+	}
+	return tb.Broker.Addr()
+}
+
+// RESTAddr returns the REST gateway address ("" if disabled).
+func (tb *Testbed) RESTAddr() string {
+	if tb.Gateway == nil {
+		return ""
+	}
+	return tb.Gateway.Addr()
+}
+
+// RESTClient returns a client bound to the gateway.
+func (tb *Testbed) RESTClient() *rest.Client {
+	return &rest.Client{Base: "http://" + tb.RESTAddr()}
+}
+
+// RegisterKind installs a mock/scene kind (a "type" in Table 1 terms).
+func (tb *Testbed) RegisterKind(k *digi.Kind) error {
+	return tb.Registry.Register(k)
+}
+
+// podName is the kube pod name of a digi instance.
+func podName(digiName string) string {
+	return "digi-" + strings.ToLower(digiName)
+}
+
+// Stats summarises testbed state for "dbox check" without arguments.
+type Stats struct {
+	Models      int
+	PodsRunning int
+	PodsPending int
+	Violations  int
+	TraceLen    int
+	Broker      broker.Stats
+}
+
+// Stats returns a state snapshot.
+func (tb *Testbed) Stats() Stats {
+	cs := tb.Cluster.Stats()
+	st := Stats{
+		Models:      len(tb.Store.List()),
+		PodsRunning: cs.PodsRunning,
+		PodsPending: cs.PodsPending,
+		Violations:  len(tb.Checker.Violations()),
+		TraceLen:    tb.Log.Len(),
+	}
+	if tb.Broker != nil {
+		st.Broker = tb.Broker.Stats()
+	}
+	return st
+}
+
+// Names returns all model names, sorted.
+func (tb *Testbed) Names() []string {
+	names := tb.Store.List()
+	sort.Strings(names)
+	return names
+}

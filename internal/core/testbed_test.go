@@ -1,0 +1,451 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/device"
+	"repro/internal/kube"
+	"repro/internal/model"
+	"repro/internal/property"
+	"repro/internal/scene"
+)
+
+// newTestbed builds a started laptop-scale testbed with the full kind
+// libraries registered.
+func newTestbed(t *testing.T, opts Options) *Testbed {
+	t.Helper()
+	tb, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := device.RegisterAll(tb.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.RegisterAll(tb.Registry); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	return tb
+}
+
+func TestRunCheckStopLifecycle(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	if err := tb.Run("Lamp", "L1", nil); err != nil {
+		t.Fatal(err)
+	}
+	doc, err := tb.Check("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Type() != "Lamp" || doc.Name() != "L1" {
+		t.Errorf("doc = %v", doc)
+	}
+	if st := tb.Stats(); st.Models != 1 || st.PodsRunning != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if err := tb.StopDigi("L1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Check("L1"); err == nil {
+		t.Error("stopped digi still present")
+	}
+	if err := tb.StopDigi("L1"); err == nil {
+		t.Error("double stop succeeded")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	if err := tb.Run("NoSuchType", "X", nil); err == nil {
+		t.Error("unregistered type accepted")
+	}
+	if err := tb.Run("Lamp", "L1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Run("Lamp", "L1", nil); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestRunWithConfig(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	if err := tb.Run("Occupancy", "O1", map[string]any{
+		"seed":         int64(7),
+		"interval_ms":  int64(50),
+		"trigger_prob": 1.0,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// With trigger probability 1 the sensor must trigger quickly.
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		d, _ := tb.Check("O1")
+		return d != nil && d.GetBool("triggered")
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEditEnforcesSchema(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	if err := tb.Run("Lamp", "L1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Edit("L1", map[string]any{"power": map[string]any{"intent": "on"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Edit("L1", map[string]any{"power": map[string]any{"intent": "banana"}}); err == nil {
+		t.Error("enum violation accepted")
+	}
+	if err := tb.Edit("ghost", nil); err == nil {
+		t.Error("edit of missing model accepted")
+	}
+	// The running lamp digi converges status onto the valid intent.
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		d, _ := tb.Check("L1")
+		return d != nil && d.GetString("power.status") == "on"
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachSemantics(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	for _, r := range [][2]string{{"Occupancy", "O1"}, {"Room", "R1"}, {"Building", "B1"}} {
+		if err := tb.Run(r[0], r[1], map[string]any{"managed": false}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Attach to non-scene fails.
+	if err := tb.Attach("R1", "O1"); err == nil {
+		t.Error("attach to a mock accepted")
+	}
+	if err := tb.Attach("O1", "O1"); err == nil {
+		t.Error("self attach accepted")
+	}
+	if err := tb.Attach("O1", "R1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Attach("R1", "B1"); err != nil {
+		t.Fatal(err)
+	}
+	// Cycle: B1 -> R1 exists, R1 -> B1 must fail... i.e. attaching B1
+	// under R1 closes the loop.
+	if err := tb.Attach("B1", "R1"); err == nil {
+		t.Error("attach cycle accepted")
+	}
+	// Attached child is unmanaged.
+	d, _ := tb.Check("O1")
+	if d.Managed() {
+		t.Error("attached child still managed")
+	}
+	r, _ := tb.Check("R1")
+	if !containsString(r.Attach(), "O1") {
+		t.Errorf("R1 attach = %v", r.Attach())
+	}
+	// Detach restores management.
+	if err := tb.Detach("O1", "R1"); err != nil {
+		t.Fatal(err)
+	}
+	d, _ = tb.Check("O1")
+	if !d.Managed() {
+		t.Error("detached child not re-managed")
+	}
+	if err := tb.Detach("O1", "R1"); err == nil {
+		t.Error("double detach accepted")
+	}
+}
+
+func TestStopDigiPrunesAttachRefs(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Room", "R1", map[string]any{"managed": false})
+	tb.Run("Occupancy", "O1", nil)
+	tb.Attach("O1", "R1")
+	if err := tb.StopDigi("O1"); err != nil {
+		t.Fatal(err)
+	}
+	r, _ := tb.Check("R1")
+	if containsString(r.Attach(), "O1") {
+		t.Errorf("dangling attach ref: %v", r.Attach())
+	}
+}
+
+// TestFig6Hierarchy reproduces the paper's Fig. 6: ConfCenter building
+// with MeetingRoom and Kitchen, occupancy sensors and a lamp, and
+// asserts the ensemble consistency the scene-centric design provides.
+func TestFig6Hierarchy(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	mustRun := func(typ, name string, cfg map[string]any) {
+		t.Helper()
+		if err := tb.Run(typ, name, cfg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustRun("Occupancy", "O1", nil)
+	mustRun("Underdesk", "D1", nil)
+	mustRun("Lamp", "L1", nil)
+	mustRun("Occupancy", "O2", nil)
+	// Rooms unmanaged: the building drives presence deterministically.
+	mustRun("Room", "MeetingRoom", map[string]any{"managed": false})
+	mustRun("Room", "Kitchen", map[string]any{"managed": false})
+	mustRun("Building", "ConfCenter", map[string]any{"managed": false})
+
+	for _, att := range [][2]string{
+		{"O1", "MeetingRoom"}, {"D1", "MeetingRoom"}, {"L1", "MeetingRoom"},
+		{"O2", "Kitchen"},
+		{"MeetingRoom", "ConfCenter"}, {"Kitchen", "ConfCenter"},
+	} {
+		if err := tb.Attach(att[0], att[1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Building assigns 2 humans -> both rooms occupied; all sensors
+	// consistent; lamp on in occupied meeting room.
+	if err := tb.Edit("ConfCenter", map[string]any{"num_human": 2}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(10*time.Second, func() bool {
+		o1, _ := tb.Check("O1")
+		o2, _ := tb.Check("O2")
+		l1, _ := tb.Check("L1")
+		return o1 != nil && o2 != nil && l1 != nil &&
+			o1.GetBool("triggered") && o2.GetBool("triggered") &&
+			l1.GetString("power.status") == "on"
+	}); err != nil {
+		st := map[string]any{}
+		for _, n := range tb.Names() {
+			d, _ := tb.Check(n)
+			st[n] = map[string]any(d)
+		}
+		t.Fatalf("%v; state: %v", err, st)
+	}
+
+	// 0 humans -> everything clears, desk sensor cannot stay triggered.
+	if err := tb.Edit("ConfCenter", map[string]any{"num_human": 0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(10*time.Second, func() bool {
+		o1, _ := tb.Check("O1")
+		d1, _ := tb.Check("D1")
+		l1, _ := tb.Check("L1")
+		return o1 != nil && !o1.GetBool("triggered") &&
+			d1 != nil && !d1.GetBool("triggered") &&
+			l1 != nil && l1.GetString("power.status") == "off"
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyCheckingThroughTestbed(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Lamp", "L1", nil)
+	tb.Run("Occupancy", "O1", map[string]any{"managed": false})
+	if err := tb.AddProperty(&property.Property{
+		Name: "lamp-off-when-unoccupied",
+		Kind: property.Never,
+		Cond: property.Condition{
+			{Model: "O1", Path: "triggered", Op: property.Eq, Value: false},
+			{Model: "L1", Path: "power.status", Op: property.Eq, Value: "on"},
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Force the disallowed state: sensor clear, lamp on.
+	tb.Edit("L1", map[string]any{"power": map[string]any{"intent": "on"}})
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		return len(tb.Violations()) > 0
+	}); err != nil {
+		t.Fatal("no violation reported")
+	}
+}
+
+func TestRESTThroughTestbed(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Lamp", "L1", nil)
+	cli := tb.RESTClient()
+	status, err := cli.Status("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if status["power"] != "off" {
+		t.Errorf("status = %v", status)
+	}
+	// App sends a command over REST; the digi actuates it.
+	if err := cli.Patch("L1", map[string]any{"power": map[string]any{"intent": "on"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		s, err := cli.Status("L1")
+		return err == nil && s["power"] == "on"
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZoneDelayAffectsGateway(t *testing.T) {
+	tb := newTestbed(t, Options{
+		Nodes: []NodeSpec{{Name: "ec2-a", Capacity: 100, Zone: "us-east"}},
+		ZoneDelays: []ZoneDelay{
+			{A: "client", B: "us-east", Delay: 20 * time.Millisecond},
+		},
+		GatewayZone: "client",
+	})
+	tb.Run("Lamp", "L1", nil)
+	cli := tb.RESTClient()
+	start := time.Now()
+	if _, err := cli.Status("L1"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("request took %v, want >= 40ms (2 x 20ms zone delay)", elapsed)
+	}
+}
+
+func TestMQTTThroughTestbed(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Occupancy", "O1", map[string]any{"interval_ms": int64(50)})
+	if tb.BrokerAddr() == "" {
+		t.Fatal("broker not listening")
+	}
+	// Paper Fig. 2: the app subscribes to mock status over MQTT.
+	got := make(chan struct{}, 1)
+	cli, err := broker.Dial(tb.BrokerAddr(), &broker.ClientOptions{ClientID: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cli.Close() })
+	if err := cli.Subscribe("digibox/O1/status", 0, func(_ broker.Message) {
+		select {
+		case got <- struct{}{}:
+		default:
+		}
+	}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-got:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no MQTT status from running mock")
+	}
+}
+
+func TestSubtree(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Room", "R1", map[string]any{"managed": false})
+	tb.Run("Occupancy", "O1", nil)
+	tb.Run("Lamp", "L1", nil)
+	tb.Attach("O1", "R1")
+	tb.Attach("L1", "R1")
+	names, err := tb.Subtree("R1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[len(names)-1] != "R1" {
+		t.Errorf("subtree = %v (want children before root)", names)
+	}
+	if _, err := tb.Subtree("ghost"); err == nil {
+		t.Error("missing root accepted")
+	}
+}
+
+func TestSchemaCodecRoundTrip(t *testing.T) {
+	for _, k := range device.All() {
+		data, err := EncodeSchema(k.Schema)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Type(), err)
+		}
+		back, err := DecodeSchema(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v\n%s", k.Type(), err, data)
+		}
+		data2, err := EncodeSchema(back)
+		if err != nil {
+			t.Fatalf("%s: re-encode: %v", k.Type(), err)
+		}
+		if string(data) != string(data2) {
+			t.Errorf("%s: schema codec not canonical:\n%s\nvs\n%s", k.Type(), data, data2)
+		}
+	}
+	if _, err := DecodeSchema([]byte("- not a schema")); err == nil {
+		t.Error("bad schema doc accepted")
+	}
+}
+
+func TestFormatDoc(t *testing.T) {
+	d := model.Doc{}
+	d.SetMeta(model.Meta{Type: "Lamp", Name: "L1"})
+	out := FormatDoc(d)
+	if !strings.Contains(out, "type: Lamp") {
+		t.Errorf("FormatDoc = %q", out)
+	}
+}
+
+func TestReattachMobility(t *testing.T) {
+	tb := newTestbed(t, Options{})
+	tb.Run("Street", "StreetA", map[string]any{"managed": false})
+	tb.Run("Street", "StreetB", map[string]any{"managed": false})
+	tb.Run("GPSTracker", "Phone1", nil)
+	tb.Attach("Phone1", "StreetA")
+	tb.Edit("StreetA", map[string]any{"traffic": 0.9})
+	tb.Edit("StreetB", map[string]any{"traffic": 0.0})
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		d, _ := tb.Check("Phone1")
+		return d != nil && d.GetBool("moving")
+	}); err != nil {
+		t.Fatal("tracker not moving on busy street")
+	}
+	if err := tb.Reattach("Phone1", "StreetA", "StreetB"); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(5*time.Second, func() bool {
+		d, _ := tb.Check("Phone1")
+		return d != nil && !d.GetBool("moving")
+	}); err != nil {
+		t.Fatal("tracker still moving after re-attach to quiet street")
+	}
+}
+
+func TestNodeFailureKeepsEnsembleAlive(t *testing.T) {
+	tb := newTestbed(t, Options{
+		Nodes: []NodeSpec{
+			{Name: "n1", Capacity: 100, Zone: "local"},
+			{Name: "n2", Capacity: 100, Zone: "local"},
+		},
+	})
+	tb.Run("Occupancy", "O1", nil)
+	tb.Run("Room", "R1", map[string]any{"managed": false})
+	tb.Attach("O1", "R1")
+
+	// Find whichever node hosts the room's pod and fail it.
+	pod, err := tb.Cluster.GetPod("digi-r1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	failed := pod.Status.NodeName
+	if err := tb.Cluster.SetNodeReady(failed, false); err != nil {
+		t.Fatal(err)
+	}
+	// The digi is rescheduled onto the surviving node and resumes
+	// coordinating: a scene event still drives the sensor.
+	if err := tb.WaitConverged(10*time.Second, func() bool {
+		p, err := tb.Cluster.GetPod("digi-r1")
+		return err == nil && p.Status.Phase == kube.PodRunning && p.Status.NodeName != failed
+	}); err != nil {
+		t.Fatal("room digi not rescheduled:", err)
+	}
+	if err := tb.Edit("R1", map[string]any{"human_presence": true}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.WaitConverged(10*time.Second, func() bool {
+		d, _ := tb.Check("O1")
+		return d != nil && d.GetBool("triggered")
+	}); err != nil {
+		t.Fatal("ensemble dead after node failure:", err)
+	}
+}

@@ -1,0 +1,635 @@
+// Package ctl implements the dboxd control API: the HTTP surface the
+// dbox command-line tool (Table 1) drives a running testbed through.
+// The device-facing REST gateway (internal/rest) serves applications;
+// this API serves the developer.
+package ctl
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Server exposes a testbed over HTTP.
+type Server struct {
+	TB *core.Testbed
+
+	httpServer *http.Server
+	listener   net.Listener
+}
+
+// RunRequest is the body of POST /ctl/run.
+type RunRequest struct {
+	Type   string         `json:"type"`
+	Name   string         `json:"name"`
+	Config map[string]any `json:"config,omitempty"`
+}
+
+// NameRequest is the body of verbs addressing one digi.
+type NameRequest struct {
+	Name string `json:"name"`
+}
+
+// AttachRequest is the body of POST /ctl/attach.
+type AttachRequest struct {
+	Child  string `json:"child"`
+	Parent string `json:"parent"`
+	Detach bool   `json:"detach,omitempty"`
+}
+
+// EditRequest is the body of POST /ctl/edit.
+type EditRequest struct {
+	Name  string         `json:"name"`
+	Patch map[string]any `json:"patch"`
+}
+
+// CommitRequest is the body of POST /ctl/commit.
+type CommitRequest struct {
+	Name string `json:"name"`
+	// Kind commits a type definition instead of a scene setup.
+	Kind bool `json:"kind,omitempty"`
+}
+
+// ShareRequest is the body of POST /ctl/push and /ctl/pull.
+type ShareRequest struct {
+	Name string `json:"name"`
+}
+
+// RecreateRequest is the body of POST /ctl/recreate.
+type RecreateRequest struct {
+	Name    string `json:"name"`
+	Version string `json:"version,omitempty"`
+}
+
+// ReplayRequest is the body of POST /ctl/replay: replay a shared trace
+// by repository name, at the given speed (0 = fast).
+type ReplayRequest struct {
+	Trace   string  `json:"trace"`
+	Version string  `json:"version,omitempty"`
+	Speed   float64 `json:"speed,omitempty"`
+}
+
+// CheckTraceRequest is the body of POST /ctl/checktrace: evaluate the
+// registered scene properties offline against a shared trace.
+type CheckTraceRequest struct {
+	Trace   string `json:"trace"`
+	Version string `json:"version,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
+	data, err := io.ReadAll(io.LimitReader(r.Body, 8<<20))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return false
+	}
+	if err := json.Unmarshal(data, dst); err != nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %w", err))
+		return false
+	}
+	return true
+}
+
+// Handler returns the control API handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /ctl/status", s.handleStatus)
+	mux.HandleFunc("GET /ctl/list", s.handleList)
+	mux.HandleFunc("POST /ctl/run", s.handleRun)
+	mux.HandleFunc("POST /ctl/stop", s.handleStop)
+	mux.HandleFunc("GET /ctl/check/{name}", s.handleCheck)
+	mux.HandleFunc("GET /ctl/watch/{name}", s.handleWatch)
+	mux.HandleFunc("POST /ctl/attach", s.handleAttach)
+	mux.HandleFunc("POST /ctl/edit", s.handleEdit)
+	mux.HandleFunc("POST /ctl/commit", s.handleCommit)
+	mux.HandleFunc("POST /ctl/push", s.handlePush)
+	mux.HandleFunc("POST /ctl/pull", s.handlePull)
+	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
+	mux.HandleFunc("POST /ctl/replay", s.handleReplay)
+	mux.HandleFunc("POST /ctl/checktrace", s.handleCheckTrace)
+	mux.HandleFunc("GET /ctl/trace", s.handleTraceDownload)
+	mux.HandleFunc("POST /ctl/trace/push", s.handleTracePush)
+	return mux
+}
+
+// ListenAndServe binds addr and serves in the background.
+func (s *Server) ListenAndServe(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	s.listener = ln
+	s.httpServer = &http.Server{Handler: s.Handler()}
+	go s.httpServer.Serve(ln)
+	return nil
+}
+
+// Addr returns the bound address.
+func (s *Server) Addr() string {
+	if s.listener == nil {
+		return ""
+	}
+	return s.listener.Addr().String()
+}
+
+// Close stops the control server (not the testbed).
+func (s *Server) Close() error {
+	if s.httpServer == nil {
+		return nil
+	}
+	return s.httpServer.Close()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st := s.TB.Stats()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"models":       st.Models,
+		"pods_running": st.PodsRunning,
+		"pods_pending": st.PodsPending,
+		"violations":   st.Violations,
+		"trace_len":    st.TraceLen,
+		"broker_addr":  s.TB.BrokerAddr(),
+		"rest_addr":    s.TB.RESTAddr(),
+	})
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"models": s.TB.Names()})
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req RunRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.Run(req.Type, req.Name, req.Config); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "running", "name": req.Name})
+}
+
+func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
+	var req NameRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.StopDigi(req.Name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "stopped", "name": req.Name})
+}
+
+func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
+	doc, err := s.TB.Check(r.PathValue("name"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any(doc))
+}
+
+// handleWatch streams model updates as JSONL until the client goes
+// away or max_updates is reached.
+func (s *Server) handleWatch(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	if _, err := s.TB.Check(name); err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	maxUpdates := 0
+	if v, err := strconv.Atoi(r.URL.Query().Get("max")); err == nil && v > 0 {
+		maxUpdates = v
+	}
+	flusher, _ := w.(http.Flusher)
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	watcher := s.TB.Watch(name)
+	defer watcher.Close()
+	enc := json.NewEncoder(w)
+	sent := 0
+	for {
+		select {
+		case u, ok := <-watcher.C:
+			if !ok {
+				return
+			}
+			out := map[string]any{"gen": u.Gen, "deleted": u.Deleted, "doc": map[string]any(u.Doc)}
+			if err := enc.Encode(out); err != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+			sent++
+			if maxUpdates > 0 && sent >= maxUpdates {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+func (s *Server) handleAttach(w http.ResponseWriter, r *http.Request) {
+	var req AttachRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var err error
+	if req.Detach {
+		err = s.TB.Detach(req.Child, req.Parent)
+	} else {
+		err = s.TB.Attach(req.Child, req.Parent)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleEdit(w http.ResponseWriter, r *http.Request) {
+	var req EditRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.Edit(req.Name, req.Patch); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
+	var req CommitRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	var version string
+	var err error
+	if req.Kind {
+		version, err = s.TB.CommitKind(req.Name)
+	} else {
+		version, err = s.TB.CommitScene(req.Name)
+	}
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"version": version})
+}
+
+func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
+	var req ShareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.Push(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "pushed"})
+}
+
+func (s *Server) handlePull(w http.ResponseWriter, r *http.Request) {
+	var req ShareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.Pull(req.Name); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "pulled"})
+}
+
+func (s *Server) handleRecreate(w http.ResponseWriter, r *http.Request) {
+	var req RecreateRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	if err := s.TB.Recreate(req.Name, req.Version); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "recreated"})
+}
+
+func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
+	var req ReplayRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	recs, err := s.TB.PullTrace(req.Trace, req.Version)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := s.TB.Replay(recs, req.Speed); err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"status": "replayed", "records": len(recs)})
+}
+
+func (s *Server) handleCheckTrace(w http.ResponseWriter, r *http.Request) {
+	var req CheckTraceRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	recs, err := s.TB.PullTrace(req.Trace, req.Version)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	violations, err := s.TB.CheckTraceRecords(recs)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	out := make([]map[string]any, 0, len(violations))
+	for _, v := range violations {
+		out = append(out, map[string]any{
+			"property": v.Property,
+			"detail":   v.Detail,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"records":    len(recs),
+		"violations": out,
+	})
+}
+
+func (s *Server) handleTraceDownload(w http.ResponseWriter, r *http.Request) {
+	data, err := s.TB.Log.ArchiveBytes()
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/zip")
+	w.Header().Set("Content-Disposition", `attachment; filename="trace.zip"`)
+	w.Write(data)
+}
+
+func (s *Server) handleTracePush(w http.ResponseWriter, r *http.Request) {
+	var req ShareRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	version, err := s.TB.PushTrace(req.Name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"version": version})
+}
+
+// Client is the dbox-side client of the control API.
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 60 * time.Second}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	httpResp, err := c.http().Post(c.Base+path, "application/json", bytesReader(data))
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 8<<20))
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("dboxd: %s", e.Error)
+		}
+		return fmt.Errorf("dboxd: %s returned %d", path, httpResp.StatusCode)
+	}
+	if resp != nil {
+		return json.Unmarshal(body, resp)
+	}
+	return nil
+}
+
+func (c *Client) get(path string, resp any) error {
+	httpResp, err := c.http().Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer httpResp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(httpResp.Body, 32<<20))
+	if err != nil {
+		return err
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		var e struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &e) == nil && e.Error != "" {
+			return fmt.Errorf("dboxd: %s", e.Error)
+		}
+		return fmt.Errorf("dboxd: %s returned %d", path, httpResp.StatusCode)
+	}
+	if raw, ok := resp.(*[]byte); ok {
+		*raw = body
+		return nil
+	}
+	if resp != nil {
+		return json.Unmarshal(body, resp)
+	}
+	return nil
+}
+
+// Run issues dbox run.
+func (c *Client) Run(typ, name string, config map[string]any) error {
+	return c.post("/ctl/run", RunRequest{Type: typ, Name: name, Config: config}, nil)
+}
+
+// Stop issues dbox stop.
+func (c *Client) Stop(name string) error {
+	return c.post("/ctl/stop", NameRequest{Name: name}, nil)
+}
+
+// Check issues dbox check.
+func (c *Client) Check(name string) (model.Doc, error) {
+	var m map[string]any
+	if err := c.get("/ctl/check/"+name, &m); err != nil {
+		return nil, err
+	}
+	return model.Doc(m), nil
+}
+
+// List returns all model names.
+func (c *Client) List() ([]string, error) {
+	var resp struct {
+		Models []string `json:"models"`
+	}
+	if err := c.get("/ctl/list", &resp); err != nil {
+		return nil, err
+	}
+	return resp.Models, nil
+}
+
+// Status returns the daemon status map.
+func (c *Client) Status() (map[string]any, error) {
+	var m map[string]any
+	if err := c.get("/ctl/status", &m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// Attach issues dbox attach (or detach).
+func (c *Client) Attach(child, parent string, detach bool) error {
+	return c.post("/ctl/attach", AttachRequest{Child: child, Parent: parent, Detach: detach}, nil)
+}
+
+// Edit issues dbox edit.
+func (c *Client) Edit(name string, patch map[string]any) error {
+	return c.post("/ctl/edit", EditRequest{Name: name, Patch: patch}, nil)
+}
+
+// Commit issues dbox commit; kind selects type vs scene commit.
+func (c *Client) Commit(name string, kind bool) (string, error) {
+	var resp struct {
+		Version string `json:"version"`
+	}
+	if err := c.post("/ctl/commit", CommitRequest{Name: name, Kind: kind}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Version, nil
+}
+
+// Push issues dbox push.
+func (c *Client) Push(name string) error {
+	return c.post("/ctl/push", ShareRequest{Name: name}, nil)
+}
+
+// Pull issues dbox pull.
+func (c *Client) Pull(name string) error {
+	return c.post("/ctl/pull", ShareRequest{Name: name}, nil)
+}
+
+// Recreate instantiates a pulled setup.
+func (c *Client) Recreate(name, version string) error {
+	return c.post("/ctl/recreate", RecreateRequest{Name: name, Version: version}, nil)
+}
+
+// Replay issues dbox replay against a shared trace.
+func (c *Client) Replay(traceName, version string, speed float64) (int, error) {
+	var resp struct {
+		Records int `json:"records"`
+	}
+	err := c.post("/ctl/replay", ReplayRequest{Trace: traceName, Version: version, Speed: speed}, &resp)
+	return resp.Records, err
+}
+
+// CheckTrace evaluates registered properties against a shared trace,
+// returning (property, detail) pairs per violation.
+func (c *Client) CheckTrace(traceName, version string) (records int, violations []map[string]any, err error) {
+	var resp struct {
+		Records    int              `json:"records"`
+		Violations []map[string]any `json:"violations"`
+	}
+	err = c.post("/ctl/checktrace", CheckTraceRequest{Trace: traceName, Version: version}, &resp)
+	return resp.Records, resp.Violations, err
+}
+
+// DownloadTrace fetches the daemon's trace archive.
+func (c *Client) DownloadTrace() ([]trace.Record, []byte, error) {
+	var raw []byte
+	if err := c.get("/ctl/trace", &raw); err != nil {
+		return nil, nil, err
+	}
+	recs, err := trace.ParseArchiveBytes(raw)
+	return recs, raw, err
+}
+
+// PushTrace publishes the daemon's current trace under a name.
+func (c *Client) PushTrace(name string) (string, error) {
+	var resp struct {
+		Version string `json:"version"`
+	}
+	if err := c.post("/ctl/trace/push", ShareRequest{Name: name}, &resp); err != nil {
+		return "", err
+	}
+	return resp.Version, nil
+}
+
+// Watch streams up to max updates of a model, invoking fn per update.
+func (c *Client) Watch(name string, max int, fn func(gen uint64, doc model.Doc, deleted bool)) error {
+	url := fmt.Sprintf("%s/ctl/watch/%s?max=%d", c.Base, name, max)
+	resp, err := c.http().Get(url)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("dboxd: watch returned %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var u struct {
+			Gen     uint64         `json:"gen"`
+			Deleted bool           `json:"deleted"`
+			Doc     map[string]any `json:"doc"`
+		}
+		if err := dec.Decode(&u); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+		fn(u.Gen, model.Doc(u.Doc), u.Deleted)
+	}
+}
+
+func bytesReader(b []byte) io.Reader { return &sliceReader{data: b} }
+
+type sliceReader struct {
+	data []byte
+	pos  int
+}
+
+func (r *sliceReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}

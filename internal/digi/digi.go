@@ -1,0 +1,317 @@
+// Package digi implements the digi runtime: the execution substrate
+// that runs each mock and scene controller as a small reconciler, the
+// role dSpace plays in the paper's deployment (§4).
+//
+// A Kind bundles a model schema with two handlers mirroring the dbox
+// Python library of Fig. 4/5:
+//
+//   - Loop is the event generator (the @dbox.loop handler). It runs
+//     periodically while the model is managed and mutates a working
+//     copy of the digi's own model; the runtime diffs, commits, and
+//     logs the result as an event.
+//   - Sim is the simulation handler (the @on.model handler). It runs
+//     whenever the digi's own model — or, for scenes, an attached
+//     child's model — changes. Mocks use it to derive status from
+//     intent and publish messages; scenes use it to coordinate the
+//     models of attached mocks and sub-scenes (ensemble support).
+//
+// Sim handlers must be convergent: writes they make re-trigger Sim,
+// and the fixpoint is reached when a run produces no further changes
+// (the model store suppresses no-op commits, which guarantees
+// termination for idempotent handlers).
+package digi
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// Atts groups the attached digis' models by kind then name, the
+// argument shape of scene simulation handlers in Fig. 5
+// (atts.get("Occupancy", {})). Handlers may mutate the documents;
+// the runtime commits the mutations to the respective models.
+type Atts map[string]map[string]model.Doc
+
+// Get returns the attached models of one kind (possibly nil).
+func (a Atts) Get(kind string) map[string]model.Doc { return a[kind] }
+
+// Names returns the attached instance names of one kind, sorted.
+func (a Atts) Names(kind string) []string {
+	m := a[kind]
+	names := make([]string, 0, len(m))
+	for n := range m {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// LoopFunc is an event-generator handler. It mutates work in place;
+// the runtime commits the diff.
+type LoopFunc func(c *Ctx, work model.Doc) error
+
+// SimFunc is a simulation handler. It mutates work and atts in place;
+// the runtime commits the diffs.
+type SimFunc func(c *Ctx, work model.Doc, atts Atts) error
+
+// Kind defines a mock or scene type: its model schema plus behaviour.
+type Kind struct {
+	Schema *model.Schema
+	// DefaultInterval is the Loop period when the model's meta config
+	// does not override it with interval_ms. Zero means 500ms.
+	DefaultInterval time.Duration
+	Loop            LoopFunc
+	Sim             SimFunc
+}
+
+// Scene reports whether this kind is a scene controller.
+func (k *Kind) Scene() bool { return k.Schema != nil && k.Schema.Scene }
+
+// Type returns the kind's type name.
+func (k *Kind) Type() string {
+	if k.Schema == nil {
+		return ""
+	}
+	return k.Schema.Type
+}
+
+// Registry maps type names to Kinds. Safe for concurrent use.
+type Registry struct {
+	mu    sync.RWMutex
+	kinds map[string]*Kind
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{kinds: map[string]*Kind{}}
+}
+
+// Register installs a kind; re-registering a type replaces it (that is
+// what "dbox commit <type>" does to update a kind).
+func (r *Registry) Register(k *Kind) error {
+	if k.Schema == nil || k.Schema.Type == "" {
+		return fmt.Errorf("digi: kind needs a schema with a type")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.kinds[k.Schema.Type] = k
+	return nil
+}
+
+// Get looks a kind up by type name.
+func (r *Registry) Get(typ string) (*Kind, bool) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	k, ok := r.kinds[typ]
+	return k, ok
+}
+
+// Types returns all registered type names, sorted.
+func (r *Registry) Types() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]string, 0, len(r.kinds))
+	for t := range r.kinds {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Runtime carries the shared substrate every digi runs against.
+type Runtime struct {
+	Store    *model.Store
+	Log      *trace.Log
+	Registry *Registry
+	// Broker, when non-nil, receives mock status publishes in-process.
+	Broker *broker.Broker
+	// TopicPrefix prefixes publish topics; default "digibox".
+	TopicPrefix string
+
+	readyMu sync.Mutex
+	ready   map[string]chan struct{}
+}
+
+func (rt *Runtime) readyCh(name string) chan struct{} {
+	rt.readyMu.Lock()
+	defer rt.readyMu.Unlock()
+	if rt.ready == nil {
+		rt.ready = map[string]chan struct{}{}
+	}
+	ch, ok := rt.ready[name]
+	if !ok {
+		ch = make(chan struct{})
+		rt.ready[name] = ch
+	}
+	return ch
+}
+
+func (rt *Runtime) markReady(name string) {
+	ch := rt.readyCh(name)
+	select {
+	case <-ch:
+		// already ready (digi restart)
+	default:
+		close(ch)
+	}
+}
+
+// WaitReady blocks until the named digi's reconciler is watching its
+// model (so no subsequent update can be missed), or the timeout
+// elapses. Testbeds use this between starting a digi and driving it.
+func (rt *Runtime) WaitReady(name string, timeout time.Duration) error {
+	select {
+	case <-rt.readyCh(name):
+		return nil
+	case <-time.After(timeout):
+		return fmt.Errorf("digi: %s not ready after %v", name, timeout)
+	}
+}
+
+func (rt *Runtime) topic(name string) string {
+	prefix := rt.TopicPrefix
+	if prefix == "" {
+		prefix = "digibox"
+	}
+	return prefix + "/" + name + "/status"
+}
+
+// Ctx is the handler-visible context of one digi instance.
+type Ctx struct {
+	Name string
+	Type string
+	// Rand is seeded from meta config "seed" (or the instance name) so
+	// runs are reproducible.
+	Rand *rand.Rand
+
+	rt   *Runtime
+	kind *Kind
+	ctx  context.Context
+}
+
+// Context returns the digi's lifecycle context (cancelled on stop).
+func (c *Ctx) Context() context.Context { return c.ctx }
+
+// Config reads a meta config value from the digi's current model.
+func (c *Ctx) Config(key string) (any, bool) {
+	doc, _, ok := c.rt.Store.Get(c.Name)
+	if !ok {
+		return nil, false
+	}
+	return doc.Get("meta." + key)
+}
+
+// ConfigFloat reads a float meta config value with a default.
+func (c *Ctx) ConfigFloat(key string, def float64) float64 {
+	v, ok := c.Config(key)
+	if !ok {
+		return def
+	}
+	switch t := v.(type) {
+	case float64:
+		return t
+	case int64:
+		return float64(t)
+	}
+	return def
+}
+
+// ConfigInt reads an int meta config value with a default.
+func (c *Ctx) ConfigInt(key string, def int64) int64 {
+	v, ok := c.Config(key)
+	if !ok {
+		return def
+	}
+	switch t := v.(type) {
+	case int64:
+		return t
+	case float64:
+		return int64(t)
+	}
+	return def
+}
+
+// ConfigBool reads a bool meta config value with a default.
+func (c *Ctx) ConfigBool(key string, def bool) bool {
+	v, ok := c.Config(key)
+	if !ok {
+		return def
+	}
+	b, ok := v.(bool)
+	if !ok {
+		return def
+	}
+	return b
+}
+
+// ConfigDuration reads a "<key>_ms" meta config value as a duration.
+func (c *Ctx) ConfigDuration(key string, def time.Duration) time.Duration {
+	ms := c.ConfigInt(key+"_ms", -1)
+	if ms < 0 {
+		return def
+	}
+	return time.Duration(ms) * time.Millisecond
+}
+
+// ActuationDelay returns the simulated device actuation latency
+// (meta config actuation_delay_ms; §6 "hardware intricacies").
+func (c *Ctx) ActuationDelay() time.Duration {
+	return c.ConfigDuration("actuation_delay", 0)
+}
+
+// Sleep pauses for d or until the digi stops, reporting whether the
+// full duration elapsed.
+func (c *Ctx) Sleep(d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-c.ctx.Done():
+		return false
+	}
+}
+
+// Publish sends a status message to the broker on the digi's topic
+// (digibox/<name>/status) and logs it. Fields are JSON-encoded with
+// deterministic key order.
+func (c *Ctx) Publish(fields map[string]any) error {
+	payload, err := json.Marshal(fields)
+	if err != nil {
+		return fmt.Errorf("digi: publish %s: %w", c.Name, err)
+	}
+	topic := c.rt.topic(c.Name)
+	c.rt.Log.Message(c.Name, topic, string(payload), "send")
+	if c.rt.Broker != nil {
+		return c.rt.Broker.Publish(topic, payload, true)
+	}
+	return nil
+}
+
+// NewTestCtx builds a handler context directly, without a running
+// reconciler. It exists so kind libraries (device, scene) can unit-test
+// their Loop/Sim handlers in isolation.
+func NewTestCtx(name, typ string, rt *Runtime, rnd *rand.Rand, ctx context.Context) *Ctx {
+	return &Ctx{Name: name, Type: typ, Rand: rnd, rt: rt, ctx: ctx}
+}
+
+// seedFor derives a deterministic per-instance seed.
+func seedFor(name string, doc model.Doc) int64 {
+	if v, ok := doc.GetInt("meta.seed"); ok {
+		return v
+	}
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return int64(h.Sum64())
+}

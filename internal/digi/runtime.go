@@ -1,0 +1,272 @@
+package digi
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/kube"
+	"repro/internal/model"
+)
+
+// Workload builds the kube workload that runs one digi instance. The
+// instance's model must already exist in the runtime's store; the
+// workload reconciles until its context is cancelled.
+func (rt *Runtime) Workload(name string) kube.Workload {
+	return kube.WorkloadFunc(func(ctx context.Context) error {
+		return rt.run(ctx, name)
+	})
+}
+
+// ImageFactory adapts the runtime to the cluster image registry: the
+// pod env carries the instance name under "name".
+func (rt *Runtime) ImageFactory() kube.ImageFactory {
+	return func(env map[string]any) (kube.Workload, error) {
+		name, _ := env["name"].(string)
+		if name == "" {
+			return nil, fmt.Errorf("digi: image env needs a name")
+		}
+		return rt.Workload(name), nil
+	}
+}
+
+// reconciler is the single-goroutine state machine of one digi.
+type reconciler struct {
+	rt   *Runtime
+	name string
+	kind *Kind
+	c    *Ctx
+
+	// attach is the current child set (scene kinds only), updated when
+	// the digi's own model changes. Guarded by mu because the store
+	// watcher filter reads it from the broadcast path.
+	mu     sync.Mutex
+	attach map[string]bool
+}
+
+func (rt *Runtime) run(ctx context.Context, name string) error {
+	doc, _, ok := rt.Store.Get(name)
+	if !ok {
+		return fmt.Errorf("digi: model %q not found", name)
+	}
+	kind, ok := rt.Registry.Get(doc.Type())
+	if !ok {
+		return fmt.Errorf("digi: kind %q not registered", doc.Type())
+	}
+
+	r := &reconciler{
+		rt:     rt,
+		name:   name,
+		kind:   kind,
+		attach: map[string]bool{},
+	}
+	r.c = &Ctx{
+		Name: name,
+		Type: doc.Type(),
+		Rand: rand.New(rand.NewSource(seedFor(name, doc))),
+		rt:   rt,
+		kind: kind,
+		ctx:  ctx,
+	}
+	r.setAttach(doc.Attach())
+
+	// One watcher covers the digi's own model plus (for scenes) all
+	// currently attached children; the filter reads the live attach
+	// set so dynamic re-attach (device mobility, §5) works without
+	// re-subscribing.
+	w := rt.Store.Watch(func(u model.Update) bool {
+		if u.Name == name {
+			return true
+		}
+		r.mu.Lock()
+		ok := r.attach[u.Name]
+		r.mu.Unlock()
+		return ok
+	})
+	defer w.Close()
+
+	interval := kind.DefaultInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if d := r.c.ConfigDuration("interval", interval); d > 0 {
+		interval = d
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	// The watcher is registered: no subsequent update can be missed.
+	rt.markReady(name)
+
+	// Log the initial model snapshot so traces are self-contained
+	// (replay and offline property checking reconstruct state without
+	// the original testbed).
+	if snap, _, ok := rt.Store.Get(name); ok {
+		rt.Log.Action(name, snap.Type(), model.Flatten(snap), nil)
+	}
+
+	// Initial simulation pass so derived state is consistent from the
+	// start (e.g. lamp intensity.status derived from power at boot).
+	r.simulate()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-ticker.C:
+			r.tick()
+		case u, ok := <-w.C:
+			if !ok {
+				return nil
+			}
+			r.handleUpdate(u)
+		}
+	}
+}
+
+func (r *reconciler) setAttach(children []string) {
+	next := make(map[string]bool, len(children))
+	for _, c := range children {
+		next[c] = true
+	}
+	r.mu.Lock()
+	r.attach = next
+	r.mu.Unlock()
+}
+
+// tick fires the event generator while the model is managed and the
+// simulated device is not offline (fault injection).
+func (r *reconciler) tick() {
+	if r.kind.Loop == nil {
+		return
+	}
+	doc, _, ok := r.rt.Store.Get(r.name)
+	if !ok {
+		return
+	}
+	if !doc.Managed() || doc.GetBool("meta.offline") {
+		return
+	}
+	work := doc.DeepCopy()
+	if err := r.kind.Loop(r.c, work); err != nil {
+		r.rt.Log.Violation(r.name, "loop-error", err.Error())
+		return
+	}
+	changes := model.Diff(doc, work)
+	if len(changes) == 0 {
+		return
+	}
+	fields := map[string]any{}
+	for _, ch := range changes {
+		if ch.Op == model.OpSet {
+			fields[ch.Path] = ch.New
+		}
+	}
+	r.rt.Log.Event(r.name, r.c.Type, fields)
+	r.rt.Store.Apply(r.name, func(d model.Doc) error {
+		d.ApplyChanges(changes)
+		return nil
+	})
+}
+
+// handleUpdate reacts to a committed change of the digi's own model or
+// of an attached child's model.
+func (r *reconciler) handleUpdate(u model.Update) {
+	if u.Deleted {
+		if u.Name == r.name {
+			return
+		}
+		// A deleted child falls out of atts on the next simulate.
+		r.simulate()
+		return
+	}
+	if u.Name == r.name {
+		// Log the digi-side action record (§3.5: changes are logged at
+		// the mock as well as at the scene that caused them).
+		sets := map[string]any{}
+		var deletes []string
+		for _, ch := range u.Changes {
+			if ch.Op == model.OpDelete {
+				deletes = append(deletes, ch.Path)
+			} else {
+				sets[ch.Path] = ch.New
+			}
+		}
+		r.rt.Log.Action(r.name, u.Type, sets, deletes)
+		r.setAttach(u.Doc.Attach())
+	}
+	r.simulate()
+}
+
+// simulate runs the Sim handler against a mutable snapshot of the own
+// model and attached children, then commits whatever the handler
+// changed.
+func (r *reconciler) simulate() {
+	if r.kind.Sim == nil {
+		return
+	}
+	doc, _, ok := r.rt.Store.Get(r.name)
+	if !ok {
+		return
+	}
+	if doc.GetBool("meta.offline") {
+		return
+	}
+	work := doc.DeepCopy()
+
+	atts := Atts{}
+	childBase := map[string]model.Doc{}
+	for _, childName := range doc.Attach() {
+		child, _, ok := r.rt.Store.Get(childName)
+		if !ok {
+			continue
+		}
+		typ := child.Type()
+		if atts[typ] == nil {
+			atts[typ] = map[string]model.Doc{}
+		}
+		childBase[childName] = child
+		atts[typ][childName] = child.DeepCopy()
+	}
+
+	if err := r.kind.Sim(r.c, work, atts); err != nil {
+		r.rt.Log.Violation(r.name, "sim-error", err.Error())
+		return
+	}
+
+	// Commit own-model changes.
+	if changes := model.Diff(doc, work); len(changes) > 0 {
+		r.rt.Store.Apply(r.name, func(d model.Doc) error {
+			d.ApplyChanges(changes)
+			return nil
+		})
+	}
+	// Commit child changes (scene coordination). The write is logged
+	// at the scene as a coordination event; the child's own reconciler
+	// logs the action when it observes the commit.
+	for typ, group := range atts {
+		for childName, childWork := range group {
+			base, ok := childBase[childName]
+			if !ok {
+				continue
+			}
+			changes := model.Diff(base, childWork)
+			if len(changes) == 0 {
+				continue
+			}
+			fields := map[string]any{"target": childName, "target_type": typ}
+			for _, ch := range changes {
+				if ch.Op == model.OpSet {
+					fields[ch.Path] = ch.New
+				}
+			}
+			r.rt.Log.Event(r.name, r.c.Type, fields)
+			r.rt.Store.Apply(childName, func(d model.Doc) error {
+				d.ApplyChanges(changes)
+				return nil
+			})
+		}
+	}
+}

@@ -1,0 +1,173 @@
+package iac
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func mkModel(typ, name string, attach ...string) model.Doc {
+	d := model.Doc{}
+	d.SetMeta(model.Meta{Type: typ, Version: "v1", Name: name, Managed: true, Attach: attach})
+	return d
+}
+
+func smartBuildingSetup() *Setup {
+	return &Setup{
+		Name: "smartbuilding",
+		Kinds: map[string]string{
+			"Occupancy": "v1",
+			"Lamp":      "v1",
+			"Room":      "v2",
+			"Building":  "v3",
+		},
+		Models: []model.Doc{
+			mkModel("Occupancy", "O1"),
+			mkModel("Lamp", "L1"),
+			mkModel("Occupancy", "O2"),
+			mkModel("Room", "MeetingRoom", "L1", "O1"),
+			mkModel("Room", "Kitchen", "O2"),
+			mkModel("Building", "ConfCenter", "MeetingRoom", "Kitchen"),
+		},
+	}
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	s := smartBuildingSetup()
+	data, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if back.Name != s.Name {
+		t.Errorf("name = %q", back.Name)
+	}
+	if !reflect.DeepEqual(back.Kinds, s.Kinds) {
+		t.Errorf("kinds = %v", back.Kinds)
+	}
+	if len(back.Models) != len(s.Models) {
+		t.Fatalf("models = %d", len(back.Models))
+	}
+	byName := map[string]model.Doc{}
+	for _, m := range back.Models {
+		byName[m.Name()] = m
+	}
+	if got := byName["ConfCenter"].Attach(); !reflect.DeepEqual(got, []string{"MeetingRoom", "Kitchen"}) {
+		t.Errorf("ConfCenter attach = %v", got)
+	}
+}
+
+func TestMarshalValidates(t *testing.T) {
+	s := smartBuildingSetup()
+	s.Name = ""
+	if _, err := Marshal(s); err == nil {
+		t.Error("empty name accepted")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":         "",
+		"no header":     "- 1\n- 2\n",
+		"no setup name": "digibox: v1\n",
+		"kind no ver":   "setup: s\nkinds:\n  Lamp:\n",
+		"non-model doc": "setup: s\nkinds: {}\n---\n- a\n",
+	}
+	for name, src := range cases {
+		if _, err := Unmarshal([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestValidateDuplicateNames(t *testing.T) {
+	s := &Setup{Name: "x", Models: []model.Doc{
+		mkModel("Lamp", "L1"),
+		mkModel("Fan", "L1"),
+	}}
+	if err := Validate(s); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateDanglingAttach(t *testing.T) {
+	s := &Setup{Name: "x", Models: []model.Doc{
+		mkModel("Room", "R", "Ghost"),
+	}}
+	if err := Validate(s); err == nil || !strings.Contains(err.Error(), "unknown model") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateMissingKindRef(t *testing.T) {
+	s := &Setup{
+		Name:   "x",
+		Kinds:  map[string]string{"Lamp": "v1"},
+		Models: []model.Doc{mkModel("Fan", "F1")},
+	}
+	if err := Validate(s); err == nil || !strings.Contains(err.Error(), "kind reference") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateCycle(t *testing.T) {
+	s := &Setup{Name: "x", Models: []model.Doc{
+		mkModel("Room", "A", "B"),
+		mkModel("Room", "B", "C"),
+		mkModel("Room", "C", "A"),
+	}}
+	if err := Validate(s); err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestValidateModelWithoutMeta(t *testing.T) {
+	s := &Setup{Name: "x", Models: []model.Doc{{"no": "meta"}}}
+	if err := Validate(s); err == nil {
+		t.Error("model without meta accepted")
+	}
+}
+
+func TestRoots(t *testing.T) {
+	s := smartBuildingSetup()
+	if got := Roots(s); !reflect.DeepEqual(got, []string{"ConfCenter"}) {
+		t.Errorf("roots = %v", got)
+	}
+}
+
+func TestCreationOrderChildrenFirst(t *testing.T) {
+	s := smartBuildingSetup()
+	order := CreationOrder(s)
+	if len(order) != 6 {
+		t.Fatalf("order = %v", order)
+	}
+	pos := map[string]int{}
+	for i, n := range order {
+		pos[n] = i
+	}
+	for parent, children := range map[string][]string{
+		"MeetingRoom": {"L1", "O1"},
+		"Kitchen":     {"O2"},
+		"ConfCenter":  {"MeetingRoom", "Kitchen"},
+	} {
+		for _, c := range children {
+			if pos[c] > pos[parent] {
+				t.Errorf("%s created after %s: %v", c, parent, order)
+			}
+		}
+	}
+}
+
+func TestSetupWithoutKindsSkipsKindCheck(t *testing.T) {
+	// Kinds == nil means "types resolved locally" (a setup sketched by
+	// hand before any repo commit) and must not fail validation.
+	s := &Setup{Name: "x", Models: []model.Doc{mkModel("Lamp", "L1")}}
+	if err := Validate(s); err != nil {
+		t.Errorf("err = %v", err)
+	}
+}

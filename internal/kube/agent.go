@@ -1,0 +1,230 @@
+package kube
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// nodeAgent is the per-node "kubelet": it watches pods bound to its
+// node, instantiates their workloads from the image registry, runs
+// them as goroutines, reports phase transitions, and enforces restart
+// policy with exponential backoff.
+type nodeAgent struct {
+	cluster *Cluster
+	name    string
+
+	mu      sync.Mutex
+	running map[string]*podRuntime
+
+	watcher  *podWatcher
+	done     chan struct{}
+	stopOnce sync.Once
+	wg       sync.WaitGroup
+}
+
+type podRuntime struct {
+	cancel   context.CancelFunc
+	finished chan struct{}
+	// generationStopped guards against restarting a pod whose runtime
+	// was explicitly stopped (deletion or node shutdown).
+	stopped bool
+}
+
+func newNodeAgent(c *Cluster, name string) *nodeAgent {
+	return &nodeAgent{
+		cluster: c,
+		name:    name,
+		running: map[string]*podRuntime{},
+		done:    make(chan struct{}),
+	}
+}
+
+func (na *nodeAgent) start() {
+	name := na.name
+	na.watcher = na.cluster.api.watchPods(func(ev PodEvent) bool {
+		return ev.Pod.Status.NodeName == name || ev.Type == Deleted
+	})
+	na.wg.Add(1)
+	go func() {
+		defer na.wg.Done()
+		for {
+			select {
+			case ev, ok := <-na.watcher.C:
+				if !ok {
+					return
+				}
+				na.handle(ev)
+			case <-na.done:
+				return
+			}
+		}
+	}()
+}
+
+func (na *nodeAgent) stop() {
+	na.stopOnce.Do(func() {
+		close(na.done)
+		na.watcher.Close()
+		na.mu.Lock()
+		for _, rt := range na.running {
+			rt.stopped = true
+			rt.cancel()
+		}
+		na.mu.Unlock()
+		na.wg.Wait()
+	})
+}
+
+func (na *nodeAgent) handle(ev PodEvent) {
+	switch ev.Type {
+	case Added, Modified:
+		if ev.Pod.Status.NodeName != na.name {
+			return
+		}
+		if ev.Pod.Status.Phase == PodPending {
+			na.launch(ev.Pod)
+		}
+	case Deleted:
+		na.teardown(ev.Pod.Name)
+	}
+}
+
+func (na *nodeAgent) teardown(podName string) {
+	na.mu.Lock()
+	rt, ok := na.running[podName]
+	if ok {
+		rt.stopped = true
+		delete(na.running, podName)
+	}
+	na.mu.Unlock()
+	if ok {
+		rt.cancel()
+	}
+}
+
+// launch starts a pod workload; idempotent per pod name.
+func (na *nodeAgent) launch(pod *Pod) {
+	na.mu.Lock()
+	if _, exists := na.running[pod.Name]; exists {
+		na.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &podRuntime{cancel: cancel, finished: make(chan struct{})}
+	na.running[pod.Name] = rt
+	na.mu.Unlock()
+
+	factory, err := na.cluster.lookupImage(pod.Spec.Image)
+	if err != nil {
+		na.fail(pod.Name, err.Error())
+		na.teardown(pod.Name)
+		return
+	}
+
+	na.cluster.api.updatePod(pod.Name, func(p *Pod) bool {
+		p.Status.Phase = PodRunning
+		p.Status.StartAt = time.Now()
+		p.Status.Message = "running on " + na.name
+		return true
+	})
+	na.adjustRunning(+1)
+
+	na.wg.Add(1)
+	go func() {
+		defer na.wg.Done()
+		defer close(rt.finished)
+		restarts := 0
+		for {
+			workload, err := factory(envForPod(pod))
+			if err != nil {
+				na.adjustRunning(-1)
+				na.fail(pod.Name, fmt.Sprintf("image %s: %v", pod.Spec.Image, err))
+				return
+			}
+			runErr := runGuarded(ctx, workload)
+
+			na.mu.Lock()
+			stopped := rt.stopped
+			na.mu.Unlock()
+			if stopped || ctx.Err() != nil {
+				na.adjustRunning(-1)
+				return
+			}
+
+			policy := pod.Spec.RestartPolicy
+			shouldRestart := policy == RestartAlways || (policy == RestartOnFailure && runErr != nil)
+			if !shouldRestart {
+				na.adjustRunning(-1)
+				if runErr != nil {
+					na.fail(pod.Name, runErr.Error())
+				} else {
+					na.cluster.api.updatePod(pod.Name, func(p *Pod) bool {
+						p.Status.Phase = PodSucceeded
+						p.Status.Message = "completed"
+						return true
+					})
+				}
+				return
+			}
+			restarts++
+			na.cluster.api.updatePod(pod.Name, func(p *Pod) bool {
+				p.Status.Restarts = restarts
+				if runErr != nil {
+					p.Status.Message = fmt.Sprintf("restarting after error: %v", runErr)
+				} else {
+					p.Status.Message = "restarting"
+				}
+				return true
+			})
+			// Exponential backoff capped at 2s keeps crash loops cheap
+			// in simulation while preserving the k8s behaviour shape.
+			backoff := time.Duration(1<<uint(min(restarts, 5))) * 25 * time.Millisecond
+			select {
+			case <-time.After(backoff):
+			case <-ctx.Done():
+				na.adjustRunning(-1)
+				return
+			}
+		}
+	}()
+}
+
+// runGuarded runs a workload, converting panics into errors so one
+// faulty digi cannot take down the node agent.
+func runGuarded(ctx context.Context, w Workload) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("workload panic: %v", r)
+		}
+	}()
+	return w.Run(ctx)
+}
+
+func (na *nodeAgent) fail(podName, msg string) {
+	na.cluster.api.updatePod(podName, func(p *Pod) bool {
+		p.Status.Phase = PodFailed
+		p.Status.Message = msg
+		return true
+	})
+}
+
+func (na *nodeAgent) adjustRunning(delta int) {
+	na.cluster.api.updateNode(na.name, func(n *Node) {
+		n.Status.Running += delta
+		if n.Status.Running < 0 {
+			n.Status.Running = 0
+		}
+	})
+}
+
+func envForPod(pod *Pod) map[string]any {
+	env := copyAnyMap(pod.Spec.Env)
+	if env == nil {
+		env = map[string]any{}
+	}
+	env["POD_NAME"] = pod.Name
+	env["NODE_NAME"] = pod.Status.NodeName
+	return env
+}

@@ -1,0 +1,354 @@
+package kube
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Cluster is the public face of the orchestrator: an API server, a
+// scheduler, and one node agent per node, all in-process.
+//
+//	c := kube.NewCluster()
+//	c.RegisterImage("digi/lamp", lampFactory)
+//	c.AddNode("laptop", 100, "local")
+//	c.Start()
+//	defer c.Stop()
+//	c.CreatePod(&kube.Pod{Name: "l1", Spec: kube.PodSpec{Image: "digi/lamp"}})
+type Cluster struct {
+	api *apiServer
+
+	mu      sync.Mutex
+	images  map[string]ImageFactory
+	agents  map[string]*nodeAgent
+	zones   map[zonePair]time.Duration
+	sched   *scheduler
+	started bool
+	stopped bool
+}
+
+type zonePair struct{ a, b string }
+
+// NewCluster returns an idle cluster with no nodes.
+func NewCluster() *Cluster {
+	return &Cluster{
+		api:    newAPIServer(),
+		images: map[string]ImageFactory{},
+		agents: map[string]*nodeAgent{},
+		zones:  map[zonePair]time.Duration{},
+	}
+}
+
+// RegisterImage installs a workload factory under an image name.
+// Registering the same name twice replaces the factory.
+func (c *Cluster) RegisterImage(name string, f ImageFactory) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.images[name] = f
+}
+
+func (c *Cluster) lookupImage(name string) (ImageFactory, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f, ok := c.images[name]
+	if !ok {
+		return nil, fmt.Errorf("kube: image %q not found", name)
+	}
+	return f, nil
+}
+
+// AddNode registers a ready node. Capacity is the maximum number of
+// concurrently running pods; zone groups nodes for network-delay
+// simulation. Nodes may be added before or after Start.
+func (c *Cluster) AddNode(name string, capacity int, zone string) error {
+	if capacity <= 0 {
+		return fmt.Errorf("kube: node capacity must be positive")
+	}
+	node := &Node{
+		Name:   name,
+		Labels: map[string]string{"zone": zone},
+		Spec:   NodeSpec{Capacity: capacity, Zone: zone},
+		Status: NodeStatus{Ready: true},
+	}
+	if err := c.api.registerNode(node); err != nil {
+		return err
+	}
+	agent := newNodeAgent(c, name)
+	c.mu.Lock()
+	c.agents[name] = agent
+	started := c.started
+	c.mu.Unlock()
+	if started {
+		agent.start()
+		// New capacity may unblock pending pods.
+		c.sched.retryPending()
+	}
+	return nil
+}
+
+// SetZoneDelay declares the simulated one-way network delay between
+// two zones (symmetric). Same-zone delay defaults to zero.
+func (c *Cluster) SetZoneDelay(zoneA, zoneB string, d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.zones[zonePair{zoneA, zoneB}] = d
+	c.zones[zonePair{zoneB, zoneA}] = d
+}
+
+// ZoneDelay returns the simulated one-way delay between two zones.
+func (c *Cluster) ZoneDelay(zoneA, zoneB string) time.Duration {
+	if zoneA == zoneB {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.zones[zonePair{zoneA, zoneB}]
+}
+
+// NodeZone returns the zone of a node ("" if unknown).
+func (c *Cluster) NodeZone(nodeName string) string {
+	n, err := c.api.getNode(nodeName)
+	if err != nil {
+		return ""
+	}
+	return n.Spec.Zone
+}
+
+// PathDelay returns the simulated one-way delay between two nodes.
+func (c *Cluster) PathDelay(nodeA, nodeB string) time.Duration {
+	return c.ZoneDelay(c.NodeZone(nodeA), c.NodeZone(nodeB))
+}
+
+// Start launches the scheduler and all node agents.
+func (c *Cluster) Start() {
+	c.mu.Lock()
+	if c.started {
+		c.mu.Unlock()
+		return
+	}
+	c.started = true
+	c.sched = newScheduler(c.api)
+	agents := make([]*nodeAgent, 0, len(c.agents))
+	for _, a := range c.agents {
+		agents = append(agents, a)
+	}
+	c.mu.Unlock()
+	c.sched.start()
+	for _, a := range agents {
+		a.start()
+	}
+}
+
+// Stop tears down agents (cancelling all workloads) and the scheduler.
+func (c *Cluster) Stop() {
+	c.mu.Lock()
+	if !c.started || c.stopped {
+		c.mu.Unlock()
+		return
+	}
+	c.stopped = true
+	agents := make([]*nodeAgent, 0, len(c.agents))
+	for _, a := range c.agents {
+		agents = append(agents, a)
+	}
+	sched := c.sched
+	c.mu.Unlock()
+	for _, a := range agents {
+		a.stop()
+	}
+	sched.stop()
+}
+
+// SetNodeReady marks a node ready or not-ready (fault injection, the
+// "faults/failures" axis of the paper's §6). Taking a node down stops
+// its agent, cancelling every workload on it; the affected pods are
+// returned to Pending with their binding cleared so the scheduler
+// re-places them on surviving nodes. Bringing the node back up
+// restarts its agent and makes its capacity schedulable again.
+func (c *Cluster) SetNodeReady(name string, ready bool) error {
+	node, err := c.api.getNode(name)
+	if err != nil {
+		return err
+	}
+	if node.Status.Ready == ready {
+		return nil
+	}
+	c.mu.Lock()
+	agent := c.agents[name]
+	started := c.started
+	c.mu.Unlock()
+
+	if !ready {
+		// Stop the agent first so its workloads cancel and it stops
+		// reacting to pod events.
+		if agent != nil && started {
+			agent.stop()
+		}
+		c.api.updateNode(name, func(n *Node) {
+			n.Status.Ready = false
+			n.Status.Running = 0
+		})
+		// Evict: return this node's pods to the scheduler.
+		for _, p := range c.api.listPods() {
+			if p.Status.NodeName != name {
+				continue
+			}
+			c.api.updatePod(p.Name, func(pod *Pod) bool {
+				pod.Status.NodeName = ""
+				pod.Status.Phase = PodPending
+				pod.Status.Message = "evicted: node " + name + " down"
+				return true
+			})
+		}
+		if c.sched != nil {
+			c.sched.releaseAll(name)
+			c.sched.retryPending()
+		}
+		return nil
+	}
+	c.api.updateNode(name, func(n *Node) {
+		n.Status.Ready = true
+	})
+	fresh := newNodeAgent(c, name)
+	c.mu.Lock()
+	c.agents[name] = fresh
+	c.mu.Unlock()
+	if started {
+		fresh.start()
+		if c.sched != nil {
+			c.sched.retryPending()
+		}
+	}
+	return nil
+}
+
+// CreatePod submits a pod. The scheduler binds it asynchronously; use
+// WaitPodPhase to block until it runs.
+func (c *Cluster) CreatePod(p *Pod) error {
+	if p.Name == "" {
+		return fmt.Errorf("kube: pod name required")
+	}
+	if p.Spec.Image == "" {
+		return fmt.Errorf("kube: pod image required")
+	}
+	return c.api.createPod(p)
+}
+
+// DeletePod removes a pod; its workload context is cancelled.
+func (c *Cluster) DeletePod(name string) error {
+	return c.api.deletePod(name)
+}
+
+// GetPod returns a deep copy of the named pod.
+func (c *Cluster) GetPod(name string) (*Pod, error) {
+	return c.api.getPod(name)
+}
+
+// ListPods returns deep copies of all pods, sorted by name.
+func (c *Cluster) ListPods() []*Pod {
+	return c.api.listPods()
+}
+
+// ListNodes returns deep copies of all nodes, sorted by name.
+func (c *Cluster) ListNodes() []*Node {
+	return c.api.listNodes()
+}
+
+// WatchPods registers a pod watcher. A nil filter receives everything.
+// The initial state is replayed as ADDED events.
+func (c *Cluster) WatchPods(filter func(PodEvent) bool) *PodWatch {
+	return &PodWatch{w: c.api.watchPods(filter)}
+}
+
+// PodWatch is an active pod watch stream.
+type PodWatch struct{ w *podWatcher }
+
+// C delivers events until Close.
+func (pw *PodWatch) C() <-chan PodEvent { return pw.w.C }
+
+// Close terminates the stream.
+func (pw *PodWatch) Close() { pw.w.Close() }
+
+// WaitPodPhase blocks until the pod reaches the phase or the timeout
+// elapses.
+func (c *Cluster) WaitPodPhase(name string, phase PodPhase, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	w := c.api.watchPods(func(ev PodEvent) bool { return ev.Pod.Name == name })
+	defer w.Close()
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			return fmt.Errorf("kube: timeout waiting for pod %q to reach %s", name, phase)
+		}
+		select {
+		case ev, ok := <-w.C:
+			if !ok {
+				return fmt.Errorf("kube: watch closed waiting for pod %q", name)
+			}
+			if ev.Type != Deleted && ev.Pod.Status.Phase == phase {
+				return nil
+			}
+			if ev.Type == Deleted {
+				return fmt.Errorf("kube: pod %q deleted while waiting for %s", name, phase)
+			}
+		case <-time.After(remain):
+			return fmt.Errorf("kube: timeout waiting for pod %q to reach %s", name, phase)
+		}
+	}
+}
+
+// WaitAllRunning blocks until every pod currently in the store is
+// Running (or terminal-failure, which is reported as an error).
+func (c *Cluster) WaitAllRunning(timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for {
+		allRunning := true
+		for _, p := range c.api.listPods() {
+			switch p.Status.Phase {
+			case PodFailed:
+				return fmt.Errorf("kube: pod %q failed: %s", p.Name, p.Status.Message)
+			case PodRunning:
+			default:
+				allRunning = false
+			}
+		}
+		if allRunning {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			pending := 0
+			for _, p := range c.api.listPods() {
+				if p.Status.Phase != PodRunning {
+					pending++
+				}
+			}
+			return fmt.Errorf("kube: timeout with %d pods not running", pending)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Stats summarises cluster state.
+type ClusterStats struct {
+	Nodes       int
+	PodsRunning int
+	PodsPending int
+	PodsFailed  int
+}
+
+// Stats returns a snapshot of cluster state.
+func (c *Cluster) Stats() ClusterStats {
+	var st ClusterStats
+	st.Nodes = len(c.api.listNodes())
+	for _, p := range c.api.listPods() {
+		switch p.Status.Phase {
+		case PodRunning:
+			st.PodsRunning++
+		case PodPending:
+			st.PodsPending++
+		case PodFailed:
+			st.PodsFailed++
+		}
+	}
+	return st
+}

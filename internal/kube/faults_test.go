@@ -1,0 +1,125 @@
+package kube
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestNodeFailureEvictsAndReschedules(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("n1", 50, "local")
+	c.AddNode("n2", 50, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	var started, stopped int32
+	c.RegisterImage("digi/block", blockingImage(&started, &stopped))
+
+	const n = 10
+	for i := 0; i < n; i++ {
+		if err := c.CreatePod(&Pod{Name: fmt.Sprintf("p%d", i), Spec: PodSpec{Image: "digi/block"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitAllRunning(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	// Take n1 down: its pods must move to n2.
+	if err := c.SetNodeReady("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, p := range c.ListPods() {
+			if p.Status.Phase != PodRunning || p.Status.NodeName != "n2" {
+				return false
+			}
+		}
+		return true
+	}, "all pods rescheduled to n2")
+
+	// Bring n1 back: new pods can land on it again.
+	if err := c.SetNodeReady("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CreatePod(&Pod{Name: "late", Spec: PodSpec{Image: "digi/block"}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPodPhase("late", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p, _ := c.GetPod("late")
+	if p.Status.NodeName != "n1" {
+		t.Errorf("late pod on %q, want the recovered (least-loaded) n1", p.Status.NodeName)
+	}
+}
+
+func TestNodeFailureWithNoSurvivorLeavesPending(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("only", 50, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block"}})
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeReady("only", false); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	p, _ := c.GetPod("p")
+	if p.Status.Phase != PodPending || p.Status.NodeName != "" {
+		t.Fatalf("pod = %+v, want pending unbound", p.Status)
+	}
+	// Recovery: the pod comes back on the same node.
+	if err := c.SetNodeReady("only", true); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetNodeReadyIdempotentAndUnknown(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("n1", 10, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	if err := c.SetNodeReady("n1", true); err != nil {
+		t.Errorf("ready->ready: %v", err)
+	}
+	if err := c.SetNodeReady("ghost", false); err == nil {
+		t.Error("unknown node accepted")
+	}
+	// Down twice, up twice: no panics, capacity intact.
+	if err := c.SetNodeReady("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeReady("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeReady("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block"}})
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClusterStopAfterNodeDown(t *testing.T) {
+	// Cluster.Stop must not double-stop an agent already stopped by a
+	// node failure.
+	c := NewCluster()
+	c.AddNode("n1", 10, "local")
+	c.Start()
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block"}})
+	c.WaitPodPhase("p", PodRunning, 5*time.Second)
+	if err := c.SetNodeReady("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	c.Stop() // must not panic
+}

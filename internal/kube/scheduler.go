@@ -1,0 +1,171 @@
+package kube
+
+import (
+	"sync"
+)
+
+// scheduler binds pending pods to nodes. Placement is least-loaded
+// first among ready nodes with free capacity that satisfy the pod's
+// node selector; ties break by node name for determinism. Pods that
+// fit nowhere stay Pending and are retried whenever cluster state
+// changes.
+type scheduler struct {
+	api *apiServer
+
+	mu sync.Mutex
+	// assigned tracks the scheduler's own view of per-node commitments
+	// so a burst of pending pods doesn't overshoot capacity before the
+	// agents update node status.
+	assigned map[string]int
+
+	watcher *podWatcher
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+func newScheduler(api *apiServer) *scheduler {
+	return &scheduler{api: api, assigned: map[string]int{}, done: make(chan struct{})}
+}
+
+func (s *scheduler) start() {
+	s.watcher = s.api.watchPods(nil)
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		for {
+			select {
+			case ev, ok := <-s.watcher.C:
+				if !ok {
+					return
+				}
+				s.handle(ev)
+			case <-s.done:
+				return
+			}
+		}
+	}()
+}
+
+func (s *scheduler) stop() {
+	close(s.done)
+	s.watcher.Close()
+	s.wg.Wait()
+}
+
+func (s *scheduler) handle(ev PodEvent) {
+	switch ev.Type {
+	case Added:
+		if ev.Pod.Status.NodeName == "" && ev.Pod.Status.Phase == PodPending {
+			s.schedule(ev.Pod.Name)
+			return
+		}
+		// Replayed pod that is already bound (scheduler restarted over
+		// live state): account for its capacity.
+		if ev.Pod.Status.NodeName != "" &&
+			ev.Pod.Status.Phase != PodSucceeded && ev.Pod.Status.Phase != PodFailed {
+			s.mu.Lock()
+			s.assigned[ev.Pod.Status.NodeName]++
+			s.mu.Unlock()
+		}
+	case Deleted:
+		if node := ev.Pod.Status.NodeName; node != "" {
+			s.release(node)
+			// Freed capacity: retry anything still pending.
+			s.retryPending()
+		}
+	case Modified:
+		p := ev.Pod
+		// An evicted pod comes back unbound and Pending: re-place it.
+		if p.Status.NodeName == "" && p.Status.Phase == PodPending {
+			s.schedule(p.Name)
+			return
+		}
+		if p.Status.Phase == PodSucceeded || p.Status.Phase == PodFailed {
+			// Terminal pods keep their binding record in the API but
+			// no longer consume scheduler-tracked capacity.
+			if p.Status.NodeName != "" {
+				s.release(p.Status.NodeName)
+				s.retryPending()
+			}
+		}
+	}
+}
+
+// releaseAll clears the scheduler's capacity accounting for a node
+// whose pods were evicted (node failure).
+func (s *scheduler) releaseAll(node string) {
+	s.mu.Lock()
+	s.assigned[node] = 0
+	s.mu.Unlock()
+}
+
+func (s *scheduler) release(node string) {
+	s.mu.Lock()
+	if s.assigned[node] > 0 {
+		s.assigned[node]--
+	}
+	s.mu.Unlock()
+}
+
+func (s *scheduler) retryPending() {
+	for _, p := range s.api.listPods() {
+		if p.Status.NodeName == "" && p.Status.Phase == PodPending {
+			s.schedule(p.Name)
+		}
+	}
+}
+
+// schedule picks a node for the named pod and binds it.
+func (s *scheduler) schedule(name string) {
+	pod, err := s.api.getPod(name)
+	if err != nil || pod.Status.NodeName != "" {
+		return
+	}
+	nodes := s.api.listNodes()
+	s.mu.Lock()
+	var best *Node
+	bestFree := 0
+	for _, n := range nodes {
+		if !n.Status.Ready || !selectorMatches(pod.Spec.NodeSelector, n.Labels) {
+			continue
+		}
+		free := n.Spec.Capacity - s.assigned[n.Name]
+		if free <= 0 {
+			continue
+		}
+		if best == nil || free > bestFree {
+			best = n
+			bestFree = free
+		}
+	}
+	if best == nil {
+		s.mu.Unlock()
+		return // stays Pending; retried on the next state change
+	}
+	s.assigned[best.Name]++
+	target := best.Name
+	s.mu.Unlock()
+
+	bound := false
+	s.api.updatePod(name, func(p *Pod) bool {
+		if p.Status.NodeName != "" {
+			return false
+		}
+		p.Status.NodeName = target
+		p.Status.Message = "scheduled to " + target
+		bound = true
+		return true
+	})
+	if !bound {
+		s.release(target)
+	}
+}
+
+func selectorMatches(selector, labels map[string]string) bool {
+	for k, v := range selector {
+		if labels[k] != v {
+			return false
+		}
+	}
+	return true
+}

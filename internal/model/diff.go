@@ -1,0 +1,132 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// ChangeOp classifies one element of a document diff.
+type ChangeOp string
+
+const (
+	OpSet    ChangeOp = "set"    // value added or replaced
+	OpDelete ChangeOp = "delete" // value removed
+)
+
+// Change is one leaf-level difference between two documents, addressed
+// by dotted path. Changes drive the trace log (§3.5) and the
+// scene-property checker.
+type Change struct {
+	Op   ChangeOp
+	Path string
+	Old  any // previous value (nil for pure additions)
+	New  any // new value (nil for deletions)
+}
+
+func (c Change) String() string {
+	switch c.Op {
+	case OpDelete:
+		return fmt.Sprintf("delete %s (was %v)", c.Path, c.Old)
+	default:
+		return fmt.Sprintf("set %s=%v", c.Path, c.New)
+	}
+}
+
+// Diff computes the leaf-level changes that transform old into new.
+// Paths are reported in sorted order for deterministic logs.
+func Diff(old, new Doc) []Change {
+	var out []Change
+	diffValue("", map[string]any(old), map[string]any(new), &out)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+func diffValue(prefix string, old, new any, out *[]Change) {
+	om, ook := asMap(old)
+	nm, nok := asMap(new)
+	if ook && nok {
+		keys := map[string]struct{}{}
+		for k := range om {
+			keys[k] = struct{}{}
+		}
+		for k := range nm {
+			keys[k] = struct{}{}
+		}
+		for k := range keys {
+			p := k
+			if prefix != "" {
+				p = prefix + "." + k
+			}
+			ov, oHas := om[k]
+			nv, nHas := nm[k]
+			switch {
+			case !oHas:
+				addLeaves(p, nv, out)
+			case !nHas:
+				*out = append(*out, Change{Op: OpDelete, Path: p, Old: copyValue(ov)})
+			default:
+				diffValue(p, ov, nv, out)
+			}
+		}
+		return
+	}
+	if !equalValue(old, new) {
+		*out = append(*out, Change{Op: OpSet, Path: prefix, Old: copyValue(old), New: copyValue(new)})
+	}
+}
+
+// addLeaves records additions; composite additions are flattened into
+// leaf paths so every change is a scalar observation.
+func addLeaves(prefix string, v any, out *[]Change) {
+	if m, ok := asMap(v); ok {
+		if len(m) == 0 {
+			*out = append(*out, Change{Op: OpSet, Path: prefix, New: map[string]any{}})
+			return
+		}
+		for k, val := range m {
+			addLeaves(prefix+"."+k, val, out)
+		}
+		return
+	}
+	*out = append(*out, Change{Op: OpSet, Path: prefix, New: copyValue(v)})
+}
+
+// ApplyChanges replays a diff onto a document, producing the document
+// the diff was computed against. Used by trace replay.
+func (d Doc) ApplyChanges(changes []Change) {
+	for _, c := range changes {
+		switch c.Op {
+		case OpDelete:
+			d.Delete(c.Path)
+		default:
+			d.Set(c.Path, copyValue(c.New))
+		}
+	}
+}
+
+// Flatten renders a document as leaf path -> value pairs ("power.status"
+// -> "on"). Digis log this snapshot when they start so traces are
+// self-contained: a replayer or offline checker reconstructs initial
+// state without access to the original testbed.
+func Flatten(d Doc) map[string]any {
+	var changes []Change
+	diffValue("", map[string]any{}, map[string]any(d), &changes)
+	out := make(map[string]any, len(changes))
+	for _, c := range changes {
+		out[c.Path] = c.New
+	}
+	return out
+}
+
+// PathsUnder returns the subset of changes whose path equals prefix or
+// lies beneath it ("power" matches "power.status").
+func PathsUnder(changes []Change, prefix string) []Change {
+	var out []Change
+	for _, c := range changes {
+		if c.Path == prefix || strings.HasPrefix(c.Path, prefix+".") {
+			out = append(out, c)
+		}
+	}
+	return out
+}

@@ -1,0 +1,305 @@
+package model
+
+import (
+	"reflect"
+	"testing"
+)
+
+func lampDoc() Doc {
+	d := Doc{}
+	d.SetMeta(Meta{Type: "Lamp", Version: "v1", Name: "L1", Managed: true})
+	d.Set("power", map[string]any{"intent": "on", "status": "on"})
+	d.Set("intensity", map[string]any{"intent": 0.2, "status": 0.4})
+	return d
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	d := Doc{}
+	in := Meta{
+		Type: "Room", Version: "v2", Name: "MeetingRoom", Managed: true,
+		Attach: []string{"L1", "O1"},
+		Config: map[string]any{"interval_ms": int64(100)},
+	}
+	d.SetMeta(in)
+	out, err := d.Meta()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != in.Type || out.Version != in.Version || out.Name != in.Name || out.Managed != in.Managed {
+		t.Errorf("meta mismatch: %+v vs %+v", out, in)
+	}
+	if !reflect.DeepEqual(out.Attach, in.Attach) {
+		t.Errorf("attach = %v", out.Attach)
+	}
+	if out.Config["interval_ms"] != int64(100) {
+		t.Errorf("config = %v", out.Config)
+	}
+}
+
+func TestMetaErrors(t *testing.T) {
+	if _, err := (Doc{}).Meta(); err == nil {
+		t.Error("missing meta should error")
+	}
+	d := Doc{"meta": map[string]any{"name": "x"}}
+	if _, err := d.Meta(); err == nil {
+		t.Error("missing type should error")
+	}
+	d = Doc{"meta": map[string]any{"type": "Lamp"}}
+	if _, err := d.Meta(); err == nil {
+		t.Error("missing name should error")
+	}
+}
+
+func TestGetSetDottedPaths(t *testing.T) {
+	d := lampDoc()
+	if v, ok := d.Get("power.intent"); !ok || v != "on" {
+		t.Errorf("power.intent = %v, %v", v, ok)
+	}
+	if v, ok := d.Get("intensity.status"); !ok || v != 0.4 {
+		t.Errorf("intensity.status = %v, %v", v, ok)
+	}
+	if _, ok := d.Get("power.unknown"); ok {
+		t.Error("nonexistent path should report !ok")
+	}
+	if _, ok := d.Get("power.intent.too.deep"); ok {
+		t.Error("path through scalar should report !ok")
+	}
+	d.Set("a.b.c", 7)
+	if v, _ := d.Get("a.b.c"); v != int64(7) {
+		t.Errorf("a.b.c = %v (want normalized int64)", v)
+	}
+	if !d.Delete("a.b.c") {
+		t.Error("delete existing path should return true")
+	}
+	if d.Delete("a.b.c") {
+		t.Error("delete missing path should return false")
+	}
+}
+
+func TestIntentStatusHelpers(t *testing.T) {
+	d := lampDoc()
+	d.SetIntent("power", "off")
+	if v, _ := d.Intent("power"); v != "off" {
+		t.Errorf("intent = %v", v)
+	}
+	if v, _ := d.Status("power"); v != "on" {
+		t.Errorf("status should be untouched, got %v", v)
+	}
+	d.SetStatus("power", "off")
+	if v, _ := d.Status("power"); v != "off" {
+		t.Errorf("status = %v", v)
+	}
+}
+
+func TestTypedGetters(t *testing.T) {
+	d := Doc{"s": "x", "b": true, "i": int64(3), "f": 2.5, "fi": float64(4)}
+	if d.GetString("s") != "x" || d.GetString("missing") != "" || d.GetString("i") != "" {
+		t.Error("GetString misbehaves")
+	}
+	if !d.GetBool("b") || d.GetBool("s") {
+		t.Error("GetBool misbehaves")
+	}
+	if n, ok := d.GetInt("i"); !ok || n != 3 {
+		t.Error("GetInt int64")
+	}
+	if n, ok := d.GetInt("fi"); !ok || n != 4 {
+		t.Error("GetInt float64 conversion")
+	}
+	if _, ok := d.GetInt("s"); ok {
+		t.Error("GetInt on string should fail")
+	}
+	if f, ok := d.GetFloat("f"); !ok || f != 2.5 {
+		t.Error("GetFloat")
+	}
+	if f, ok := d.GetFloat("i"); !ok || f != 3 {
+		t.Error("GetFloat int conversion")
+	}
+}
+
+func TestDeepCopyIndependence(t *testing.T) {
+	d := lampDoc()
+	c := d.DeepCopy()
+	c.Set("power.status", "off")
+	c.Set("meta.name", "L2")
+	if v, _ := d.Get("power.status"); v != "on" {
+		t.Error("mutating copy changed original nested map")
+	}
+	if d.Name() != "L1" {
+		t.Error("mutating copy changed original meta")
+	}
+}
+
+func TestMergeSemantics(t *testing.T) {
+	d := lampDoc()
+	d.Merge(map[string]any{
+		"power":     map[string]any{"intent": "off"},
+		"new_field": int64(1),
+		"intensity": nil, // deletion
+	})
+	if v, _ := d.Get("power.intent"); v != "off" {
+		t.Errorf("merge should set nested, got %v", v)
+	}
+	if v, _ := d.Get("power.status"); v != "on" {
+		t.Errorf("merge should preserve sibling, got %v", v)
+	}
+	if _, ok := d.Get("intensity"); ok {
+		t.Error("nil patch value should delete the key")
+	}
+	if v, _ := d.Get("new_field"); v != int64(1) {
+		t.Errorf("new_field = %v", v)
+	}
+}
+
+func TestMergeCopiesPatch(t *testing.T) {
+	d := Doc{}
+	inner := map[string]any{"a": int64(1)}
+	d.Merge(map[string]any{"nested": inner})
+	inner["a"] = int64(99)
+	if v, _ := d.Get("nested.a"); v != int64(1) {
+		t.Errorf("merge must deep-copy patch values, got %v", v)
+	}
+}
+
+func TestEqualNumericTolerance(t *testing.T) {
+	a := Doc{"x": int64(2)}
+	b := Doc{"x": float64(2)}
+	if !Equal(a, b) {
+		t.Error("2 (int) and 2.0 (float) should compare equal")
+	}
+	if Equal(Doc{"x": int64(2)}, Doc{"x": int64(3)}) {
+		t.Error("different values equal")
+	}
+	if Equal(Doc{"x": int64(2)}, Doc{"x": int64(2), "y": int64(1)}) {
+		t.Error("extra key should break equality")
+	}
+}
+
+func TestDiffAndApplyChanges(t *testing.T) {
+	old := lampDoc()
+	new := old.DeepCopy()
+	new.Set("power.status", "off")
+	new.Set("brightness", 0.7)
+	new.Delete("intensity")
+
+	changes := Diff(old, new)
+	if len(changes) != 3 {
+		t.Fatalf("got %d changes: %v", len(changes), changes)
+	}
+	byPath := map[string]Change{}
+	for _, c := range changes {
+		byPath[c.Path] = c
+	}
+	if c := byPath["power.status"]; c.Op != OpSet || c.Old != "on" || c.New != "off" {
+		t.Errorf("power.status change = %+v", c)
+	}
+	if c := byPath["brightness"]; c.Op != OpSet || c.New != 0.7 {
+		t.Errorf("brightness change = %+v", c)
+	}
+	if c := byPath["intensity"]; c.Op != OpDelete {
+		t.Errorf("intensity change = %+v", c)
+	}
+
+	replayed := old.DeepCopy()
+	replayed.ApplyChanges(changes)
+	if !Equal(replayed, new) {
+		t.Errorf("ApplyChanges(Diff(a,b)) != b:\n%v\nvs\n%v", replayed, new)
+	}
+}
+
+func TestDiffDeterministicOrder(t *testing.T) {
+	old := Doc{}
+	new := Doc{"b": int64(1), "a": int64(2), "c": map[string]any{"z": int64(1), "y": int64(2)}}
+	c1 := Diff(old, new)
+	c2 := Diff(old, new)
+	if !reflect.DeepEqual(c1, c2) {
+		t.Error("diff not deterministic")
+	}
+	for i := 1; i < len(c1); i++ {
+		if c1[i-1].Path >= c1[i].Path {
+			t.Errorf("paths not sorted: %v", c1)
+		}
+	}
+}
+
+func TestDiffNoChanges(t *testing.T) {
+	d := lampDoc()
+	if c := Diff(d, d.DeepCopy()); len(c) != 0 {
+		t.Errorf("diff of identical docs = %v", c)
+	}
+}
+
+func TestPathsUnder(t *testing.T) {
+	changes := []Change{
+		{Path: "power.status"},
+		{Path: "power.intent"},
+		{Path: "powerful"},
+		{Path: "power"},
+	}
+	got := PathsUnder(changes, "power")
+	if len(got) != 3 {
+		t.Errorf("PathsUnder = %v", got)
+	}
+}
+
+func TestChangeString(t *testing.T) {
+	set := Change{Op: OpSet, Path: "a.b", New: 5}
+	del := Change{Op: OpDelete, Path: "a.b", Old: 4}
+	if set.String() == "" || del.String() == "" {
+		t.Error("Change.String should be non-empty")
+	}
+}
+
+func TestParseDocEncode(t *testing.T) {
+	src := `meta:
+  managed: true
+  name: L1
+  type: Lamp
+power:
+  intent: "on"
+  status: "off"
+`
+	d, err := ParseDoc([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "L1" || d.Type() != "Lamp" || !d.Managed() {
+		t.Errorf("parsed doc wrong: %v", d)
+	}
+	enc, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseDoc(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(d, back) {
+		t.Errorf("encode/parse round trip failed:\n%s", enc)
+	}
+}
+
+func TestParseDocs(t *testing.T) {
+	docs, err := ParseDocs([]byte("meta: {type: A, name: a}\n---\nmeta: {type: B, name: b}\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || docs[0].Type() != "A" || docs[1].Type() != "B" {
+		t.Fatalf("docs = %v", docs)
+	}
+	if _, err := ParseDocs([]byte("- just\n- a\n- list\n")); err == nil {
+		t.Error("non-mapping document should error")
+	}
+}
+
+func TestAttachAccessor(t *testing.T) {
+	d := Doc{}
+	d.SetMeta(Meta{Type: "Room", Name: "R", Attach: []string{"L1", "O1"}})
+	if got := d.Attach(); !reflect.DeepEqual(got, []string{"L1", "O1"}) {
+		t.Errorf("attach = %v", got)
+	}
+	// Mutating the returned slice must not affect the doc.
+	d.Attach()[0] = "X"
+	if d.Attach()[0] != "L1" {
+		t.Error("Attach must return a copy")
+	}
+}

@@ -1,0 +1,115 @@
+package property
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+// CheckTrace evaluates properties offline against a recorded trace
+// (§3.5): model states are reconstructed by replaying the trace's
+// action records, and each property is checked after every state
+// change using the recorded timestamps. This lets a developer validate
+// a shared experiment without re-running the scene.
+func CheckTrace(recs []trace.Record, props []*Property) ([]Violation, error) {
+	for _, p := range props {
+		if err := p.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	state := traceState{docs: map[string]model.Doc{}}
+	var out []Violation
+	active := map[string]bool{}
+	pending := map[string]time.Duration{} // property -> deadline (trace time)
+	base := time.Unix(0, 0)
+
+	check := func(ts time.Duration) {
+		now := base.Add(ts)
+		for _, p := range props {
+			switch p.Kind {
+			case Never, Always:
+				bad := p.Cond.Eval(state)
+				if p.Kind == Always {
+					bad = !bad
+				}
+				if bad && !active[p.Name] {
+					detail := "disallowed state reached: " + p.Cond.String()
+					if p.Kind == Always {
+						detail = "required state violated: " + p.Cond.String()
+					}
+					out = append(out, Violation{Property: p.Name, At: now, Detail: detail})
+				}
+				active[p.Name] = bad
+			case LeadsTo:
+				triggered := p.Trigger.Eval(state)
+				responded := p.Response.Eval(state)
+				deadline, armed := pending[p.Name]
+				switch {
+				case armed && responded && ts <= deadline:
+					delete(pending, p.Name)
+				case armed && ts > deadline:
+					delete(pending, p.Name)
+					out = append(out, Violation{
+						Property: p.Name,
+						At:       now,
+						Detail: fmt.Sprintf("response %q not reached within %v of trigger %q",
+							p.Response.String(), p.Within, p.Trigger.String()),
+					})
+				case !armed && triggered && !responded:
+					pending[p.Name] = ts + p.Within
+				}
+			}
+		}
+	}
+
+	var lastTS time.Duration
+	for _, r := range recs {
+		lastTS = r.TS
+		if r.Kind != trace.KindAction {
+			continue
+		}
+		state.apply(r)
+		check(r.TS)
+	}
+	// Expire leads-to windows still pending at trace end.
+	for name, deadline := range pending {
+		if lastTS > deadline {
+			for _, p := range props {
+				if p.Name == name {
+					out = append(out, Violation{
+						Property: name,
+						At:       base.Add(deadline),
+						Detail:   "response window expired at end of trace",
+					})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// traceState reconstructs model documents from action records.
+type traceState struct {
+	docs map[string]model.Doc
+}
+
+func (ts traceState) GetModel(name string) (model.Doc, bool) {
+	d, ok := ts.docs[name]
+	return d, ok
+}
+
+func (ts traceState) apply(r trace.Record) {
+	d, ok := ts.docs[r.Name]
+	if !ok {
+		d = model.Doc{}
+		ts.docs[r.Name] = d
+	}
+	for path, v := range r.Sets {
+		d.Set(path, v)
+	}
+	for _, path := range r.Deletes {
+		d.Delete(path)
+	}
+}

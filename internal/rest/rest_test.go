@@ -1,0 +1,230 @@
+package rest
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func newGateway(t *testing.T) (*Gateway, *model.Store) {
+	t.Helper()
+	store := model.NewStore()
+	lamp := model.Doc{}
+	lamp.SetMeta(model.Meta{Type: "Lamp", Version: "v1", Name: "L1", Managed: true})
+	lamp.Set("power", map[string]any{"intent": "off", "status": "off"})
+	lamp.Set("intensity", map[string]any{"intent": 0.2, "status": 0.0})
+	lamp.Set("note", "plain field")
+	if err := store.Create(lamp); err != nil {
+		t.Fatal(err)
+	}
+	return &Gateway{Store: store, Log: trace.NewLog()}, store
+}
+
+func serve(t *testing.T, g *Gateway) *Client {
+	t.Helper()
+	srv := httptest.NewServer(g.Handler())
+	t.Cleanup(srv.Close)
+	return &Client{Base: srv.URL, HTTP: srv.Client()}
+}
+
+func TestGetStatusElidesMetaAndIntent(t *testing.T) {
+	g, _ := newGateway(t)
+	c := serve(t, g)
+	status, err := c.Status("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, has := status["meta"]; has {
+		t.Error("status leaked meta")
+	}
+	if status["power"] != "off" {
+		t.Errorf("power = %v, want flattened status", status["power"])
+	}
+	if status["note"] != "plain field" {
+		t.Errorf("note = %v", status["note"])
+	}
+}
+
+func TestGetModelFull(t *testing.T) {
+	g, _ := newGateway(t)
+	c := serve(t, g)
+	doc, err := c.Model("L1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if doc.Name() != "L1" || doc.Type() != "Lamp" {
+		t.Errorf("doc = %v", doc)
+	}
+	if v, _ := doc.Get("power.intent"); v != "off" {
+		t.Errorf("power.intent = %v", v)
+	}
+}
+
+func TestPatchSetsIntent(t *testing.T) {
+	g, store := newGateway(t)
+	c := serve(t, g)
+	if err := c.Patch("L1", map[string]any{"power": map[string]any{"intent": "on"}}); err != nil {
+		t.Fatal(err)
+	}
+	d, _, _ := store.Get("L1")
+	if v, _ := d.Get("power.intent"); v != "on" {
+		t.Errorf("power.intent = %v", v)
+	}
+	// Message logged.
+	found := false
+	for _, r := range g.Log.Records() {
+		if r.Kind == trace.KindMessage && r.Name == "L1" && r.Direction == "recv" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("patch not logged")
+	}
+}
+
+func TestNotFoundAndBadRequests(t *testing.T) {
+	g, _ := newGateway(t)
+	c := serve(t, g)
+	if _, err := c.Status("ghost"); err == nil {
+		t.Error("missing model status succeeded")
+	}
+	if err := c.Patch("ghost", map[string]any{"a": 1}); err == nil {
+		t.Error("missing model patch succeeded")
+	}
+	// Raw invalid JSON patch.
+	req, _ := http.NewRequest(http.MethodPatch, c.Base+"/v1/models/L1", strings.NewReader("not json"))
+	resp, err := c.HTTP.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid patch status = %d", resp.StatusCode)
+	}
+}
+
+func TestList(t *testing.T) {
+	g, store := newGateway(t)
+	fan := model.Doc{}
+	fan.SetMeta(model.Meta{Type: "Fan", Name: "F1"})
+	store.Create(fan)
+	c := serve(t, g)
+	names, err := c.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "F1" || names[1] != "L1" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestWatchLongPoll(t *testing.T) {
+	g, store := newGateway(t)
+	c := serve(t, g)
+	_, gen, _ := store.Get("L1")
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got model.Doc
+	var newGen uint64
+	var watchErr error
+	go func() {
+		defer wg.Done()
+		got, newGen, watchErr = c.Watch("L1", gen, 5*time.Second)
+	}()
+	time.Sleep(50 * time.Millisecond)
+	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
+	wg.Wait()
+	if watchErr != nil {
+		t.Fatal(watchErr)
+	}
+	if newGen <= gen {
+		t.Errorf("gen = %d, want > %d", newGen, gen)
+	}
+	if v, _ := got.Get("power.status"); v != "on" {
+		t.Errorf("watched doc stale: %v", v)
+	}
+}
+
+func TestWatchTimesOutWithCurrentDoc(t *testing.T) {
+	g, store := newGateway(t)
+	c := serve(t, g)
+	_, gen, _ := store.Get("L1")
+	start := time.Now()
+	doc, newGen, err := c.Watch("L1", gen, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 90*time.Millisecond {
+		t.Errorf("returned too early: %v", elapsed)
+	}
+	if newGen != gen || doc.Name() != "L1" {
+		t.Errorf("gen=%d doc=%v", newGen, doc)
+	}
+}
+
+func TestWatchImmediateWhenBehind(t *testing.T) {
+	g, store := newGateway(t)
+	c := serve(t, g)
+	store.Patch("L1", map[string]any{"x": 1})
+	start := time.Now()
+	_, newGen, err := c.Watch("L1", 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if time.Since(start) > time.Second {
+		t.Error("watch with stale gen should return immediately")
+	}
+	if newGen == 0 {
+		t.Error("gen not reported")
+	}
+}
+
+func TestDelayInjection(t *testing.T) {
+	g, _ := newGateway(t)
+	g.Delay = func(name string) time.Duration { return 25 * time.Millisecond }
+	c := serve(t, g)
+	start := time.Now()
+	if _, err := c.Status("L1"); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("request took %v, want >= 50ms (2x one-way delay)", elapsed)
+	}
+}
+
+func TestListenAndServe(t *testing.T) {
+	g, _ := newGateway(t)
+	if err := g.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer g.Close()
+	if g.Addr() == "" {
+		t.Fatal("no addr")
+	}
+	c := &Client{Base: "http://" + g.Addr()}
+	if _, err := c.Status("L1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerationHeader(t *testing.T) {
+	g, store := newGateway(t)
+	srv := httptest.NewServer(g.Handler())
+	defer srv.Close()
+	_, gen, _ := store.Get("L1")
+	resp, err := http.Get(srv.URL + "/v1/models/L1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Digibox-Generation"); got == "" || got == "0" {
+		t.Errorf("generation header = %q (store gen %d)", got, gen)
+	}
+}

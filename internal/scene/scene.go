@@ -1,0 +1,54 @@
+// Package scene provides Digibox's library of 18 scene controllers.
+//
+// A scene is the environment an IoT application runs in (§2): it
+// generates environment events (human presence, traffic, shipments)
+// with its Loop handler and coordinates the correlated state of the
+// mocks and sub-scenes attached to it with its Sim handler — the
+// ensemble support that distinguishes scene-centric from
+// device-centric prototyping. Scenes nest (rooms attach to buildings,
+// buildings to campuses), with the parent writing the child scene's
+// status exactly as in Fig. 5/6.
+package scene
+
+import (
+	"time"
+
+	"repro/internal/digi"
+)
+
+// All returns every scene kind in the library.
+func All() []*digi.Kind {
+	return []*digi.Kind{
+		NewRoom(),
+		NewMeetingRoom(),
+		NewBuilding(),
+		NewCampus(),
+		NewHome(),
+		NewKitchen(),
+		NewOffice(),
+		NewRetail(),
+		NewWarehouse(),
+		NewFactory(),
+		NewGreenhouse(),
+		NewParking(),
+		NewHospital(),
+		NewSupplyChain(),
+		NewTruck(),
+		NewColdChain(),
+		NewStreet(),
+		NewCity(),
+	}
+}
+
+// RegisterAll installs the whole library into a registry.
+func RegisterAll(reg *digi.Registry) error {
+	for _, k := range All() {
+		if err := reg.Register(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sceneTick is the default event-generation period for scenes.
+const sceneTick = 800 * time.Millisecond

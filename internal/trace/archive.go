@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"archive/zip"
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"time"
+)
+
+// Archive file layout inside the shared zip (§3.5: "traces are shared
+// as a zip file which the recipient Digibox can parse and replay").
+const (
+	archiveTraceFile = "trace.jsonl"
+	archiveMetaFile  = "meta.txt"
+)
+
+// WriteArchive packages the log as a shareable zip stream.
+func (l *Log) WriteArchive(w io.Writer) error {
+	zw := zip.NewWriter(w)
+	meta, err := zw.Create(archiveMetaFile)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(meta, "digibox-trace v1\nrecords: %d\n", l.Len())
+	tf, err := zw.Create(archiveTraceFile)
+	if err != nil {
+		return err
+	}
+	if err := l.WriteJSONL(tf); err != nil {
+		return err
+	}
+	return zw.Close()
+}
+
+// SaveArchive writes the zip to a file path.
+func (l *Log) SaveArchive(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := l.WriteArchive(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// ReadArchive extracts the records from a trace zip stream.
+func ReadArchive(r io.ReaderAt, size int64) ([]Record, error) {
+	zr, err := zip.NewReader(r, size)
+	if err != nil {
+		return nil, fmt.Errorf("trace: not a trace archive: %w", err)
+	}
+	for _, f := range zr.File {
+		if f.Name != archiveTraceFile {
+			continue
+		}
+		rc, err := f.Open()
+		if err != nil {
+			return nil, err
+		}
+		defer rc.Close()
+		return ReadJSONL(rc)
+	}
+	return nil, fmt.Errorf("trace: archive has no %s", archiveTraceFile)
+}
+
+// LoadArchive reads a trace zip from a file path.
+func LoadArchive(path string) ([]Record, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	return ReadArchive(f, st.Size())
+}
+
+// ArchiveBytes is a convenience returning the zip as a byte slice
+// (used by dboxd's trace download endpoint).
+func (l *Log) ArchiveBytes() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := l.WriteArchive(&buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ParseArchiveBytes parses a zip held in memory.
+func ParseArchiveBytes(data []byte) ([]Record, error) {
+	return ReadArchive(bytes.NewReader(data), int64(len(data)))
+}
+
+// Replayer replays a recorded trace's action records against a sink
+// (the live testbed) preserving relative timing, optionally
+// accelerated.
+type Replayer struct {
+	// Apply receives each action record in order. It should apply the
+	// record's Sets/Deletes to the named model.
+	Apply func(Record) error
+	// Speed scales time: 2.0 replays twice as fast. <= 0 means "as
+	// fast as possible".
+	Speed float64
+	// Sleep is injectable for tests; defaults to time.Sleep.
+	Sleep func(time.Duration)
+}
+
+// Run replays the records, honouring inter-record gaps. Only
+// KindEvent and KindAction records drive the testbed; messages and
+// violations are observational.
+func (rp *Replayer) Run(recs []Record) error {
+	if rp.Apply == nil {
+		return fmt.Errorf("trace: replayer needs an Apply func")
+	}
+	sleep := rp.Sleep
+	if sleep == nil {
+		sleep = time.Sleep
+	}
+	var prev time.Duration
+	first := true
+	for _, r := range recs {
+		if r.Kind != KindAction && r.Kind != KindEvent {
+			continue
+		}
+		if !first && rp.Speed > 0 {
+			gap := r.TS - prev
+			if gap > 0 {
+				sleep(time.Duration(float64(gap) / rp.Speed))
+			}
+		}
+		prev = r.TS
+		first = false
+		if r.Kind == KindAction {
+			if err := rp.Apply(r); err != nil {
+				return fmt.Errorf("trace: replay record %d: %w", r.Seq, err)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,243 @@
+// Package trace implements Digibox's logging and replay subsystem
+// (§3.5 of the paper).
+//
+// Every mock and scene logs three record kinds: events (event-generator
+// firings like "motion detected"), actions (model changes, as leaf-path
+// diffs), and messages (MQTT/REST traffic). Records are appended to an
+// in-memory log and can be persisted as a JSONL trace file, packaged as
+// a zip for sharing, and replayed against a live testbed so that the
+// mocks and scenes reproduce the recorded behaviour with the original
+// relative timing (or faster).
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// Kind classifies a trace record.
+type Kind string
+
+const (
+	// KindEvent is an event-generator firing (e.g. human presence
+	// decided by a building scene).
+	KindEvent Kind = "event"
+	// KindAction is a committed model change, carried as leaf diffs.
+	KindAction Kind = "action"
+	// KindMessage is a protocol message sent or received (MQTT/REST).
+	KindMessage Kind = "message"
+	// KindViolation is a scene-property violation report.
+	KindViolation Kind = "violation"
+)
+
+// Record is one log entry. The wire form is a single JSON object per
+// line; the sample trace in the paper's §3.5 corresponds to Fields
+// {"triggered": true} etc. with TS relative to trace start.
+type Record struct {
+	Seq    uint64         `json:"seq"`
+	TS     time.Duration  `json:"ts"` // offset from trace start (nanoseconds in JSON)
+	Kind   Kind           `json:"kind"`
+	Name   string         `json:"name"`           // mock/scene instance
+	Type   string         `json:"type,omitempty"` // mock/scene kind
+	Fields map[string]any `json:"fields,omitempty"`
+	// For KindAction: dotted path -> new value ("" op means set).
+	Sets    map[string]any `json:"sets,omitempty"`
+	Deletes []string       `json:"deletes,omitempty"`
+	// For KindMessage.
+	Topic     string `json:"topic,omitempty"`
+	Payload   string `json:"payload,omitempty"`
+	Direction string `json:"dir,omitempty"` // "send" or "recv"
+	// For KindViolation.
+	Property string `json:"property,omitempty"`
+	Detail   string `json:"detail,omitempty"`
+}
+
+// Log is an append-only, concurrency-safe trace log for one testbed
+// run.
+type Log struct {
+	mu    sync.Mutex
+	start time.Time
+	seq   uint64
+	recs  []Record
+	subs  []func(Record)
+	// now is injectable for deterministic tests.
+	now func() time.Time
+}
+
+// NewLog starts an empty log whose timestamps are relative to now.
+func NewLog() *Log {
+	l := &Log{now: time.Now}
+	l.start = l.now()
+	return l
+}
+
+// NewLogAt starts a log with an injected clock (tests, replay).
+func NewLogAt(now func() time.Time) *Log {
+	l := &Log{now: now}
+	l.start = l.now()
+	return l
+}
+
+// Append adds a record, stamping sequence and timestamp.
+func (l *Log) Append(r Record) Record {
+	l.mu.Lock()
+	l.seq++
+	r.Seq = l.seq
+	r.TS = l.now().Sub(l.start)
+	l.recs = append(l.recs, r)
+	subs := l.subs
+	l.mu.Unlock()
+	for _, fn := range subs {
+		fn(r)
+	}
+	return r
+}
+
+// Event logs an event-generator firing.
+func (l *Log) Event(name, typ string, fields map[string]any) {
+	l.Append(Record{Kind: KindEvent, Name: name, Type: typ, Fields: fields})
+}
+
+// Action logs a committed model change.
+func (l *Log) Action(name, typ string, sets map[string]any, deletes []string) {
+	l.Append(Record{Kind: KindAction, Name: name, Type: typ, Sets: sets, Deletes: deletes})
+}
+
+// Message logs a protocol message.
+func (l *Log) Message(name, topic, payload, direction string) {
+	l.Append(Record{Kind: KindMessage, Name: name, Topic: topic, Payload: payload, Direction: direction})
+}
+
+// Violation logs a scene-property violation.
+func (l *Log) Violation(name, property, detail string) {
+	l.Append(Record{Kind: KindViolation, Name: name, Property: property, Detail: detail})
+}
+
+// Subscribe registers fn to receive every subsequently appended
+// record. Used by "dbox watch".
+func (l *Log) Subscribe(fn func(Record)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	// Copy-on-write so Append can iterate without holding the lock.
+	subs := make([]func(Record), len(l.subs), len(l.subs)+1)
+	copy(subs, l.subs)
+	l.subs = append(subs, fn)
+}
+
+// Records returns a copy of all records in sequence order.
+func (l *Log) Records() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.recs))
+	copy(out, l.recs)
+	return out
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.recs)
+}
+
+// RecordsFor returns records for one mock/scene name.
+func (l *Log) RecordsFor(name string) []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.recs {
+		if r.Name == name {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Violations returns all property-violation records.
+func (l *Log) Violations() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.recs {
+		if r.Kind == KindViolation {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// WriteJSONL streams the log as one JSON object per line.
+func (l *Log) WriteJSONL(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, r := range l.Records() {
+		if err := enc.Encode(r); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace stream into records, validating
+// sequence monotonicity.
+func ReadJSONL(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	var out []Record
+	line := 0
+	var lastSeq uint64
+	for sc.Scan() {
+		line++
+		data := sc.Bytes()
+		if len(data) == 0 {
+			continue
+		}
+		var rec Record
+		if err := json.Unmarshal(data, &rec); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.Seq <= lastSeq {
+			return nil, fmt.Errorf("trace: line %d: sequence %d not increasing", line, rec.Seq)
+		}
+		lastSeq = rec.Seq
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Summary aggregates per-name record counts, useful for "dbox check"
+// over a trace.
+func Summary(recs []Record) map[string]map[Kind]int {
+	out := map[string]map[Kind]int{}
+	for _, r := range recs {
+		m, ok := out[r.Name]
+		if !ok {
+			m = map[Kind]int{}
+			out[r.Name] = m
+		}
+		m[r.Kind]++
+	}
+	return out
+}
+
+// Names returns the distinct mock/scene names in a trace, sorted.
+func Names(recs []Record) []string {
+	seen := map[string]bool{}
+	for _, r := range recs {
+		seen[r.Name] = true
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

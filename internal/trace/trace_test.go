@@ -1,0 +1,309 @@
+package trace
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock yields deterministic, strictly increasing timestamps.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1000, 0)}
+}
+
+func (c *fakeClock) now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(time.Second)
+	return c.t
+}
+
+// sampleLog builds the §3.5 sample trace from the paper:
+//
+//	{name:confcenter,num_human:1,ts:00:01}
+//	{name:meetingroom,human_presence:false,ts:00:03}
+//	{name:kitchen,human_presence:true,ts:00:03}
+//	{name:o1,triggered:true,ts:00:04}
+//	{name:l1,triggered:true,ts:00:05}
+func sampleLog() *Log {
+	l := NewLogAt(newFakeClock().now)
+	l.Action("confcenter", "Building", map[string]any{"num_human": 1}, nil)
+	l.Action("meetingroom", "Room", map[string]any{"human_presence": false}, nil)
+	l.Action("kitchen", "Room", map[string]any{"human_presence": true}, nil)
+	l.Action("o1", "Occupancy", map[string]any{"triggered": true}, nil)
+	l.Action("l1", "Lamp", map[string]any{"triggered": true}, nil)
+	return l
+}
+
+func TestAppendStampsSeqAndTS(t *testing.T) {
+	l := sampleLog()
+	recs := l.Records()
+	if len(recs) != 5 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Errorf("rec %d seq = %d", i, r.Seq)
+		}
+	}
+	for i := 1; i < len(recs); i++ {
+		if recs[i].TS <= recs[i-1].TS {
+			t.Errorf("timestamps not increasing: %v then %v", recs[i-1].TS, recs[i].TS)
+		}
+	}
+}
+
+func TestRecordKindsAndAccessors(t *testing.T) {
+	l := NewLog()
+	l.Event("o1", "Occupancy", map[string]any{"motion": true})
+	l.Message("l1", "digibox/l1/status", `{"power":"on"}`, "send")
+	l.Violation("room", "lamp-off-when-empty", "lamp on while unoccupied")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	if got := l.RecordsFor("o1"); len(got) != 1 || got[0].Kind != KindEvent {
+		t.Errorf("RecordsFor(o1) = %v", got)
+	}
+	if v := l.Violations(); len(v) != 1 || v[0].Property != "lamp-off-when-empty" {
+		t.Errorf("Violations = %v", v)
+	}
+}
+
+func TestSubscribeReceivesAppends(t *testing.T) {
+	l := NewLog()
+	var mu sync.Mutex
+	var got []Record
+	l.Subscribe(func(r Record) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+	l.Event("x", "T", nil)
+	l.Event("y", "T", nil)
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 || got[0].Name != "x" || got[1].Name != "y" {
+		t.Errorf("subscriber got %v", got)
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	l := sampleLog()
+	var buf bytes.Buffer
+	if err := l.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if n := strings.Count(buf.String(), "\n"); n != 5 {
+		t.Errorf("lines = %d", n)
+	}
+	recs, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := l.Records()
+	if len(recs) != len(orig) {
+		t.Fatalf("got %d records", len(recs))
+	}
+	for i := range recs {
+		// JSON round-trips numbers as float64; compare shape fields.
+		if recs[i].Seq != orig[i].Seq || recs[i].Name != orig[i].Name ||
+			recs[i].TS != orig[i].TS || recs[i].Kind != orig[i].Kind {
+			t.Errorf("record %d: %+v vs %+v", i, recs[i], orig[i])
+		}
+	}
+}
+
+func TestReadJSONLRejectsBadSeq(t *testing.T) {
+	in := `{"seq":1,"ts":0,"kind":"event","name":"a"}
+{"seq":1,"ts":0,"kind":"event","name":"b"}`
+	if _, err := ReadJSONL(strings.NewReader(in)); err == nil {
+		t.Error("non-increasing seq accepted")
+	}
+	if _, err := ReadJSONL(strings.NewReader("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestReadJSONLSkipsBlankLines(t *testing.T) {
+	in := "{\"seq\":1,\"ts\":0,\"kind\":\"event\",\"name\":\"a\"}\n\n{\"seq\":2,\"ts\":0,\"kind\":\"event\",\"name\":\"b\"}\n"
+	recs, err := ReadJSONL(strings.NewReader(in))
+	if err != nil || len(recs) != 2 {
+		t.Errorf("recs=%v err=%v", recs, err)
+	}
+}
+
+func TestArchiveRoundTrip(t *testing.T) {
+	l := sampleLog()
+	data, err := l.ArchiveBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := ParseArchiveBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 || recs[0].Name != "confcenter" {
+		t.Errorf("recs = %v", recs)
+	}
+	if _, err := ParseArchiveBytes([]byte("not a zip")); err == nil {
+		t.Error("garbage archive accepted")
+	}
+}
+
+func TestArchiveFileRoundTrip(t *testing.T) {
+	l := sampleLog()
+	path := filepath.Join(t.TempDir(), "trace.zip")
+	if err := l.SaveArchive(path); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := LoadArchive(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 5 {
+		t.Errorf("len = %d", len(recs))
+	}
+	if _, err := LoadArchive(filepath.Join(t.TempDir(), "missing.zip")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestReplayerAppliesActionsInOrder(t *testing.T) {
+	l := sampleLog()
+	l.Event("noise", "X", nil) // events are skipped by Apply
+	var applied []string
+	var slept []time.Duration
+	rp := &Replayer{
+		Apply: func(r Record) error {
+			applied = append(applied, r.Name)
+			return nil
+		},
+		Speed: 1,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := rp.Run(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"confcenter", "meetingroom", "kitchen", "o1", "l1"}
+	if !reflect.DeepEqual(applied, want) {
+		t.Errorf("applied = %v", applied)
+	}
+	// 5 actions + 1 event = 6 drive records -> 5 gaps.
+	if len(slept) != 5 {
+		t.Errorf("sleeps = %v", slept)
+	}
+	for _, d := range slept {
+		if d != time.Second {
+			t.Errorf("gap = %v, want 1s (fake clock ticks 1s per record)", d)
+		}
+	}
+}
+
+func TestReplayerSpeedScaling(t *testing.T) {
+	l := sampleLog()
+	var slept []time.Duration
+	rp := &Replayer{
+		Apply: func(Record) error { return nil },
+		Speed: 4,
+		Sleep: func(d time.Duration) { slept = append(slept, d) },
+	}
+	if err := rp.Run(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range slept {
+		if d != 250*time.Millisecond {
+			t.Errorf("gap = %v, want 250ms at 4x", d)
+		}
+	}
+}
+
+func TestReplayerFastPathNoSleep(t *testing.T) {
+	l := sampleLog()
+	var slept int
+	rp := &Replayer{
+		Apply: func(Record) error { return nil },
+		Speed: 0, // as fast as possible
+		Sleep: func(time.Duration) { slept++ },
+	}
+	if err := rp.Run(l.Records()); err != nil {
+		t.Fatal(err)
+	}
+	if slept != 0 {
+		t.Errorf("slept %d times", slept)
+	}
+}
+
+func TestReplayerErrors(t *testing.T) {
+	rp := &Replayer{}
+	if err := rp.Run(nil); err == nil {
+		t.Error("missing Apply accepted")
+	}
+	l := sampleLog()
+	rp = &Replayer{
+		Apply: func(r Record) error {
+			if r.Name == "o1" {
+				return errTest
+			}
+			return nil
+		},
+	}
+	err := rp.Run(l.Records())
+	if err == nil || !strings.Contains(err.Error(), "test error") {
+		t.Errorf("apply error not propagated: %v", err)
+	}
+}
+
+var errTest = &testError{}
+
+type testError struct{}
+
+func (*testError) Error() string { return "test error" }
+
+func TestSummaryAndNames(t *testing.T) {
+	l := sampleLog()
+	l.Event("o1", "Occupancy", nil)
+	sum := Summary(l.Records())
+	if sum["o1"][KindAction] != 1 || sum["o1"][KindEvent] != 1 {
+		t.Errorf("summary = %v", sum)
+	}
+	names := Names(l.Records())
+	want := []string{"confcenter", "kitchen", "l1", "meetingroom", "o1"}
+	if !reflect.DeepEqual(names, want) {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestConcurrentAppend(t *testing.T) {
+	l := NewLog()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.Event("x", "T", nil)
+			}
+		}()
+	}
+	wg.Wait()
+	recs := l.Records()
+	if len(recs) != 800 {
+		t.Fatalf("len = %d", len(recs))
+	}
+	seen := map[uint64]bool{}
+	for _, r := range recs {
+		if seen[r.Seq] {
+			t.Fatalf("duplicate seq %d", r.Seq)
+		}
+		seen[r.Seq] = true
+	}
+}

@@ -1,0 +1,40 @@
+package yamlite
+
+import "testing"
+
+var benchSrc = []byte(`meta:
+  type: Room
+  version: v2
+  name: MeetingRoom
+  managed: true
+  attach: [L1, O1, D1, D2]
+  interval_ms: 500
+human_presence: true
+occupancy:
+  ceiling: 1
+  desks: [0, 1, 0]
+notes: "scene for the smart building walkthrough"
+`)
+
+func BenchmarkDecodeModelDoc(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(benchSrc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncodeModelDoc(b *testing.B) {
+	v, err := Decode(benchSrc)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Encode(v); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

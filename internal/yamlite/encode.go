@@ -1,0 +1,229 @@
+package yamlite
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Encode renders a value decoded by Decode (or assembled from the same
+// dynamic types) as a YAML document. Map keys are emitted in sorted
+// order so output is deterministic and diff-friendly, which the scene
+// repository relies on for content addressing.
+func Encode(v any) ([]byte, error) {
+	var b strings.Builder
+	if err := encodeValue(&b, v, 0, false); err != nil {
+		return nil, err
+	}
+	s := b.String()
+	if s == "" {
+		s = "null\n"
+	}
+	return []byte(s), nil
+}
+
+// EncodeAll renders a multi-document stream separated by "---" lines.
+func EncodeAll(docs []any) ([]byte, error) {
+	var b strings.Builder
+	for i, d := range docs {
+		if i > 0 {
+			b.WriteString("---\n")
+		}
+		enc, err := Encode(d)
+		if err != nil {
+			return nil, err
+		}
+		b.Write(enc)
+	}
+	return []byte(b.String()), nil
+}
+
+func encodeValue(b *strings.Builder, v any, indent int, inline bool) error {
+	switch t := v.(type) {
+	case nil:
+		b.WriteString("null\n")
+	case map[string]any:
+		if len(t) == 0 {
+			b.WriteString("{}\n")
+			return nil
+		}
+		keys := make([]string, 0, len(t))
+		for k := range t {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 || !inline {
+				writeIndent(b, indent)
+			}
+			b.WriteString(encodeKey(k))
+			val := t[k]
+			if isComposite(val) && !isEmptyComposite(val) {
+				b.WriteString(":\n")
+				if err := encodeValue(b, val, indent+2, false); err != nil {
+					return err
+				}
+			} else {
+				b.WriteString(": ")
+				if err := encodeValue(b, val, indent, true); err != nil {
+					return err
+				}
+			}
+		}
+	case []any:
+		if len(t) == 0 {
+			b.WriteString("[]\n")
+			return nil
+		}
+		if allScalars(t) {
+			b.WriteString(encodeFlowSeq(t))
+			b.WriteString("\n")
+			return nil
+		}
+		for i, item := range t {
+			if i > 0 || !inline {
+				writeIndent(b, indent)
+			}
+			b.WriteString("-")
+			if isComposite(item) && !isEmptyComposite(item) {
+				b.WriteString(" ")
+				if err := encodeValue(b, item, indent+2, true); err != nil {
+					return err
+				}
+			} else {
+				b.WriteString(" ")
+				if err := encodeValue(b, item, indent, true); err != nil {
+					return err
+				}
+			}
+		}
+	case string:
+		b.WriteString(encodeString(t))
+		b.WriteString("\n")
+	case bool:
+		b.WriteString(strconv.FormatBool(t))
+		b.WriteString("\n")
+	case int:
+		b.WriteString(strconv.Itoa(t))
+		b.WriteString("\n")
+	case int64:
+		b.WriteString(strconv.FormatInt(t, 10))
+		b.WriteString("\n")
+	case float64:
+		b.WriteString(encodeFloat(t))
+		b.WriteString("\n")
+	default:
+		return fmt.Errorf("yamlite: cannot encode %T", v)
+	}
+	return nil
+}
+
+func writeIndent(b *strings.Builder, n int) {
+	for i := 0; i < n; i++ {
+		b.WriteByte(' ')
+	}
+}
+
+func isComposite(v any) bool {
+	switch t := v.(type) {
+	case map[string]any:
+		return true
+	case []any:
+		return !allScalars(t)
+	}
+	return false
+}
+
+func isEmptyComposite(v any) bool {
+	switch t := v.(type) {
+	case map[string]any:
+		return len(t) == 0
+	case []any:
+		return len(t) == 0
+	}
+	return false
+}
+
+func allScalars(seq []any) bool {
+	for _, v := range seq {
+		switch v.(type) {
+		case map[string]any, []any:
+			return false
+		}
+	}
+	return true
+}
+
+func encodeFlowSeq(seq []any) string {
+	parts := make([]string, len(seq))
+	for i, v := range seq {
+		switch t := v.(type) {
+		case nil:
+			parts[i] = "null"
+		case string:
+			parts[i] = encodeString(t)
+		case bool:
+			parts[i] = strconv.FormatBool(t)
+		case int:
+			parts[i] = strconv.Itoa(t)
+		case int64:
+			parts[i] = strconv.FormatInt(t, 10)
+		case float64:
+			parts[i] = encodeFloat(t)
+		default:
+			parts[i] = fmt.Sprintf("%v", v)
+		}
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}
+
+func encodeFloat(f float64) string {
+	if math.IsInf(f, 0) || math.IsNaN(f) {
+		// The decoder keeps these as strings; encode symmetrically.
+		return strconv.Quote(strconv.FormatFloat(f, 'g', -1, 64))
+	}
+	s := strconv.FormatFloat(f, 'g', -1, 64)
+	// Make sure the value re-decodes as a float, not an int.
+	if !strings.ContainsAny(s, ".eE") {
+		s += ".0"
+	}
+	return s
+}
+
+func encodeKey(k string) string {
+	if needsQuoting(k) || k == "" {
+		return strconv.Quote(k)
+	}
+	return k
+}
+
+func encodeString(s string) string {
+	if s == "" || needsQuoting(s) {
+		return strconv.Quote(s)
+	}
+	return s
+}
+
+// needsQuoting reports whether a plain rendering of s would fail to
+// round-trip (would re-decode as a different type or break parsing).
+func needsQuoting(s string) bool {
+	switch s {
+	case "", "null", "~", "Null", "NULL", "true", "false", "True", "False", "TRUE", "FALSE":
+		return true
+	}
+	if _, err := strconv.ParseInt(s, 10, 64); err == nil {
+		return true
+	}
+	if _, err := strconv.ParseFloat(s, 64); err == nil && looksNumeric(s) {
+		return true
+	}
+	if strings.ContainsAny(s, ":#[]{}\"'\n\t,") {
+		return true
+	}
+	if s[0] == ' ' || s[len(s)-1] == ' ' || s[0] == '-' || s[0] == '&' || s[0] == '*' || s[0] == '!' {
+		return true
+	}
+	return false
+}

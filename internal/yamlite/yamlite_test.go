@@ -1,0 +1,471 @@
+package yamlite
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustDecode(t *testing.T, src string) any {
+	t.Helper()
+	v, err := Decode([]byte(src))
+	if err != nil {
+		t.Fatalf("Decode(%q): %v", src, err)
+	}
+	return v
+}
+
+func TestDecodeScalars(t *testing.T) {
+	cases := []struct {
+		in   string
+		want any
+	}{
+		{"42", int64(42)},
+		{"-7", int64(-7)},
+		{"3.14", 3.14},
+		{"1e3", float64(1000)},
+		{"true", true},
+		{"false", false},
+		{"null", nil},
+		{"~", nil},
+		{"hello", "hello"},
+		{"\"on\"", "on"},
+		{"'off'", "off"},
+		{"\"a\\nb\"", "a\nb"},
+		{"'it''s'", "it's"},
+		{"v1", "v1"},
+		{"00:03", "00:03"},
+	}
+	for _, c := range cases {
+		if got := mustDecode(t, c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Decode(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDecodeMapping(t *testing.T) {
+	v := mustDecode(t, "name: L1\ncount: 3\nratio: 0.5\nok: true\n")
+	want := map[string]any{"name": "L1", "count": int64(3), "ratio": 0.5, "ok": true}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestDecodeNestedMapping(t *testing.T) {
+	src := `
+power:
+  intent: "on"
+  status: "off"
+intensity:
+  intent: 0.2
+  status: 0.4
+`
+	v := mustDecode(t, src)
+	want := map[string]any{
+		"power":     map[string]any{"intent": "on", "status": "off"},
+		"intensity": map[string]any{"intent": 0.2, "status": 0.4},
+	}
+	if !reflect.DeepEqual(v, want) {
+		t.Fatalf("got %#v, want %#v", v, want)
+	}
+}
+
+func TestDecodeFig3Models(t *testing.T) {
+	// The exact documents from the paper's Fig. 3 (with the "..more
+	// config" comment elided), as a multi-document stream.
+	src := `meta:
+  type: Occupancy
+  version: v1
+  name: O1
+  managed: true
+# ..more config
+triggered: true
+---
+meta:
+  type: Room
+  version: v2
+  name: MeetingRoom
+  managed: true
+human_presence: true
+attach: [L1, O1]
+---
+meta:
+  type: Building
+  version: v3
+  name: ConfCenter
+  managed: false
+num_human: 2
+attach: [MeetingRoom]
+`
+	docs, err := DecodeAll([]byte(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 3 {
+		t.Fatalf("got %d docs, want 3", len(docs))
+	}
+	occ := docs[0].(map[string]any)
+	if occ["triggered"] != true {
+		t.Errorf("occupancy triggered = %v", occ["triggered"])
+	}
+	meta := occ["meta"].(map[string]any)
+	if meta["type"] != "Occupancy" || meta["version"] != "v1" || meta["name"] != "O1" || meta["managed"] != true {
+		t.Errorf("bad meta: %#v", meta)
+	}
+	room := docs[1].(map[string]any)
+	att, ok := room["attach"].([]any)
+	if !ok || len(att) != 2 || att[0] != "L1" || att[1] != "O1" {
+		t.Errorf("bad attach: %#v", room["attach"])
+	}
+	bld := docs[2].(map[string]any)
+	if bld["num_human"] != int64(2) {
+		t.Errorf("num_human = %#v", bld["num_human"])
+	}
+	if bld["meta"].(map[string]any)["managed"] != false {
+		t.Errorf("building should be unmanaged")
+	}
+}
+
+func TestDecodeBlockSequence(t *testing.T) {
+	src := `
+mocks:
+  - name: L1
+    type: Lamp
+  - name: O1
+    type: Occupancy
+scenes:
+  - MeetingRoom
+  - Kitchen
+`
+	v := mustDecode(t, src).(map[string]any)
+	mocks := v["mocks"].([]any)
+	if len(mocks) != 2 {
+		t.Fatalf("mocks = %#v", mocks)
+	}
+	m0 := mocks[0].(map[string]any)
+	if m0["name"] != "L1" || m0["type"] != "Lamp" {
+		t.Errorf("mocks[0] = %#v", m0)
+	}
+	scenes := v["scenes"].([]any)
+	if !reflect.DeepEqual(scenes, []any{"MeetingRoom", "Kitchen"}) {
+		t.Errorf("scenes = %#v", scenes)
+	}
+}
+
+func TestDecodeSequenceOfNestedBlocks(t *testing.T) {
+	src := `
+items:
+  -
+    a: 1
+  - b: 2
+    c:
+      d: 3
+`
+	v := mustDecode(t, src).(map[string]any)
+	items := v["items"].([]any)
+	if len(items) != 2 {
+		t.Fatalf("items = %#v", items)
+	}
+	if items[0].(map[string]any)["a"] != int64(1) {
+		t.Errorf("items[0] = %#v", items[0])
+	}
+	second := items[1].(map[string]any)
+	if second["b"] != int64(2) || second["c"].(map[string]any)["d"] != int64(3) {
+		t.Errorf("items[1] = %#v", second)
+	}
+}
+
+func TestDecodeFlowCollections(t *testing.T) {
+	v := mustDecode(t, "attach: [L1, O1, 'x y', 3]\nopts: {seed: 42, interval: 0.5}")
+	m := v.(map[string]any)
+	if !reflect.DeepEqual(m["attach"], []any{"L1", "O1", "x y", int64(3)}) {
+		t.Errorf("attach = %#v", m["attach"])
+	}
+	opts := m["opts"].(map[string]any)
+	if opts["seed"] != int64(42) || opts["interval"] != 0.5 {
+		t.Errorf("opts = %#v", opts)
+	}
+}
+
+func TestDecodeNestedFlow(t *testing.T) {
+	v := mustDecode(t, "grid: [[1, 2], [3, 4]]")
+	grid := v.(map[string]any)["grid"].([]any)
+	if !reflect.DeepEqual(grid[0], []any{int64(1), int64(2)}) {
+		t.Errorf("grid = %#v", grid)
+	}
+}
+
+func TestDecodeComments(t *testing.T) {
+	src := "# leading comment\na: 1 # trailing\nb: \"# not a comment\"\n"
+	v := mustDecode(t, src).(map[string]any)
+	if v["a"] != int64(1) || v["b"] != "# not a comment" {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestDecodeEmpty(t *testing.T) {
+	if v := mustDecode(t, ""); v != nil {
+		t.Errorf("empty stream = %#v", v)
+	}
+	if v := mustDecode(t, "\n# only a comment\n"); v != nil {
+		t.Errorf("comment-only stream = %#v", v)
+	}
+}
+
+func TestDecodeNullValue(t *testing.T) {
+	v := mustDecode(t, "a:\nb: 2").(map[string]any)
+	if v["a"] != nil || v["b"] != int64(2) {
+		t.Fatalf("got %#v", v)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	bad := []string{
+		"a: 1\na: 2",          // duplicate key
+		"a: \"unterminated",   // bad string
+		"a: [1, 2",            // unbalanced flow
+		"a: 1\n   b: 2\nc: 3", // stray indent under scalar value
+		"key: {a 1}",          // invalid flow map entry
+		"- 1\n    - too deep", // bad sequence indent
+	}
+	for _, src := range bad {
+		if _, err := Decode([]byte(src)); err == nil {
+			t.Errorf("Decode(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestSyntaxErrorLineNumbers(t *testing.T) {
+	_, err := Decode([]byte("ok: 1\nbad: \"x\nok2: 2"))
+	se, ok := err.(*SyntaxError)
+	if !ok {
+		t.Fatalf("want *SyntaxError, got %T (%v)", err, err)
+	}
+	if se.Line != 2 {
+		t.Errorf("error line = %d, want 2", se.Line)
+	}
+	if !strings.Contains(se.Error(), "line 2") {
+		t.Errorf("message %q should mention line", se.Error())
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	v := map[string]any{"b": int64(2), "a": int64(1), "c": []any{"x", "y"}}
+	out1, err := Encode(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out2, _ := Encode(v)
+	if string(out1) != string(out2) {
+		t.Errorf("non-deterministic encoding:\n%s\nvs\n%s", out1, out2)
+	}
+	if !strings.HasPrefix(string(out1), "a: 1\n") {
+		t.Errorf("keys not sorted:\n%s", out1)
+	}
+}
+
+func TestEncodeQuotesAmbiguousStrings(t *testing.T) {
+	// "on"/"off" must survive; YAML 1.1 booleans are not re-typed but
+	// strings that look like ints/floats/bools must be quoted.
+	for _, s := range []string{"true", "42", "3.14", "null", "a: b", "- dash", "", " pad "} {
+		enc, err := Encode(map[string]any{"k": s})
+		if err != nil {
+			t.Fatal(err)
+		}
+		back := mustDecode(t, string(enc)).(map[string]any)
+		if back["k"] != s {
+			t.Errorf("string %q round-tripped to %#v (encoded %q)", s, back["k"], enc)
+		}
+	}
+}
+
+func TestRoundTripDocuments(t *testing.T) {
+	docs := []any{
+		map[string]any{
+			"meta":      map[string]any{"type": "Lamp", "name": "L1", "version": "v1", "managed": true},
+			"power":     map[string]any{"intent": "on", "status": "off"},
+			"intensity": map[string]any{"intent": 0.2, "status": 0.4},
+		},
+		map[string]any{
+			"attach": []any{"L1", "O1"},
+			"rooms": []any{
+				map[string]any{"name": "MeetingRoom", "humans": int64(2)},
+				map[string]any{"name": "Kitchen", "humans": int64(0)},
+			},
+		},
+		[]any{int64(1), "two", 3.5, true, nil},
+		"bare scalar",
+		int64(7),
+	}
+	for _, d := range docs {
+		enc, err := Encode(d)
+		if err != nil {
+			t.Fatalf("Encode(%#v): %v", d, err)
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode of encoded %#v: %v\n%s", d, err, enc)
+		}
+		if !reflect.DeepEqual(back, d) {
+			t.Errorf("round-trip mismatch:\n in: %#v\nout: %#v\nenc:\n%s", d, back, enc)
+		}
+	}
+}
+
+func TestEncodeAllRoundTrip(t *testing.T) {
+	docs := []any{
+		map[string]any{"a": int64(1)},
+		map[string]any{"b": []any{"x"}},
+	}
+	enc, err := EncodeAll(docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeAll(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back, docs) {
+		t.Errorf("EncodeAll round trip: %#v -> %#v", docs, back)
+	}
+}
+
+// genValue builds a random value of bounded depth for property tests.
+func genValue(r *rand.Rand, depth int) any {
+	if depth <= 0 {
+		return genScalar(r)
+	}
+	switch r.Intn(4) {
+	case 0:
+		n := r.Intn(4)
+		m := make(map[string]any, n)
+		for i := 0; i < n; i++ {
+			m[genKey(r)] = genValue(r, depth-1)
+		}
+		return m
+	case 1:
+		n := r.Intn(4)
+		s := make([]any, n)
+		for i := range s {
+			s[i] = genValue(r, depth-1)
+		}
+		return s
+	default:
+		return genScalar(r)
+	}
+}
+
+func genKey(r *rand.Rand) string {
+	const letters = "abcdefgh_"
+	n := 1 + r.Intn(6)
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = letters[r.Intn(len(letters))]
+	}
+	return string(b)
+}
+
+func genScalar(r *rand.Rand) any {
+	switch r.Intn(6) {
+	case 0:
+		return int64(r.Intn(2000) - 1000)
+	case 1:
+		return float64(r.Intn(100)) + 0.25
+	case 2:
+		return r.Intn(2) == 0
+	case 3:
+		return nil
+	case 4:
+		words := []string{"on", "off", "lamp", "room", "x y", "v1", "true-ish", "00:03", "a#b", "", "  spaced"}
+		return words[r.Intn(len(words))]
+	default:
+		return genKey(r)
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	// Property: Decode(Encode(v)) == v for any value in the dynamic
+	// domain. Uses testing/quick's iteration driver with our own
+	// generator for better shrinkage of the value space.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := genValue(r, 3)
+		enc, err := Encode(v)
+		if err != nil {
+			t.Logf("encode error for %#v: %v", v, err)
+			return false
+		}
+		back, err := Decode(enc)
+		if err != nil {
+			t.Logf("decode error for %#v: %v\n%s", v, err, enc)
+			return false
+		}
+		if !equalValue(back, v) {
+			t.Logf("mismatch:\n in: %#v\nout: %#v\nenc:\n%s", v, back, enc)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// equalValue compares with nil-slice/nil-map tolerance: an empty map
+// and sequence re-decode as empty (not nil) collections.
+func equalValue(a, b any) bool {
+	am, aok := a.(map[string]any)
+	bm, bok := b.(map[string]any)
+	if aok && bok {
+		if len(am) != len(bm) {
+			return false
+		}
+		for k, av := range am {
+			bv, ok := bm[k]
+			if !ok || !equalValue(av, bv) {
+				return false
+			}
+		}
+		return true
+	}
+	as, aok := a.([]any)
+	bs, bok := b.([]any)
+	if aok && bok {
+		if len(as) != len(bs) {
+			return false
+		}
+		for i := range as {
+			if !equalValue(as[i], bs[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return reflect.DeepEqual(a, b)
+}
+
+func TestDecodeAllSeparators(t *testing.T) {
+	docs, err := DecodeAll([]byte("---\na: 1\n---\n---\nb: 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("got %d docs: %#v", len(docs), docs)
+	}
+}
+
+func TestDecodeRejectsMultiDoc(t *testing.T) {
+	if _, err := Decode([]byte("a: 1\n---\nb: 2\n")); err == nil {
+		t.Fatal("Decode should reject multi-document streams")
+	}
+}
+
+func TestTabsNormalised(t *testing.T) {
+	v := mustDecode(t, "a:\n\tb: 1\n").(map[string]any)
+	inner, ok := v["a"].(map[string]any)
+	if !ok || inner["b"] != int64(1) {
+		t.Fatalf("got %#v", v)
+	}
+}
