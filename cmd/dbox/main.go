@@ -16,6 +16,9 @@
 //	edit NAME PATH=VALUE ...  set model fields (e.g. power.intent=on)
 //	commit NAME               commit a scene setup to the repository
 //	commit -k TYPE            commit a type definition
+//	commit -f NAME            commit despite vet errors
+//	vet [-json] NAME|FILE     analyze a committed setup or a local file
+//	vet [-json] --all         analyze every committed setup
 //	push NAME                 upload a committed setup to the remote
 //	pull NAME                 download a setup from the remote
 //	recreate NAME [VERSION]   instantiate a pulled setup
@@ -28,15 +31,22 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/model"
+	"repro/internal/vet"
+
+	// Kind libraries declare their config bounds with the vet engine in
+	// init(); linking device in makes local-file "dbox vet" check them.
+	_ "repro/internal/device"
 )
 
 func main() {
@@ -62,7 +72,8 @@ commands (Table 1):
   run TYPE NAME [k=v ...]    stop NAME
   check NAME                 watch NAME [max]
   attach [-d] CHILD PARENT   edit NAME PATH=VALUE ...
-  commit [-k] NAME           push NAME | pull NAME
+  commit [-k|-f] NAME        push NAME | pull NAME
+  vet [-json] [--all | NAME|FILE]
   recreate NAME [VERSION]    replay NAME [SPEED]
   trace save FILE | trace push NAME
   ls | status
@@ -159,20 +170,27 @@ func dispatch(cli *ctl.Client, args []string) error {
 		fmt.Printf("edited %s\n", rest[0])
 		return nil
 	case "commit":
-		kind := false
-		if len(rest) > 0 && rest[0] == "-k" {
-			kind = true
+		kind, force := false, false
+		for len(rest) > 0 && (rest[0] == "-k" || rest[0] == "-f") {
+			switch rest[0] {
+			case "-k":
+				kind = true
+			case "-f":
+				force = true
+			}
 			rest = rest[1:]
 		}
 		if len(rest) != 1 {
-			return fmt.Errorf("usage: dbox commit [-k] NAME")
+			return fmt.Errorf("usage: dbox commit [-k|-f] NAME")
 		}
-		version, err := cli.Commit(rest[0], kind)
+		version, err := cli.Commit(rest[0], kind, force)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("committed %s %s\n", rest[0], version)
 		return nil
+	case "vet":
+		return vetCmd(cli, rest)
 	case "push":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: dbox push NAME")
@@ -283,6 +301,76 @@ func dispatch(cli *ctl.Client, args []string) error {
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// vetCmd implements "dbox vet [-json] [--all | NAME|FILE]". A target
+// naming an existing file is analyzed locally without a daemon (the
+// repository-backed rules are skipped); otherwise the daemon vets the
+// committed setup against its repository. Error-severity findings make
+// the command fail.
+func vetCmd(cli *ctl.Client, rest []string) error {
+	asJSON, all := false, false
+	target := ""
+	for _, a := range rest {
+		switch a {
+		case "-json", "--json":
+			asJSON = true
+		case "-all", "--all":
+			all = true
+		default:
+			if strings.HasPrefix(a, "-") || target != "" {
+				return fmt.Errorf("usage: dbox vet [-json] [--all | NAME|FILE]")
+			}
+			target = a
+		}
+	}
+	if all == (target != "") {
+		return fmt.Errorf("usage: dbox vet [-json] [--all | NAME|FILE]")
+	}
+	var results map[string][]vet.Diagnostic
+	if data, err := os.ReadFile(target); !all && err == nil {
+		results = map[string][]vet.Diagnostic{target: vet.RunData(target, data, nil)}
+	} else {
+		results, err = cli.Vet(target, "", all)
+		if err != nil {
+			return err
+		}
+	}
+	names := make([]string, 0, len(results))
+	for n := range results {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	errCount := 0
+	if asJSON {
+		out := map[string]any{}
+		for n, diags := range results {
+			if diags == nil {
+				diags = []vet.Diagnostic{}
+			}
+			out[n] = diags
+			errCount += len(vet.Errors(diags))
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			return err
+		}
+	} else {
+		for _, n := range names {
+			diags := results[n]
+			errCount += len(vet.Errors(diags))
+			if len(diags) == 0 {
+				fmt.Printf("%s: clean\n", n)
+				continue
+			}
+			fmt.Print(vet.Text(diags))
+		}
+	}
+	if errCount > 0 {
+		return fmt.Errorf("%d error(s)", errCount)
+	}
+	return nil
 }
 
 // parseKVs converts "k=v" args into a config map with scalar typing.

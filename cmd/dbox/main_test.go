@@ -1,6 +1,7 @@
 package main
 
 import (
+	"os"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -101,6 +102,9 @@ func TestDispatchTable1Workflow(t *testing.T) {
 		{"watch", "L1", "1"},
 		{"commit", "R1"},
 		{"commit", "-k", "Lamp"},
+		{"vet", "R1"},
+		{"vet", "-json", "R1"},
+		{"vet", "--all"},
 		{"push", "R1"},
 		{"pull", "R1"},
 		{"trace", "push", "r1-trace"},
@@ -150,11 +154,48 @@ func TestDispatchErrors(t *testing.T) {
 		{"replay", "x", "fast"},      // bad speed
 		{"watch", "ghost", "nan"},    // bad max
 		{"trace", "bogus"},           // bad subcommand
+		{"vet"},                      // neither --all nor a target
+		{"vet", "--all", "extra"},    // both --all and a target
+		{"vet", "-bogus", "x"},       // unknown flag
+		{"vet", "no-such-setup"},     // not a file, not committed
 		{"definitely-not-a-command"}, // unknown
 	}
 	for _, args := range bad {
 		if err := dispatch(cli, args); err == nil {
 			t.Errorf("dbox %v succeeded, want error", args)
 		}
+	}
+}
+
+func TestVetLocalFile(t *testing.T) {
+	cli := startDaemon(t)
+	dir := t.TempDir()
+
+	bad := filepath.Join(dir, "bad.yaml")
+	if err := os.WriteFile(bad, []byte(`setup: bad
+---
+meta:
+  type: Room
+  version: v1
+  name: room
+  attach: [ghost]
+`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Vetting never contacts the daemon for local files, and a setup
+	// with error diagnostics makes the command fail.
+	if err := dispatch(cli, []string{"vet", bad}); err == nil {
+		t.Error("vet of broken local setup succeeded")
+	}
+
+	good := filepath.Join(dir, "good.yaml")
+	if err := os.WriteFile(good, []byte("setup: good\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := dispatch(cli, []string{"vet", good}); err != nil {
+		t.Errorf("vet of clean local setup failed: %v", err)
+	}
+	if err := dispatch(cli, []string{"vet", "-json", good}); err != nil {
+		t.Errorf("vet -json of clean local setup failed: %v", err)
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	digibox "repro"
+	"repro/internal/vet/vettest"
 )
 
 func main() {
@@ -26,14 +27,9 @@ func main() {
 	}
 	defer tb.Stop()
 
-	// dbox run Occupancy O1 ; dbox run Lamp L1 ; dbox run Room MeetingRoom
-	must(tb.Run("Occupancy", "O1", nil))
-	must(tb.Run("Lamp", "L1", nil))
-	must(tb.Run("Room", "MeetingRoom", map[string]any{"managed": false}))
-
-	// dbox attach O1 MeetingRoom ; dbox attach L1 MeetingRoom
-	must(tb.Attach("O1", "MeetingRoom"))
-	must(tb.Attach("L1", "MeetingRoom"))
+	// dbox run + dbox attach for every row of the scene table (the
+	// same table the vet test checks statically).
+	must(vettest.Deploy(tb, digis))
 
 	fmt.Println("== scene event: a human enters the meeting room")
 	must(tb.Edit("MeetingRoom", map[string]any{"human_presence": true}))

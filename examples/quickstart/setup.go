@@ -1,0 +1,15 @@
+package main
+
+import "repro/internal/vet/vettest"
+
+// digis is the quickstart ensemble in declarative form: an occupancy
+// sensor and a lamp coordinated by a meeting-room scene. main deploys
+// this table; the vet test asserts the setup it emits is statically
+// clean.
+var digis = []vettest.Digi{
+	{Type: "Occupancy", Name: "O1"},
+	{Type: "Lamp", Name: "L1"},
+	{Type: "Room", Name: "MeetingRoom",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"O1", "L1"}},
+}

@@ -29,6 +29,7 @@ import (
 	digibox "repro"
 	"repro/internal/broker"
 	"repro/internal/property"
+	"repro/internal/vet/vettest"
 )
 
 // occupancyApp is the application under test. It holds only app logic:
@@ -87,21 +88,8 @@ func main() {
 	}
 	defer tb.Stop()
 
-	// --- Scene side (Fig. 6 hierarchy) ---
-	must(tb.Run("Occupancy", "O1", nil))
-	must(tb.Run("Underdesk", "D1", nil))
-	must(tb.Run("Lamp", "L1", nil))
-	must(tb.Run("Occupancy", "O2", nil))
-	must(tb.Run("Room", "MeetingRoom", map[string]any{"managed": false}))
-	must(tb.Run("Room", "Kitchen", map[string]any{"managed": false}))
-	must(tb.Run("Building", "ConfCenter", map[string]any{"managed": false}))
-	for _, att := range [][2]string{
-		{"O1", "MeetingRoom"}, {"D1", "MeetingRoom"}, {"L1", "MeetingRoom"},
-		{"O2", "Kitchen"},
-		{"MeetingRoom", "ConfCenter"}, {"Kitchen", "ConfCenter"},
-	} {
-		must(tb.Attach(att[0], att[1]))
-	}
+	// --- Scene side (Fig. 6 hierarchy, from the vetted scene table) ---
+	must(vettest.Deploy(tb, digis))
 
 	// Scene property (§3.3): the lamp may not burn in an empty room.
 	must(tb.AddProperty(&digibox.Property{

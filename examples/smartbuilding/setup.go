@@ -1,0 +1,24 @@
+package main
+
+import "repro/internal/vet/vettest"
+
+// digis is the ConfCenter hierarchy of the paper's walkthrough (§3,
+// Fig. 6) in declarative form: a building with a meeting room (two
+// occupancy sensors and a lamp) and a kitchen (one sensor). main
+// deploys this table; the vet test asserts the setup it emits is
+// statically clean.
+var digis = []vettest.Digi{
+	{Type: "Occupancy", Name: "O1"},
+	{Type: "Underdesk", Name: "D1"},
+	{Type: "Lamp", Name: "L1"},
+	{Type: "Occupancy", Name: "O2"},
+	{Type: "Room", Name: "MeetingRoom",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"O1", "D1", "L1"}},
+	{Type: "Room", Name: "Kitchen",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"O2"}},
+	{Type: "Building", Name: "ConfCenter",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"MeetingRoom", "Kitchen"}},
+}

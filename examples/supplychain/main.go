@@ -18,6 +18,7 @@ import (
 	"time"
 
 	digibox "repro"
+	"repro/internal/vet/vettest"
 )
 
 func main() {
@@ -30,26 +31,11 @@ func main() {
 	}
 	defer tb.Stop()
 
-	// Three trucks, each with a GPS tracker and a cargo sensor. The
-	// trucks are unmanaged: we drive the scenario deterministically.
+	// Three unmanaged trucks with trackers and cargo sensors, the
+	// cold-chain auditor, and the dispatch controller, all from the
+	// vetted scene table.
 	trucks := []string{"truck-a", "truck-b", "truck-c"}
-	for _, tr := range trucks {
-		must(tb.Run("Truck", tr, map[string]any{"managed": false}))
-		must(tb.Run("GPSTracker", tr+"-gps", nil))
-		must(tb.Run("CargoSensor", tr+"-cargo", map[string]any{"shock_prob": 0.0}))
-		must(tb.Attach(tr+"-gps", tr))
-		must(tb.Attach(tr+"-cargo", tr))
-	}
-	// The cold-chain auditor watches every cargo sensor.
-	must(tb.Run("ColdChain", "coldchain", map[string]any{"managed": false}))
-	for _, tr := range trucks {
-		must(tb.Attach(tr+"-cargo", "coldchain"))
-	}
-	// The supply-chain controller dispatches the trucks.
-	must(tb.Run("SupplyChain", "logistics", map[string]any{"managed": false}))
-	for _, tr := range trucks {
-		must(tb.Attach(tr, "logistics"))
-	}
+	must(vettest.Deploy(tb, digis))
 
 	cli := tb.RESTClient()
 

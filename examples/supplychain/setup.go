@@ -1,0 +1,33 @@
+package main
+
+import "repro/internal/vet/vettest"
+
+// digis is the cold-chain deployment (§1, §5) in declarative form:
+// three unmanaged trucks each carrying a GPS tracker and a cargo
+// sensor, a ColdChain scene auditing every cargo sensor (a second
+// parent — multi-attachment is legal), and a SupplyChain scene
+// dispatching the trucks. main deploys this table; the vet test
+// asserts the setup it emits is statically clean.
+var digis = []vettest.Digi{
+	{Type: "GPSTracker", Name: "truck-a-gps"},
+	{Type: "CargoSensor", Name: "truck-a-cargo", Config: map[string]any{"shock_prob": 0.0}},
+	{Type: "GPSTracker", Name: "truck-b-gps"},
+	{Type: "CargoSensor", Name: "truck-b-cargo", Config: map[string]any{"shock_prob": 0.0}},
+	{Type: "GPSTracker", Name: "truck-c-gps"},
+	{Type: "CargoSensor", Name: "truck-c-cargo", Config: map[string]any{"shock_prob": 0.0}},
+	{Type: "Truck", Name: "truck-a",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"truck-a-gps", "truck-a-cargo"}},
+	{Type: "Truck", Name: "truck-b",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"truck-b-gps", "truck-b-cargo"}},
+	{Type: "Truck", Name: "truck-c",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"truck-c-gps", "truck-c-cargo"}},
+	{Type: "ColdChain", Name: "coldchain",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"truck-a-cargo", "truck-b-cargo", "truck-c-cargo"}},
+	{Type: "SupplyChain", Name: "logistics",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"truck-a", "truck-b", "truck-c"}},
+}

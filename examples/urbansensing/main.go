@@ -16,6 +16,7 @@ import (
 	"time"
 
 	digibox "repro"
+	"repro/internal/vet/vettest"
 )
 
 func main() {
@@ -28,23 +29,10 @@ func main() {
 	}
 	defer tb.Stop()
 
+	// The whole deployment comes from the vetted scene table; the two
+	// phones start attached to market street.
 	streets := []string{"market-st", "mission-st"}
-	for _, st := range streets {
-		must(tb.Run("Street", st, map[string]any{"managed": false}))
-		must(tb.Run("NoiseSensor", st+"-noise", nil))
-		must(tb.Run("AirQuality", st+"-air", nil))
-		must(tb.Attach(st+"-noise", st))
-		must(tb.Attach(st+"-air", st))
-	}
-	must(tb.Run("City", "sf", map[string]any{"managed": false}))
-	for _, st := range streets {
-		must(tb.Attach(st, "sf"))
-	}
-	// Two phones start on market street.
-	for _, phone := range []string{"phone-1", "phone-2"} {
-		must(tb.Run("GPSTracker", phone, nil))
-		must(tb.Attach(phone, "market-st"))
-	}
+	must(vettest.Deploy(tb, digis))
 
 	cli := tb.RESTClient()
 	sample := func(street string) (db, pm25 float64) {

@@ -1,0 +1,26 @@
+package main
+
+import "repro/internal/vet/vettest"
+
+// digis is the urban-sensing deployment (§5) in declarative form: a
+// city scene driving two streets, each with fixed noise and air
+// sensors, and two phones that start on market street (mobility is
+// exercised at run time by re-attaching them). main deploys this
+// table; the vet test asserts the setup it emits is statically clean.
+var digis = []vettest.Digi{
+	{Type: "NoiseSensor", Name: "market-st-noise"},
+	{Type: "AirQuality", Name: "market-st-air"},
+	{Type: "NoiseSensor", Name: "mission-st-noise"},
+	{Type: "AirQuality", Name: "mission-st-air"},
+	{Type: "GPSTracker", Name: "phone-1"},
+	{Type: "GPSTracker", Name: "phone-2"},
+	{Type: "Street", Name: "market-st",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"market-st-noise", "market-st-air", "phone-1", "phone-2"}},
+	{Type: "Street", Name: "mission-st",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"mission-st-noise", "mission-st-air"}},
+	{Type: "City", Name: "sf",
+		Config: map[string]any{"managed": false},
+		Attach: []string{"market-st", "mission-st"}},
+}

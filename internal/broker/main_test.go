@@ -1,0 +1,14 @@
+package broker
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/vet/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine (a stuck
+// session writer, an unclosed listener accept loop).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -79,6 +79,43 @@ func matchLevels(filter, topic []string) bool {
 	return len(topic) == len(filter)
 }
 
+// FiltersOverlap reports whether two subscription filters can match a
+// common concrete topic — e.g. "a/+/c" and "a/b/#" both match "a/b/c".
+// The $-prefix rule carries over: a filter whose first level is a
+// literal "$..." level never overlaps one starting with a wildcard,
+// because wildcards at the first level cannot match "$" topics.
+func FiltersOverlap(a, b string) bool {
+	al := strings.Split(a, "/")
+	bl := strings.Split(b, "/")
+	dollar := func(l []string) bool { return strings.HasPrefix(l[0], "$") }
+	wild := func(l []string) bool { return l[0] == "+" || l[0] == "#" }
+	if (dollar(al) && wild(bl)) || (dollar(bl) && wild(al)) {
+		return false
+	}
+	return overlapLevels(al, bl)
+}
+
+func overlapLevels(a, b []string) bool {
+	if len(a) == 0 && len(b) == 0 {
+		return true
+	}
+	// "x/#" matches "x" itself, so an exhausted side still overlaps a
+	// remainder that is exactly ["#"].
+	if len(a) == 0 {
+		return len(b) == 1 && b[0] == "#"
+	}
+	if len(b) == 0 {
+		return len(a) == 1 && a[0] == "#"
+	}
+	if a[0] == "#" || b[0] == "#" {
+		return true
+	}
+	if a[0] == "+" || b[0] == "+" || a[0] == b[0] {
+		return overlapLevels(a[1:], b[1:])
+	}
+	return false
+}
+
 // subTrie indexes subscriptions by topic filter for O(levels) matching
 // instead of scanning every subscription per publish. Each node maps a
 // topic level to children, with the special child keys "+" and "#".

@@ -69,6 +69,110 @@ func TestMatchTopic(t *testing.T) {
 	}
 }
 
+// Wildcard edge cases pinned as a regression suite: '#' at the root,
+// '+' adjacent to '#', empty levels, and $-prefixed topics.
+func TestMatchTopicWildcardEdgeCases(t *testing.T) {
+	cases := []struct {
+		filter, topic string
+		want          bool
+	}{
+		// '#' at the root matches everything not $-prefixed, including
+		// topics with empty levels.
+		{"#", "a", true},
+		{"#", "a/b/c/d", true},
+		{"#", "/", true},
+		{"#", "", true},
+		{"#", "$internal", false},
+		// '+' adjacent to '#'.
+		{"+/#", "a", true}, // '+' consumes "a", then '#' matches the parent
+		{"+/#", "a/b", true},
+		{"+/#", "a/b/c", true},
+		{"+/#", "/", true},     // '+' matches the empty first level
+		{"a/+/#", "a/b", true}, // '#' matches the parent "a/b"
+		{"a/+/#", "a", false},  // nothing for '+' to consume
+		{"+/+/#", "a/b", true}, // parent-level '#': "a/b" has exactly 2 levels
+		{"+/+/#", "a", false},
+		// Empty levels are real levels.
+		{"a//b", "a/b", false},
+		{"a/+/b", "a//b", true},
+		{"+", "", true}, // "" is one empty level
+		{"+/+", "/", true},
+		{"a/b/", "a/b", false},  // trailing empty level is distinct
+		{"a/b/+", "a/b/", true}, // '+' matches the trailing empty level
+		// $-prefixed topics are invisible to first-level wildcards only.
+		{"$SYS/#", "$SYS/broker/load", true},
+		{"$SYS/+", "$SYS/x", true},
+		{"+/broker", "$SYS/broker", false},
+		{"#", "$SYS", false},
+		{"a/$x", "a/$x", true}, // '$' only special at the first level
+		{"a/+", "a/$x", true},
+	}
+	for _, c := range cases {
+		if got := MatchTopic(c.filter, c.topic); got != c.want {
+			t.Errorf("MatchTopic(%q, %q) = %v, want %v", c.filter, c.topic, got, c.want)
+		}
+	}
+}
+
+func TestFiltersOverlap(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"a/b", "a/b", true},
+		{"a/b", "a/c", false},
+		{"a/+", "a/b", true},
+		{"a/+/c", "a/b/#", true}, // both match a/b/c
+		{"a/#", "b/#", false},
+		{"#", "anything/at/all", true},
+		{"#", "+", true},
+		{"+", "a", true},
+		{"+", "a/b", false}, // one level vs two
+		{"a/#", "a", true},  // "a/#" matches "a" itself
+		{"a/b/#", "a/b", true},
+		{"a/b/#", "a", false},     // "a/b/#" can't match the single level "a"
+		{"a/+/c", "+/b/+", true},  // both match a/b/c
+		{"a/+/c", "+/b/d", false}, // last level differs
+		{"a//b", "a/+/b", true},   // '+' matches the empty level
+		// $-prefixed literal first levels never overlap wildcard first
+		// levels (wildcards can't match $ topics).
+		{"$SYS/x", "+/x", false},
+		{"$SYS/x", "#", false},
+		{"$SYS/x", "$SYS/+", true}, // literal $ level on both sides is fine
+		{"$SYS/#", "$SYS/broker", true},
+	}
+	for _, c := range cases {
+		if got := FiltersOverlap(c.a, c.b); got != c.want {
+			t.Errorf("FiltersOverlap(%q, %q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+		if got := FiltersOverlap(c.b, c.a); got != c.want {
+			t.Errorf("FiltersOverlap(%q, %q) = %v, want %v (asymmetric)", c.b, c.a, got, c.want)
+		}
+	}
+}
+
+// Property: if both filters match a common random topic, FiltersOverlap
+// must report true (it may also be true for pairs whose witness topic
+// the generator never produced, so only one direction is checked).
+func TestQuickFiltersOverlapSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		a := genTopic(r, true)
+		b := genTopic(r, true)
+		for trial := 0; trial < 20; trial++ {
+			topic := genTopic(r, false)
+			if MatchTopic(a, topic) && MatchTopic(b, topic) && !FiltersOverlap(a, b) {
+				t.Logf("filters %q and %q both match %q but FiltersOverlap is false", a, b, topic)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func collectClients(subs []*subscription) []string {
 	var out []string
 	seen := map[string]bool{}

@@ -2,13 +2,12 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/iac"
 	"repro/internal/model"
 	"repro/internal/repo"
 	"repro/internal/trace"
-	"repro/internal/yamlite"
+	"repro/internal/vet"
 )
 
 // errNoRepo is returned when a repository verb is used without a
@@ -46,8 +45,20 @@ func (tb *Testbed) CommitKind(typ string) (string, error) {
 // CommitScene implements "dbox commit NAME" on a scene: capture the
 // scene's attach subtree as a setup configuration (§3.4 "create a new
 // version of the scene that includes all the mocks or scenes attached
-// to it") and commit it, along with every kind it references.
+// to it") and commit it, along with every kind it references. The
+// repository's pre-commit vet gate rejects setups with error-severity
+// diagnostics; CommitSceneForce bypasses it.
 func (tb *Testbed) CommitScene(sceneName string) (string, error) {
+	return tb.commitScene(sceneName, false)
+}
+
+// CommitSceneForce implements "dbox commit -f NAME": commit even when
+// the vet gate finds error-severity diagnostics.
+func (tb *Testbed) CommitSceneForce(sceneName string) (string, error) {
+	return tb.commitScene(sceneName, true)
+}
+
+func (tb *Testbed) commitScene(sceneName string, force bool) (string, error) {
 	if err := tb.requireRepos(false); err != nil {
 		return "", err
 	}
@@ -74,6 +85,9 @@ func (tb *Testbed) CommitScene(sceneName string) (string, error) {
 	data, err := iac.Marshal(setup)
 	if err != nil {
 		return "", err
+	}
+	if force {
+		return tb.localRepo.ForceCommit(repo.Setups, sceneName, data)
 	}
 	return tb.localRepo.Commit(repo.Setups, sceneName, data)
 }
@@ -138,6 +152,11 @@ func (tb *Testbed) Recreate(setupName, version string) error {
 	data, err := tb.localRepo.Get(repo.Setups, setupName, version)
 	if err != nil {
 		return err
+	}
+	// Deploy-path vet: a setup that slipped past the commit gate (hand
+	// tagged, pulled from an older remote) must not reach the cluster.
+	if diags := vet.Errors(vet.RunData(setupName, data, tb.localRepo.KindSource())); len(diags) > 0 {
+		return fmt.Errorf("core: setup %s fails vet: %s", setupName, vet.Summary(diags))
 	}
 	setup, err := iac.Unmarshal(data)
 	if err != nil {
@@ -213,132 +232,15 @@ func (tb *Testbed) PullTrace(name, version string) ([]trace.Record, error) {
 }
 
 // EncodeSchema renders a schema as the canonical repository document.
+// It is a thin alias of model.EncodeSchema, kept here because the
+// repository workflow verbs are this package's surface.
 func EncodeSchema(s *model.Schema) ([]byte, error) {
-	fields := map[string]any{}
-	for name, f := range s.Fields {
-		spec := map[string]any{"kind": string(f.Kind)}
-		if f.ElemKind != "" {
-			spec["elem"] = string(f.ElemKind)
-		}
-		if len(f.Enum) > 0 {
-			enum := make([]any, len(f.Enum))
-			for i, e := range f.Enum {
-				enum[i] = e
-			}
-			spec["enum"] = enum
-		}
-		if f.Min != nil {
-			spec["min"] = *f.Min
-		}
-		if f.Max != nil {
-			spec["max"] = *f.Max
-		}
-		if f.Default != nil {
-			spec["default"] = normalizeForYAML(f.Default)
-		}
-		if f.Doc != "" {
-			spec["doc"] = f.Doc
-		}
-		fields[name] = spec
-	}
-	doc := map[string]any{
-		"kind":    s.Type,
-		"version": s.Version,
-		"scene":   s.Scene,
-		"fields":  fields,
-	}
-	if s.Doc != "" {
-		doc["doc"] = s.Doc
-	}
-	return yamlite.Encode(doc)
+	return model.EncodeSchema(s)
 }
 
 // DecodeSchema parses a repository kind document back into a schema,
 // enabling a pulling Digibox to inspect kinds it does not have code
-// for ("dbox pull TYPE" browsing).
+// for ("dbox pull TYPE" browsing). Alias of model.DecodeSchema.
 func DecodeSchema(data []byte) (*model.Schema, error) {
-	v, err := yamlite.Decode(data)
-	if err != nil {
-		return nil, err
-	}
-	m, ok := v.(map[string]any)
-	if !ok {
-		return nil, fmt.Errorf("core: schema document is %T", v)
-	}
-	s := &model.Schema{Fields: map[string]model.FieldSpec{}}
-	s.Type, _ = m["kind"].(string)
-	s.Version, _ = m["version"].(string)
-	s.Scene, _ = m["scene"].(bool)
-	s.Doc, _ = m["doc"].(string)
-	if s.Type == "" {
-		return nil, fmt.Errorf("core: schema document missing kind")
-	}
-	fields, _ := m["fields"].(map[string]any)
-	names := make([]string, 0, len(fields))
-	for n := range fields {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		raw, ok := fields[n].(map[string]any)
-		if !ok {
-			return nil, fmt.Errorf("core: field %q malformed", n)
-		}
-		var f model.FieldSpec
-		if k, ok := raw["kind"].(string); ok {
-			f.Kind = model.FieldKind(k)
-		}
-		if e, ok := raw["elem"].(string); ok {
-			f.ElemKind = model.FieldKind(e)
-		}
-		if enum, ok := raw["enum"].([]any); ok {
-			for _, e := range enum {
-				if sv, ok := e.(string); ok {
-					f.Enum = append(f.Enum, sv)
-				}
-			}
-		}
-		if v, ok := raw["min"]; ok {
-			if fv, ok := toFloat(v); ok {
-				f.Min = model.Bound(fv)
-			}
-		}
-		if v, ok := raw["max"]; ok {
-			if fv, ok := toFloat(v); ok {
-				f.Max = model.Bound(fv)
-			}
-		}
-		if v, ok := raw["default"]; ok {
-			f.Default = v
-		}
-		if d, ok := raw["doc"].(string); ok {
-			f.Doc = d
-		}
-		s.Fields[n] = f
-	}
-	return s, nil
-}
-
-func toFloat(v any) (float64, bool) {
-	switch t := v.(type) {
-	case float64:
-		return t, true
-	case int64:
-		return float64(t), true
-	case int:
-		return float64(t), true
-	}
-	return 0, false
-}
-
-// normalizeForYAML converts defaults to the yamlite dynamic domain.
-func normalizeForYAML(v any) any {
-	switch t := v.(type) {
-	case int:
-		return int64(t)
-	case float32:
-		return float64(t)
-	default:
-		return v
-	}
+	return model.DecodeSchema(data)
 }

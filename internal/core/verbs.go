@@ -9,6 +9,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/property"
 	"repro/internal/trace"
+	"repro/internal/vet"
 )
 
 // Run implements "dbox run TYPE NAME": instantiate a model of the
@@ -25,6 +26,9 @@ func (tb *Testbed) Run(typ, name string, config map[string]any) error {
 	}
 	if err := kind.Schema.Validate(doc); err != nil {
 		return err
+	}
+	if diags := vet.Errors(vet.CheckDoc(doc)); len(diags) > 0 {
+		return fmt.Errorf("core: %s fails vet: %s", name, vet.Summary(diags))
 	}
 	if err := tb.Store.Create(doc); err != nil {
 		return err

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"repro/internal/repo"
+	"repro/internal/vet"
+)
+
+// VetSetup implements "dbox vet NAME": run the analyzers over a
+// committed setup (empty version = latest) against the local
+// repository's kinds.
+func (tb *Testbed) VetSetup(name, version string) ([]vet.Diagnostic, error) {
+	if err := tb.requireRepos(false); err != nil {
+		return nil, err
+	}
+	data, err := tb.localRepo.Get(repo.Setups, name, version)
+	if err != nil {
+		return nil, err
+	}
+	return vet.RunData(name, data, tb.localRepo.KindSource()), nil
+}
+
+// VetAll implements "dbox vet --all": analyze the latest version of
+// every committed setup. The map is keyed by setup name; setups with
+// no diagnostics map to a nil slice, so callers can render clean
+// setups too.
+func (tb *Testbed) VetAll() (map[string][]vet.Diagnostic, error) {
+	if err := tb.requireRepos(false); err != nil {
+		return nil, err
+	}
+	names, err := tb.localRepo.List(repo.Setups)
+	if err != nil {
+		return nil, err
+	}
+	out := map[string][]vet.Diagnostic{}
+	for _, name := range names {
+		diags, err := tb.VetSetup(name, "")
+		if err != nil {
+			return nil, err
+		}
+		out[name] = diags
+	}
+	return out, nil
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/trace"
+	"repro/internal/vet"
 )
 
 // Server exposes a testbed over HTTP.
@@ -56,6 +57,16 @@ type CommitRequest struct {
 	Name string `json:"name"`
 	// Kind commits a type definition instead of a scene setup.
 	Kind bool `json:"kind,omitempty"`
+	// Force bypasses the vet pre-commit gate ("dbox commit -f").
+	Force bool `json:"force,omitempty"`
+}
+
+// VetRequest is the body of POST /ctl/vet: analyze one committed setup
+// (empty version = latest) or, with All, every committed setup.
+type VetRequest struct {
+	Name    string `json:"name,omitempty"`
+	Version string `json:"version,omitempty"`
+	All     bool   `json:"all,omitempty"`
 }
 
 // ShareRequest is the body of POST /ctl/push and /ctl/pull.
@@ -119,6 +130,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ctl/attach", s.handleAttach)
 	mux.HandleFunc("POST /ctl/edit", s.handleEdit)
 	mux.HandleFunc("POST /ctl/commit", s.handleCommit)
+	mux.HandleFunc("POST /ctl/vet", s.handleVet)
 	mux.HandleFunc("POST /ctl/push", s.handlePush)
 	mux.HandleFunc("POST /ctl/pull", s.handlePull)
 	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
@@ -286,9 +298,12 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 	}
 	var version string
 	var err error
-	if req.Kind {
+	switch {
+	case req.Kind:
 		version, err = s.TB.CommitKind(req.Name)
-	} else {
+	case req.Force:
+		version, err = s.TB.CommitSceneForce(req.Name)
+	default:
 		version, err = s.TB.CommitScene(req.Name)
 	}
 	if err != nil {
@@ -296,6 +311,30 @@ func (s *Server) handleCommit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"version": version})
+}
+
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	var req VetRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	results := map[string][]vet.Diagnostic{}
+	if req.All {
+		all, err := s.TB.VetAll()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		results = all
+	} else {
+		diags, err := s.TB.VetSetup(req.Name, req.Version)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		results[req.Name] = diags
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
 func (s *Server) handlePush(w http.ResponseWriter, r *http.Request) {
@@ -523,15 +562,28 @@ func (c *Client) Edit(name string, patch map[string]any) error {
 	return c.post("/ctl/edit", EditRequest{Name: name, Patch: patch}, nil)
 }
 
-// Commit issues dbox commit; kind selects type vs scene commit.
-func (c *Client) Commit(name string, kind bool) (string, error) {
+// Commit issues dbox commit; kind selects type vs scene commit; force
+// bypasses the vet pre-commit gate.
+func (c *Client) Commit(name string, kind, force bool) (string, error) {
 	var resp struct {
 		Version string `json:"version"`
 	}
-	if err := c.post("/ctl/commit", CommitRequest{Name: name, Kind: kind}, &resp); err != nil {
+	if err := c.post("/ctl/commit", CommitRequest{Name: name, Kind: kind, Force: force}, &resp); err != nil {
 		return "", err
 	}
 	return resp.Version, nil
+}
+
+// Vet analyzes one committed setup (all=false) or every committed
+// setup (all=true), returning diagnostics keyed by setup name.
+func (c *Client) Vet(name, version string, all bool) (map[string][]vet.Diagnostic, error) {
+	var resp struct {
+		Results map[string][]vet.Diagnostic `json:"results"`
+	}
+	if err := c.post("/ctl/vet", VetRequest{Name: name, Version: version, All: all}, &resp); err != nil {
+		return nil, err
+	}
+	return resp.Results, nil
 }
 
 // Push issues dbox push.

@@ -11,6 +11,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/property"
 	"repro/internal/scene"
+	"repro/internal/vet"
 )
 
 // startServer builds a full testbed + control server + client, wired
@@ -161,7 +162,7 @@ func TestShareWorkflowOverHTTP(t *testing.T) {
 	if err := dev.Edit("R1", map[string]any{"human_presence": true}); err != nil {
 		t.Fatal(err)
 	}
-	version, err := dev.Commit("R1", false)
+	version, err := dev.Commit("R1", false, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +176,7 @@ func TestShareWorkflowOverHTTP(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Kind commit via -k flag path.
-	if v, err := dev.Commit("Lamp", true); err != nil || v == "" {
+	if v, err := dev.Commit("Lamp", true, false); err != nil || v == "" {
 		t.Errorf("kind commit: %q %v", v, err)
 	}
 
@@ -202,6 +203,44 @@ func TestShareWorkflowOverHTTP(t *testing.T) {
 		return d != nil && d.GetBool("triggered")
 	}); err != nil {
 		t.Fatal("replay did not reproduce the recorded state")
+	}
+}
+
+func TestVetOverHTTP(t *testing.T) {
+	_, cli := startServer(t, "")
+	if err := cli.Run("Occupancy", "O1", nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Run("Room", "R1", map[string]any{"managed": false}); err != nil {
+		t.Fatal(err)
+	}
+	if err := cli.Attach("O1", "R1", false); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Commit("R1", false, false); err != nil {
+		t.Fatal(err)
+	}
+	results, err := cli.Vet("R1", "", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, ok := results["R1"]
+	if !ok {
+		t.Fatalf("results = %v", results)
+	}
+	if vet.HasErrors(diags) {
+		t.Errorf("committed scene not vet-clean: %s", vet.Text(diags))
+	}
+	// --all covers every committed setup.
+	all, err := cli.Vet("", "", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := all["R1"]; !ok {
+		t.Errorf("vet --all missing R1: %v", all)
+	}
+	if _, err := cli.Vet("no-such-setup", "", false); err == nil {
+		t.Error("vet of missing setup accepted")
 	}
 }
 
@@ -260,7 +299,7 @@ func TestControlAPIErrorPaths(t *testing.T) {
 	if _, err := cli.Replay("nothing", "", 0); err == nil {
 		t.Error("replay of missing trace accepted")
 	}
-	if _, err := cli.Commit("NoSuchScene", false); err == nil {
+	if _, err := cli.Commit("NoSuchScene", false, false); err == nil {
 		t.Error("commit of missing scene accepted")
 	}
 	if err := cli.Attach("a", "b", false); err == nil {

@@ -1,0 +1,40 @@
+package device
+
+import "repro/internal/vet"
+
+// Declared config bounds for the kind library's device-specific meta
+// keys, feeding the vet config-bounds analyzer (rule V011). Generic
+// keys (interval_ms, actuation_delay_ms, *_prob, X_min<=X_max pairs)
+// are checked by the rule itself; the declarations below capture the
+// physically meaningful ranges a mock should stay inside.
+func init() {
+	// Environmental sensors: plausible physical envelopes.
+	vet.DeclareConfigBounds("TemperatureSensor", "temp_min", -50, 100)
+	vet.DeclareConfigBounds("TemperatureSensor", "temp_max", -50, 100)
+	vet.DeclareConfigBounds("HumiditySensor", "hum_min", 0, 100)
+	vet.DeclareConfigBounds("HumiditySensor", "hum_max", 0, 100)
+	vet.DeclareConfigBounds("CO2Sensor", "co2_min", 0, 50000)
+	vet.DeclareConfigBounds("CO2Sensor", "co2_max", 0, 50000)
+	vet.DeclareConfigBounds("CO2Sensor", "co2_alert", 0, 50000)
+	vet.DeclareConfigBounds("AirQuality", "pm25_min", 0, 1000)
+	vet.DeclareConfigBounds("AirQuality", "pm25_max", 0, 1000)
+	vet.DeclareConfigBounds("NoiseSensor", "db_min", 0, 194)
+	vet.DeclareConfigBounds("NoiseSensor", "db_max", 0, 194)
+	vet.DeclareConfigBounds("NoiseSensor", "noise_alert", 0, 194)
+
+	// Trackers.
+	vet.DeclareConfigBounds("EnergyMeter", "watts_min", 0, 1e6)
+	vet.DeclareConfigBounds("EnergyMeter", "watts_max", 0, 1e6)
+	vet.DeclareConfigBounds("GPSTracker", "cruise_kmh", 0, 400)
+	vet.DeclareConfigBounds("GPSTracker", "max_kmh", 0, 400)
+	vet.DeclareConfigBounds("CargoSensor", "temp_min", -50, 100)
+	vet.DeclareConfigBounds("CargoSensor", "temp_max", -50, 100)
+
+	// Actuators.
+	vet.DeclareConfigBounds("HVAC", "thermal_rate", 0, 10)
+	vet.DeclareConfigBounds("HVAC", "ambient_temp", -50, 60)
+	vet.DeclareConfigBounds("Thermostat", "temp_min", -50, 100)
+	vet.DeclareConfigBounds("Thermostat", "temp_max", -50, 100)
+	vet.DeclareConfigBounds("Camera", "fps_per_tick", 0, 100000)
+	vet.DeclareConfigBounds("SmartPlug", "load_watts", 0, 1e6)
+}

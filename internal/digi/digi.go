@@ -283,15 +283,21 @@ func (c *Ctx) Sleep(d time.Duration) bool {
 	}
 }
 
-// Publish sends a status message to the broker on the digi's topic
-// (digibox/<name>/status) and logs it. Fields are JSON-encoded with
-// deterministic key order.
+// Publish sends a status message to the broker on the digi's topic and
+// logs it. The topic is the meta config "topic" override if set, else
+// digibox/<name>/status. Fields are JSON-encoded with deterministic
+// key order.
 func (c *Ctx) Publish(fields map[string]any) error {
 	payload, err := json.Marshal(fields)
 	if err != nil {
 		return fmt.Errorf("digi: publish %s: %w", c.Name, err)
 	}
 	topic := c.rt.topic(c.Name)
+	if v, ok := c.Config("topic"); ok {
+		if s, ok := v.(string); ok && s != "" {
+			topic = s
+		}
+	}
 	c.rt.Log.Message(c.Name, topic, string(payload), "send")
 	if c.rt.Broker != nil {
 		return c.rt.Broker.Publish(topic, payload, true)

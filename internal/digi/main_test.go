@@ -1,0 +1,14 @@
+package digi
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/vet/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine (a digi
+// reconciler or generator loop that survives Stop).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -52,8 +52,23 @@ func Marshal(s *Setup) ([]byte, error) {
 	return yamlite.EncodeAll(docs)
 }
 
-// Unmarshal parses a setup configuration.
+// Unmarshal parses a setup configuration and validates its internal
+// consistency.
 func Unmarshal(data []byte) (*Setup, error) {
+	s, err := Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	if err := Validate(s); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// Parse decodes a setup configuration without validating it. Analysis
+// tools (internal/vet) use it to report rich diagnostics on setups
+// Validate would reject at the first problem.
+func Parse(data []byte) (*Setup, error) {
 	docs, err := yamlite.DecodeAll(data)
 	if err != nil {
 		return nil, err
@@ -85,9 +100,6 @@ func Unmarshal(data []byte) (*Setup, error) {
 			return nil, fmt.Errorf("iac: document %d is not a model", i+1)
 		}
 		s.Models = append(s.Models, model.Doc(m))
-	}
-	if err := Validate(s); err != nil {
-		return nil, err
 	}
 	return s, nil
 }

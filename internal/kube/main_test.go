@@ -1,0 +1,14 @@
+package kube
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/vet/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine (a
+// reconciler loop or pod-phase watcher that outlives its test).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

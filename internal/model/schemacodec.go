@@ -1,0 +1,117 @@
+package model
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/yamlite"
+)
+
+// EncodeSchema renders a schema as the canonical repository kind
+// document — what "dbox commit -k TYPE" stores and what setups pin by
+// version.
+func EncodeSchema(s *Schema) ([]byte, error) {
+	fields := map[string]any{}
+	for name, f := range s.Fields {
+		spec := map[string]any{"kind": string(f.Kind)}
+		if f.ElemKind != "" {
+			spec["elem"] = string(f.ElemKind)
+		}
+		if len(f.Enum) > 0 {
+			enum := make([]any, len(f.Enum))
+			for i, e := range f.Enum {
+				enum[i] = e
+			}
+			spec["enum"] = enum
+		}
+		if f.Min != nil {
+			spec["min"] = *f.Min
+		}
+		if f.Max != nil {
+			spec["max"] = *f.Max
+		}
+		if f.Default != nil {
+			spec["default"] = normalize(f.Default)
+		}
+		if f.Doc != "" {
+			spec["doc"] = f.Doc
+		}
+		fields[name] = spec
+	}
+	doc := map[string]any{
+		"kind":    s.Type,
+		"version": s.Version,
+		"scene":   s.Scene,
+		"fields":  fields,
+	}
+	if s.Doc != "" {
+		doc["doc"] = s.Doc
+	}
+	return yamlite.Encode(doc)
+}
+
+// DecodeSchema parses a repository kind document back into a schema,
+// enabling a pulling Digibox (or an analyzer) to inspect kinds it does
+// not have code for.
+func DecodeSchema(data []byte) (*Schema, error) {
+	v, err := yamlite.Decode(data)
+	if err != nil {
+		return nil, err
+	}
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("model: schema document is %T", v)
+	}
+	s := &Schema{Fields: map[string]FieldSpec{}}
+	s.Type, _ = m["kind"].(string)
+	s.Version, _ = m["version"].(string)
+	s.Scene, _ = m["scene"].(bool)
+	s.Doc, _ = m["doc"].(string)
+	if s.Type == "" {
+		return nil, fmt.Errorf("model: schema document missing kind")
+	}
+	fields, _ := m["fields"].(map[string]any)
+	names := make([]string, 0, len(fields))
+	for n := range fields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		raw, ok := fields[n].(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("model: field %q malformed", n)
+		}
+		var f FieldSpec
+		if k, ok := raw["kind"].(string); ok {
+			f.Kind = FieldKind(k)
+		}
+		if e, ok := raw["elem"].(string); ok {
+			f.ElemKind = FieldKind(e)
+		}
+		if enum, ok := raw["enum"].([]any); ok {
+			for _, e := range enum {
+				if sv, ok := e.(string); ok {
+					f.Enum = append(f.Enum, sv)
+				}
+			}
+		}
+		if v, ok := raw["min"]; ok {
+			if fv, ok := toFloat(v); ok {
+				f.Min = Bound(fv)
+			}
+		}
+		if v, ok := raw["max"]; ok {
+			if fv, ok := toFloat(v); ok {
+				f.Max = Bound(fv)
+			}
+		}
+		if v, ok := raw["default"]; ok {
+			f.Default = v
+		}
+		if d, ok := raw["doc"].(string); ok {
+			f.Doc = d
+		}
+		s.Fields[n] = f
+	}
+	return s, nil
+}

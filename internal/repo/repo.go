@@ -22,6 +22,8 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+
+	"repro/internal/vet"
 )
 
 // RefClass partitions the reference namespace.
@@ -42,6 +44,10 @@ var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
 // ErrNotFound is returned when an object or ref does not exist.
 var ErrNotFound = errors.New("repo: not found")
+
+// ErrVetFailed is returned by Commit when a setup carries
+// error-severity vet diagnostics; ForceCommit bypasses the gate.
+var ErrVetFailed = errors.New("repo: setup fails vet")
 
 // Repo is a repository rooted at a directory. Safe for use by multiple
 // goroutines as long as they operate on distinct refs (matching Git's
@@ -116,9 +122,27 @@ func (r *Repo) objectPath(hash string) string {
 // assigned version ("v1", "v2", ...). If the content is identical to
 // the latest version, that version is returned without creating a new
 // one (committing an unchanged setup is a no-op, like Git).
+//
+// Setup commits pass through the vet pre-commit gate: a setup with
+// error-severity diagnostics is refused. ForceCommit bypasses the gate.
 func (r *Repo) Commit(class RefClass, name string, data []byte) (string, error) {
+	return r.commit(class, name, data, false)
+}
+
+// ForceCommit is Commit without the vet pre-commit gate ("dbox commit
+// -f"): the setup is stored even if vet reports error diagnostics.
+func (r *Repo) ForceCommit(class RefClass, name string, data []byte) (string, error) {
+	return r.commit(class, name, data, true)
+}
+
+func (r *Repo) commit(class RefClass, name string, data []byte, force bool) (string, error) {
 	if !nameRe.MatchString(name) {
 		return "", fmt.Errorf("repo: invalid name %q", name)
+	}
+	if class == Setups && !force {
+		if diags := vet.Errors(vet.RunData(name, data, r.KindSource())); len(diags) > 0 {
+			return "", fmt.Errorf("%w: %s (use force to commit anyway): %s", ErrVetFailed, name, vet.Summary(diags))
+		}
 	}
 	hash, err := r.PutObject(data)
 	if err != nil {
@@ -246,6 +270,19 @@ func (r *Repo) List(class RefClass) ([]string, error) {
 	}
 	sort.Strings(out)
 	return out, nil
+}
+
+// KindSource returns a vet.KindSource view of the repository's kinds
+// class, for resolving the schema contracts a setup's kind references
+// pin during analysis.
+func (r *Repo) KindSource() vet.KindSource {
+	return repoKindSource{r}
+}
+
+type repoKindSource struct{ r *Repo }
+
+func (k repoKindSource) KindDoc(typ, version string) ([]byte, error) {
+	return k.r.Get(Kinds, typ, version)
 }
 
 // Push copies class/name (all versions, with objects) to the remote

@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"reflect"
 	"testing"
+
+	"repro/internal/model"
 	"testing/quick"
 )
 
@@ -84,11 +86,11 @@ func TestCommitAssignsVersions(t *testing.T) {
 func TestVersionOrderingIsNumeric(t *testing.T) {
 	r := open(t)
 	for i := 0; i < 12; i++ {
-		if _, err := r.Commit(Setups, "big", []byte(fmt.Sprintf("content %d", i))); err != nil {
+		if _, err := r.Commit(Traces, "big", []byte(fmt.Sprintf("content %d", i))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	vs, _ := r.Versions(Setups, "big")
+	vs, _ := r.Versions(Traces, "big")
 	if vs[len(vs)-1] != "v12" || vs[1] != "v2" {
 		t.Errorf("versions = %v (lexicographic ordering bug: v10 < v2?)", vs)
 	}
@@ -146,8 +148,10 @@ func TestPushPull(t *testing.T) {
 	remote := open(t)
 	other := open(t)
 
-	local.Commit(Setups, "smartbuilding", []byte("setup v1"))
-	local.Commit(Setups, "smartbuilding", []byte("setup v2"))
+	setupV1 := []byte("setup: smartbuilding\nrev: one\n")
+	setupV2 := []byte("setup: smartbuilding\nrev: two\n")
+	local.Commit(Setups, "smartbuilding", setupV1)
+	local.Commit(Setups, "smartbuilding", setupV2)
 	if err := local.Push(remote, Setups, "smartbuilding"); err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +160,7 @@ func TestPushPull(t *testing.T) {
 		t.Fatal(err)
 	}
 	data, err := other.Get(Setups, "smartbuilding", "v2")
-	if err != nil || string(data) != "setup v2" {
+	if err != nil || !bytes.Equal(data, setupV2) {
 		t.Fatalf("pulled = %q, %v", data, err)
 	}
 	vs, _ := other.Versions(Setups, "smartbuilding")
@@ -191,7 +195,7 @@ func TestList(t *testing.T) {
 	r := open(t)
 	r.Commit(Kinds, "Lamp", []byte("x"))
 	r.Commit(Kinds, "Fan", []byte("y"))
-	r.Commit(Setups, "home", []byte("z"))
+	r.Commit(Setups, "home", []byte("setup: home\n"))
 	kinds, err := r.List(Kinds)
 	if err != nil || !reflect.DeepEqual(kinds, []string{"Fan", "Lamp"}) {
 		t.Errorf("kinds = %v, %v", kinds, err)
@@ -199,6 +203,54 @@ func TestList(t *testing.T) {
 	setups, _ := r.List(Setups)
 	if !reflect.DeepEqual(setups, []string{"home"}) {
 		t.Errorf("setups = %v", setups)
+	}
+}
+
+func TestCommitVetsSetups(t *testing.T) {
+	r := open(t)
+	// A setup whose single model attaches a child that does not exist
+	// fails vet with an error-severity diagnostic (V001).
+	bad := []byte(`setup: broken
+---
+meta:
+  type: Room
+  version: v1
+  name: room
+  attach: [ghost]
+`)
+	if _, err := r.Commit(Setups, "broken", bad); err == nil {
+		t.Fatal("vet-failing setup committed")
+	} else if !errors.Is(err, ErrVetFailed) {
+		t.Errorf("err = %v, want ErrVetFailed", err)
+	}
+	// ForceCommit bypasses the gate.
+	if v, err := r.ForceCommit(Setups, "broken", bad); err != nil || v != "v1" {
+		t.Errorf("ForceCommit = %q, %v", v, err)
+	}
+	// A clean setup (with its kind committed so the reference resolves)
+	// commits normally.
+	schema, err := model.EncodeSchema(&model.Schema{Type: "Room", Version: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Commit(Kinds, "Room", schema); err != nil {
+		t.Fatal(err)
+	}
+	good := []byte(`setup: fine
+kinds:
+  Room: v1
+---
+meta:
+  type: Room
+  version: v1
+  name: room
+`)
+	if v, err := r.Commit(Setups, "fine", good); err != nil || v != "v1" {
+		t.Errorf("clean Commit = %q, %v", v, err)
+	}
+	// Non-setup classes are never vetted.
+	if _, err := r.Commit(Kinds, "garbage", []byte("not yaml at all: [")); err != nil {
+		t.Errorf("kind commit vetted: %v", err)
 	}
 }
 

@@ -1,0 +1,167 @@
+// Package leakcheck is a hand-rolled goroutine-leak checker for test
+// mains, stdlib-only. Snapshot the running goroutines before the tests,
+// run them, and diff afterwards: anything new that is not a known
+// benign runtime/testing goroutine is a leak. The final check retries
+// over a grace window, because goroutines wound down by t.Cleanup or
+// Close calls need a moment to exit.
+//
+// Usage, from a package's TestMain:
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m)) }
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// stackBuf sizes the runtime.Stack snapshot; grown until the dump fits.
+const stackBuf = 1 << 20
+
+// grace is how long Check waits for stragglers to exit before calling
+// them leaks.
+const grace = 5 * time.Second
+
+// goroutine is one parsed entry of a runtime.Stack(all=true) dump.
+type goroutine struct {
+	id    int64
+	state string
+	stack string // full text: header plus frames
+}
+
+// snapshot parses the current all-goroutine stack dump.
+func snapshot() []goroutine {
+	buf := make([]byte, stackBuf)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []goroutine
+	for _, entry := range strings.Split(string(buf), "\n\n") {
+		g, ok := parseGoroutine(entry)
+		if ok {
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// parseGoroutine parses one "goroutine N [state]:" entry.
+func parseGoroutine(entry string) (goroutine, bool) {
+	entry = strings.TrimSpace(entry)
+	if !strings.HasPrefix(entry, "goroutine ") {
+		return goroutine{}, false
+	}
+	header, _, _ := strings.Cut(entry, "\n")
+	rest := strings.TrimPrefix(header, "goroutine ")
+	idStr, state, ok := strings.Cut(rest, " ")
+	if !ok {
+		return goroutine{}, false
+	}
+	id, err := strconv.ParseInt(idStr, 10, 64)
+	if err != nil {
+		return goroutine{}, false
+	}
+	state = strings.TrimSuffix(strings.TrimPrefix(state, "["), "]:")
+	if i := strings.Index(state, ","); i >= 0 {
+		state = state[:i] // "[chan receive, 3 minutes]" -> "chan receive"
+	}
+	return goroutine{id: id, state: state, stack: entry}, true
+}
+
+// benign reports whether a goroutine belongs to the test harness or
+// runtime rather than code under test.
+func benign(g goroutine) bool {
+	for _, marker := range []string{
+		"testing.Main(",
+		"testing.tRunner(",
+		"testing.(*M).",
+		"testing.runTests(",
+		"runtime.goexit0",
+		"created by runtime",
+		"runtime.gc",
+		"runtime.MHeap_Scavenger",
+		"signal.signal_recv",
+		"sigterm.handler",
+		"os/signal.loop",
+		"runtime.ensureSigM",
+	} {
+		if strings.Contains(g.stack, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// leaked returns the goroutines running now that were not in the
+// baseline and are not benign.
+func leaked(baseline map[int64]bool) []goroutine {
+	var out []goroutine
+	for _, g := range snapshot() {
+		if baseline[g.id] || benign(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+// Check diffs the current goroutines against a baseline ID set,
+// retrying over the grace window until no new non-benign goroutines
+// remain. It returns an error describing the leaks if any survive.
+func Check(baseline map[int64]bool) error {
+	deadline := time.Now().Add(grace)
+	delay := 1 * time.Millisecond
+	var last []goroutine
+	for {
+		last = leaked(baseline)
+		if len(last) == 0 {
+			return nil
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(delay)
+		if delay < 100*time.Millisecond {
+			delay *= 2
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "leakcheck: %d leaked goroutine(s) after %v:\n", len(last), grace)
+	for _, g := range last {
+		fmt.Fprintf(&b, "\n%s\n", g.stack)
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Baseline captures the IDs of the goroutines running now.
+func Baseline() map[int64]bool {
+	ids := map[int64]bool{}
+	for _, g := range snapshot() {
+		ids[g.id] = true
+	}
+	return ids
+}
+
+// Main wraps m.Run with a leak check: it returns m.Run's exit code,
+// or 1 if the tests passed but goroutines leaked.
+func Main(m interface{ Run() int }) int {
+	baseline := Baseline()
+	code := m.Run()
+	if code != 0 {
+		return code
+	}
+	if err := Check(baseline); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	return code
+}

@@ -1,0 +1,72 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseGoroutine(t *testing.T) {
+	entry := "goroutine 7 [chan receive, 3 minutes]:\nmain.worker()\n\t/src/main.go:10 +0x20"
+	g, ok := parseGoroutine(entry)
+	if !ok {
+		t.Fatal("entry not parsed")
+	}
+	if g.id != 7 || g.state != "chan receive" {
+		t.Errorf("parsed = %+v", g)
+	}
+	if _, ok := parseGoroutine("not a goroutine header"); ok {
+		t.Error("garbage parsed as goroutine")
+	}
+}
+
+func TestSnapshotSeesSelf(t *testing.T) {
+	gs := snapshot()
+	if len(gs) == 0 {
+		t.Fatal("empty snapshot")
+	}
+	found := false
+	for _, g := range gs {
+		if strings.Contains(g.stack, "leakcheck.snapshot") || strings.Contains(g.stack, "TestSnapshotSeesSelf") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("snapshot does not include the calling goroutine")
+	}
+}
+
+func TestCheckCatchesLeak(t *testing.T) {
+	baseline := Baseline()
+	stop := make(chan struct{})
+	go func() { <-stop }() // deliberately parked goroutine
+	defer close(stop)
+
+	if got := leaked(baseline); len(got) == 0 {
+		t.Fatal("parked goroutine not reported as leaked")
+	}
+}
+
+func TestCheckPassesAfterGoroutineExits(t *testing.T) {
+	baseline := Baseline()
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(50 * time.Millisecond) // exits inside the grace window
+		close(done)
+	}()
+	if err := Check(baseline); err != nil {
+		t.Errorf("Check failed for a goroutine that exits within grace: %v", err)
+	}
+	<-done
+}
+
+func TestBenignFiltersTestHarness(t *testing.T) {
+	g := goroutine{stack: "goroutine 1 [chan receive]:\ntesting.(*M).Run(...)\n\t/usr/local/go/src/testing/testing.go:100"}
+	if !benign(g) {
+		t.Error("testing.M goroutine not considered benign")
+	}
+	g = goroutine{stack: "goroutine 9 [select]:\nrepro/internal/broker.(*Broker).serve(...)"}
+	if benign(g) {
+		t.Error("application goroutine considered benign")
+	}
+}

@@ -1,0 +1,526 @@
+package vet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/broker"
+	"repro/internal/model"
+)
+
+// The shipped analyzer suite. V000 (parse-error) is emitted by RunData
+// when the config does not parse at all; everything below analyzes a
+// parsed setup.
+func init() {
+	RegisterRule(Rule{
+		ID: "V001", Name: "dangling-attach", Severity: Error,
+		Doc: "an attach entry references a model that is not in the setup",
+		Run: ruleDanglingAttach,
+	})
+	RegisterRule(Rule{
+		ID: "V002", Name: "duplicate-attach", Severity: Error,
+		Doc: "a scene's attach list names the same child more than once",
+		Run: ruleDuplicateAttach,
+	})
+	RegisterRule(Rule{
+		ID: "V003", Name: "attach-cycle", Severity: Error,
+		Doc: "the attach hierarchy contains a cycle",
+		Run: ruleAttachCycle,
+	})
+	RegisterRule(Rule{
+		ID: "V004", Name: "orphan-model", Severity: Warning,
+		Doc: "a model is not reachable from any root scene",
+		Run: ruleOrphanModel,
+	})
+	RegisterRule(Rule{
+		ID: "V005", Name: "missing-kind-ref", Severity: Error,
+		Doc: "a model's type has no kind reference in the setup header",
+		Run: ruleMissingKindRef,
+	})
+	RegisterRule(Rule{
+		ID: "V006", Name: "kind-unresolved", Severity: Error,
+		Doc: "a kind reference pins a version the repository does not have",
+		Run: ruleKindUnresolved,
+	})
+	RegisterRule(Rule{
+		ID: "V007", Name: "schema-mismatch", Severity: Error,
+		Doc: "a model document does not conform to its committed kind schema",
+		Run: ruleSchemaMismatch,
+	})
+	RegisterRule(Rule{
+		ID: "V008", Name: "bad-topic", Severity: Error, Scope: DocScope,
+		Doc: "meta.topic or meta.subscribe is not valid MQTT topic syntax",
+		Run: ruleBadTopic,
+	})
+	RegisterRule(Rule{
+		ID: "V009", Name: "topic-collision", Severity: Error,
+		Doc: "two models publish status on the same MQTT topic",
+		Run: ruleTopicCollision,
+	})
+	RegisterRule(Rule{
+		ID: "V010", Name: "subscription-overlap", Severity: Warning,
+		Doc: "two models' subscription filters can match the same topic",
+		Run: ruleSubscriptionOverlap,
+	})
+	RegisterRule(Rule{
+		ID: "V011", Name: "config-bounds", Severity: Error, Scope: DocScope,
+		Doc: "a meta config value is outside its device bounds",
+		Run: ruleConfigBounds,
+	})
+	RegisterRule(Rule{
+		ID: "V012", Name: "bad-meta", Severity: Error,
+		Doc: "a model document has a broken meta section or a duplicate name",
+		Run: ruleBadMeta,
+	})
+}
+
+// modelNames indexes the setup's models by name, skipping documents
+// whose meta does not parse (V012 reports those).
+func modelNames(ctx *Context) map[string]model.Doc {
+	names := map[string]model.Doc{}
+	for _, m := range ctx.Setup.Models {
+		if n := m.Name(); n != "" {
+			names[n] = m
+		}
+	}
+	return names
+}
+
+func ruleBadMeta(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	seen := map[string]int{}
+	for i, m := range ctx.Setup.Models {
+		meta, err := m.Meta()
+		if err != nil {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: m.Name(),
+				Message: fmt.Sprintf("invalid meta section: %v", err),
+			})
+			continue
+		}
+		if first, dup := seen[meta.Name]; dup {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: meta.Name,
+				Message: fmt.Sprintf("duplicate model name %q (first defined in document %d)", meta.Name, first),
+			})
+			continue
+		}
+		seen[meta.Name] = i + 1
+	}
+	return out
+}
+
+func ruleDanglingAttach(ctx *Context) []Diagnostic {
+	names := modelNames(ctx)
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		reported := map[string]bool{} // repeats are V002's finding
+		for _, child := range m.Attach() {
+			if _, ok := names[child]; !ok && !reported[child] {
+				reported[child] = true
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: i + 1, Model: m.Name(),
+					Message: fmt.Sprintf("%q attaches unknown model %q", m.Name(), child),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func ruleDuplicateAttach(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		seen := map[string]bool{}
+		for _, child := range m.Attach() {
+			if seen[child] {
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: i + 1, Model: m.Name(),
+					Message: fmt.Sprintf("%q attaches %q more than once", m.Name(), child),
+				})
+				continue
+			}
+			seen[child] = true
+		}
+	}
+	return out
+}
+
+func ruleAttachCycle(ctx *Context) []Diagnostic {
+	names := modelNames(ctx)
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := map[string]int{}
+	var out []Diagnostic
+	var visit func(n string)
+	visit = func(n string) {
+		color[n] = gray
+		for _, child := range names[n].Attach() {
+			if _, ok := names[child]; !ok {
+				continue // dangling: V001's problem
+			}
+			switch color[child] {
+			case gray:
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: ctx.docIndex(n), Model: n,
+					Message: fmt.Sprintf("attach cycle through %q and %q", n, child),
+				})
+			case white:
+				visit(child)
+			}
+		}
+		color[n] = black
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		if color[n] == white {
+			visit(n)
+		}
+	}
+	return out
+}
+
+// isScene reports whether a model is a scene: by its committed schema
+// when resolvable, by a non-empty attach list otherwise.
+func isScene(ctx *Context, m model.Doc) bool {
+	if s, ok := ctx.schema(m.Type()); ok {
+		return s.Scene
+	}
+	return len(m.Attach()) > 0
+}
+
+func ruleOrphanModel(ctx *Context) []Diagnostic {
+	if len(ctx.Setup.Models) <= 1 {
+		return nil // a single-model setup has nothing to orphan
+	}
+	names := modelNames(ctx)
+	attached := map[string]bool{}
+	for _, m := range ctx.Setup.Models {
+		for _, c := range m.Attach() {
+			attached[c] = true
+		}
+	}
+	reachable := map[string]bool{}
+	var mark func(n string)
+	mark = func(n string) {
+		if reachable[n] {
+			return
+		}
+		reachable[n] = true
+		for _, c := range names[n].Attach() {
+			if _, ok := names[c]; ok {
+				mark(c)
+			}
+		}
+	}
+	for n, m := range names {
+		if !attached[n] && isScene(ctx, m) {
+			mark(n)
+		}
+	}
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		n := m.Name()
+		if n == "" || reachable[n] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Severity: Warning, Doc: i + 1, Model: n,
+			Message: fmt.Sprintf("%q is not reachable from any root scene", n),
+		})
+	}
+	return out
+}
+
+func ruleMissingKindRef(ctx *Context) []Diagnostic {
+	kinds := ctx.Setup.Kinds
+	if kinds == nil {
+		return nil
+	}
+	var out []Diagnostic
+	used := map[string]bool{}
+	for i, m := range ctx.Setup.Models {
+		typ := m.Type()
+		if typ == "" {
+			continue // V012 reports broken meta
+		}
+		used[typ] = true
+		if _, ok := kinds[typ]; !ok {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: m.Name(),
+				Message: fmt.Sprintf("model %q uses type %q with no kind reference in the header", m.Name(), typ),
+			})
+		}
+	}
+	for typ := range kinds {
+		if !used[typ] {
+			out = append(out, Diagnostic{
+				Severity: Info, Doc: 0,
+				Message: fmt.Sprintf("kind reference %s/%s is not used by any model", typ, kinds[typ]),
+			})
+		}
+	}
+	return out
+}
+
+func ruleKindUnresolved(ctx *Context) []Diagnostic {
+	if ctx.Kinds == nil || ctx.Setup.Kinds == nil {
+		return nil
+	}
+	types := make([]string, 0, len(ctx.Setup.Kinds))
+	for typ := range ctx.Setup.Kinds {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	var out []Diagnostic
+	for _, typ := range types {
+		ver := ctx.Setup.Kinds[typ]
+		data, err := ctx.Kinds.KindDoc(typ, ver)
+		if err != nil {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: 0,
+				Message: fmt.Sprintf("kind %s/%s is not in the repository: %v", typ, ver, err),
+			})
+			continue
+		}
+		s, err := model.DecodeSchema(data)
+		if err != nil {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: 0,
+				Message: fmt.Sprintf("kind %s/%s does not decode as a schema: %v", typ, ver, err),
+			})
+			continue
+		}
+		if s.Type != typ {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: 0,
+				Message: fmt.Sprintf("kind %s/%s declares type %q (version-mismatched or mis-tagged document)", typ, ver, s.Type),
+			})
+		}
+	}
+	return out
+}
+
+func ruleSchemaMismatch(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		typ := m.Type()
+		if typ == "" {
+			continue
+		}
+		s, ok := ctx.schema(typ)
+		if !ok || s.Type != typ {
+			continue // unresolved or mis-tagged kinds are V006's problem
+		}
+		if err := s.Validate(m); err != nil {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: m.Name(),
+				Message: fmt.Sprintf("does not conform to kind %s/%s: %v", typ, ctx.Setup.Kinds[typ], err),
+			})
+		}
+	}
+	return out
+}
+
+// publishTopic resolves the MQTT topic a model's digi publishes status
+// on: meta.topic when set, else the runtime default.
+func publishTopic(m model.Doc) string {
+	if t := m.GetString("meta.topic"); t != "" {
+		return t
+	}
+	if m.Name() == "" {
+		return ""
+	}
+	return "digibox/" + m.Name() + "/status"
+}
+
+// subscribeFilters returns the model's declared subscription filters
+// (meta.subscribe), plus a diagnostic message for entries that are not
+// strings.
+func subscribeFilters(m model.Doc) (filters []string, badEntries []string) {
+	v, ok := m.Get("meta.subscribe")
+	if !ok {
+		return nil, nil
+	}
+	seq, ok := v.([]any)
+	if !ok {
+		return nil, []string{fmt.Sprintf("meta.subscribe is %T, want a sequence of filters", v)}
+	}
+	for _, item := range seq {
+		s, ok := item.(string)
+		if !ok {
+			badEntries = append(badEntries, fmt.Sprintf("meta.subscribe entry %v is %T, want string", item, item))
+			continue
+		}
+		filters = append(filters, s)
+	}
+	return filters, badEntries
+}
+
+func ruleBadTopic(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		if t := m.GetString("meta.topic"); t != "" {
+			if err := broker.ValidateTopicName(t); err != nil {
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: i + 1, Model: m.Name(),
+					Message: fmt.Sprintf("meta.topic %q: %v", t, err),
+				})
+			}
+		}
+		filters, bad := subscribeFilters(m)
+		for _, msg := range bad {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: m.Name(), Message: msg,
+			})
+		}
+		for _, f := range filters {
+			if err := broker.ValidateTopicFilter(f); err != nil {
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: i + 1, Model: m.Name(),
+					Message: fmt.Sprintf("meta.subscribe %q: %v", f, err),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func ruleTopicCollision(ctx *Context) []Diagnostic {
+	claimed := map[string]string{} // topic -> first claiming model
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		topic := publishTopic(m)
+		if topic == "" || broker.ValidateTopicName(topic) != nil {
+			continue // syntax problems are V008's
+		}
+		if first, ok := claimed[topic]; ok {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: m.Name(),
+				Message: fmt.Sprintf("%q publishes on topic %q already claimed by %q", m.Name(), topic, first),
+			})
+			continue
+		}
+		claimed[topic] = m.Name()
+	}
+	return out
+}
+
+func ruleSubscriptionOverlap(ctx *Context) []Diagnostic {
+	type sub struct {
+		modelName string
+		doc       int
+		filter    string
+	}
+	var subs []sub
+	for i, m := range ctx.Setup.Models {
+		filters, _ := subscribeFilters(m)
+		for _, f := range filters {
+			if broker.ValidateTopicFilter(f) != nil {
+				continue // V008 reports the syntax error
+			}
+			subs = append(subs, sub{m.Name(), i + 1, f})
+		}
+	}
+	var out []Diagnostic
+	for i := 0; i < len(subs); i++ {
+		for j := i + 1; j < len(subs); j++ {
+			a, b := subs[i], subs[j]
+			if a.modelName == b.modelName {
+				continue
+			}
+			if broker.FiltersOverlap(a.filter, b.filter) {
+				out = append(out, Diagnostic{
+					Severity: Warning, Doc: b.doc, Model: b.modelName,
+					Message: fmt.Sprintf("%q subscription %q overlaps %q subscription %q", b.modelName, b.filter, a.modelName, a.filter),
+				})
+			}
+		}
+	}
+	return out
+}
+
+func ruleConfigBounds(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		meta, err := m.Meta()
+		if err != nil {
+			continue
+		}
+		emit := func(format string, args ...any) {
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: meta.Name,
+				Message: fmt.Sprintf(format, args...),
+			})
+		}
+		// Library-wide invariants: loop intervals are at least 1ms,
+		// delays are non-negative, probabilities live in [0, 1].
+		if v, ok := configFloat(meta.Config, "interval_ms"); ok && v < 1 {
+			emit("meta.interval_ms %v must be at least 1", v)
+		}
+		if v, ok := configFloat(meta.Config, "actuation_delay_ms"); ok && v < 0 {
+			emit("meta.actuation_delay_ms %v must not be negative", v)
+		}
+		keys := make([]string, 0, len(meta.Config))
+		for k := range meta.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !strings.HasSuffix(k, "_prob") {
+				continue
+			}
+			if v, ok := configFloat(meta.Config, k); ok && (v < 0 || v > 1) {
+				emit("meta.%s %v must be a probability in [0, 1]", k, v)
+			}
+		}
+		// Inverted <p>_min/<p>_max pairs.
+		for _, k := range keys {
+			if !strings.HasSuffix(k, "_min") {
+				continue
+			}
+			maxKey := strings.TrimSuffix(k, "_min") + "_max"
+			lo, okLo := configFloat(meta.Config, k)
+			hi, okHi := configFloat(meta.Config, maxKey)
+			if okLo && okHi && lo > hi {
+				emit("meta.%s %v exceeds meta.%s %v", k, lo, maxKey, hi)
+			}
+		}
+		// Bounds the device library declared for this type.
+		for _, k := range keys {
+			b, ok := declaredBounds(meta.Type)[k]
+			if !ok {
+				continue
+			}
+			if v, ok := configFloat(meta.Config, k); ok && (v < b.Min || v > b.Max) {
+				emit("meta.%s %v is outside the %s bounds [%v, %v]", k, v, meta.Type, b.Min, b.Max)
+			}
+		}
+	}
+	return out
+}
+
+// configFloat reads a numeric meta config value.
+func configFloat(config map[string]any, key string) (float64, bool) {
+	v, ok := config[key]
+	if !ok {
+		return 0, false
+	}
+	switch t := v.(type) {
+	case float64:
+		return t, true
+	case int64:
+		return float64(t), true
+	case int:
+		return float64(t), true
+	}
+	return 0, false
+}

@@ -1,0 +1,312 @@
+package vet_test
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/iac"
+	"repro/internal/model"
+	"repro/internal/vet"
+)
+
+// setup builds a test setup whose header references every used type at
+// v1, so V005 stays quiet unless a test withholds a reference.
+func setup(models ...model.Doc) *iac.Setup {
+	kinds := map[string]string{}
+	for _, m := range models {
+		if t := m.Type(); t != "" {
+			kinds[t] = "v1"
+		}
+	}
+	return &iac.Setup{Name: "t", Kinds: kinds, Models: models}
+}
+
+// exactIDs asserts the distinct rule IDs of the diagnostics are exactly
+// the expected set.
+func exactIDs(t *testing.T, diags []vet.Diagnostic, want ...string) {
+	t.Helper()
+	got := make([]string, 0, len(diags))
+	for id := range ruleIDs(diags) {
+		got = append(got, id)
+	}
+	sort.Strings(got)
+	sort.Strings(want)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Errorf("rule IDs = %v, want %v\ndiagnostics:\n%s", got, want, vet.Text(diags))
+	}
+}
+
+func TestDanglingAttach(t *testing.T) {
+	bad := setup(mkdoc("Room", "room", map[string]any{"meta.attach": []any{"ghost"}}))
+	exactIDs(t, vet.RunSetup(bad, nil), "V001")
+
+	good := setup(
+		mkdoc("Room", "room", map[string]any{"meta.attach": []any{"o1"}}),
+		mkdoc("Occupancy", "o1", nil),
+	)
+	exactIDs(t, vet.RunSetup(good, nil))
+}
+
+func TestDuplicateAttach(t *testing.T) {
+	bad := setup(
+		mkdoc("Room", "room", map[string]any{"meta.attach": []any{"o1", "o1"}}),
+		mkdoc("Occupancy", "o1", nil),
+	)
+	exactIDs(t, vet.RunSetup(bad, nil), "V002")
+
+	// The same child under two DIFFERENT parents is legal (supplychain
+	// attaches cargo sensors to both a truck and the cold-chain audit
+	// scene) and must not fire.
+	multiParent := setup(
+		mkdoc("Scene", "top", map[string]any{"meta.attach": []any{"a", "b"}}),
+		mkdoc("Scene", "a", map[string]any{"meta.attach": []any{"shared"}}),
+		mkdoc("Scene", "b", map[string]any{"meta.attach": []any{"shared"}}),
+		mkdoc("Occupancy", "shared", nil),
+	)
+	exactIDs(t, vet.RunSetup(multiParent, nil))
+}
+
+func TestAttachCycle(t *testing.T) {
+	// Two scenes attaching each other. The cycle also leaves the pair
+	// unreachable from any root, so the orphan warning fires alongside.
+	bad := setup(
+		mkdoc("Scene", "a", map[string]any{"meta.attach": []any{"b"}}),
+		mkdoc("Scene", "b", map[string]any{"meta.attach": []any{"a"}}),
+	)
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V003", "V004")
+	if !vet.HasErrors(diags) {
+		t.Error("cycle not error-severity")
+	}
+
+	chain := setup(
+		mkdoc("Scene", "a", map[string]any{"meta.attach": []any{"b"}}),
+		mkdoc("Scene", "b", map[string]any{"meta.attach": []any{"c"}}),
+		mkdoc("Occupancy", "c", nil),
+	)
+	exactIDs(t, vet.RunSetup(chain, nil))
+}
+
+func TestOrphanModel(t *testing.T) {
+	bad := setup(
+		mkdoc("Room", "room", map[string]any{"meta.attach": []any{"o1"}}),
+		mkdoc("Occupancy", "o1", nil),
+		mkdoc("Occupancy", "stray", nil),
+	)
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V004")
+	if vet.HasErrors(diags) {
+		t.Error("orphan should be a warning, not an error")
+	}
+
+	// Single-model setups have nothing to orphan.
+	exactIDs(t, vet.RunSetup(setup(mkdoc("Occupancy", "solo", nil)), nil))
+}
+
+func TestMissingKindRef(t *testing.T) {
+	bad := setup(mkdoc("Room", "room", nil))
+	delete(bad.Kinds, "Room")
+	bad.Kinds["Lamp"] = "v3" // referenced but unused: advisory
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V005")
+	var sevs []vet.Severity
+	for _, d := range diags {
+		sevs = append(sevs, d.Severity)
+	}
+	sort.Slice(sevs, func(i, j int) bool { return sevs[i] < sevs[j] })
+	if len(sevs) != 2 || sevs[0] != vet.Info || sevs[1] != vet.Error {
+		t.Errorf("severities = %v (want one info for the unused ref, one error for the missing one)", sevs)
+	}
+
+	exactIDs(t, vet.RunSetup(setup(mkdoc("Room", "room", nil)), nil))
+}
+
+// lampSchema is a minimal committed kind document for V006/V007 tests.
+func lampSchema(t *testing.T) []byte {
+	t.Helper()
+	data, err := model.EncodeSchema(&model.Schema{
+		Type: "Lamp", Version: "v1",
+		Fields: map[string]model.FieldSpec{
+			"brightness": {Kind: model.KindFloat, Min: model.Bound(0), Max: model.Bound(1), Default: 0.5},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+func TestKindUnresolved(t *testing.T) {
+	doc := mkdoc("Lamp", "l1", map[string]any{"brightness": 0.5})
+	mem := vet.MemKinds{"Lamp/v1": lampSchema(t)}
+
+	// Pinned version absent from the repository.
+	missing := setup(doc)
+	missing.Kinds["Lamp"] = "v9"
+	exactIDs(t, vet.RunSetup(missing, mem), "V006")
+
+	// Committed doc does not decode as a schema.
+	garbage := setup(doc)
+	exactIDs(t, vet.RunSetup(garbage, vet.MemKinds{"Lamp/v1": []byte("42\n")}), "V006")
+
+	// Committed doc declares a different type: mis-tagged.
+	wrongType, err := model.EncodeSchema(&model.Schema{Type: "Fan", Version: "v1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactIDs(t, vet.RunSetup(setup(doc), vet.MemKinds{"Lamp/v1": wrongType}), "V006")
+
+	// Resolvable: clean. Without a kind source the rule stays quiet.
+	exactIDs(t, vet.RunSetup(setup(doc), mem))
+	exactIDs(t, vet.RunSetup(missing, nil))
+}
+
+func TestSchemaMismatch(t *testing.T) {
+	mem := vet.MemKinds{"Lamp/v1": lampSchema(t)}
+
+	outOfRange := setup(mkdoc("Lamp", "l1", map[string]any{"brightness": 7.5}))
+	exactIDs(t, vet.RunSetup(outOfRange, mem), "V007")
+
+	unknownField := setup(mkdoc("Lamp", "l1", map[string]any{"brightness": 0.5, "wattage": 60}))
+	exactIDs(t, vet.RunSetup(unknownField, mem), "V007")
+
+	exactIDs(t, vet.RunSetup(setup(mkdoc("Lamp", "l1", map[string]any{"brightness": 0.5})), mem))
+}
+
+func TestBadTopic(t *testing.T) {
+	wildInName := setup(mkdoc("Lamp", "l1", map[string]any{"meta.topic": "home/+/lamp"}))
+	exactIDs(t, vet.RunSetup(wildInName, nil), "V008")
+
+	badFilter := setup(mkdoc("Lamp", "l1", map[string]any{"meta.subscribe": []any{"a/#/b"}}))
+	exactIDs(t, vet.RunSetup(badFilter, nil), "V008")
+
+	notAString := setup(mkdoc("Lamp", "l1", map[string]any{"meta.subscribe": []any{int64(3)}}))
+	exactIDs(t, vet.RunSetup(notAString, nil), "V008")
+
+	good := setup(mkdoc("Lamp", "l1", map[string]any{
+		"meta.topic":     "home/lamp",
+		"meta.subscribe": []any{"home/#"},
+	}))
+	exactIDs(t, vet.RunSetup(good, nil))
+}
+
+func TestTopicCollision(t *testing.T) {
+	bad := setup(
+		mkdoc("Lamp", "l1", map[string]any{"meta.topic": "shared/status"}),
+		mkdoc("Fan", "f1", map[string]any{"meta.topic": "shared/status", "meta.attach": []any{"l1"}}),
+	)
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V009")
+	if !strings.Contains(vet.Text(diags), `"l1"`) {
+		t.Errorf("collision does not name the first claimant: %s", vet.Text(diags))
+	}
+
+	// Default topics derive from unique model names: no collision.
+	good := setup(
+		mkdoc("Lamp", "l1", nil),
+		mkdoc("Fan", "f1", map[string]any{"meta.attach": []any{"l1"}}),
+	)
+	exactIDs(t, vet.RunSetup(good, nil))
+}
+
+func TestSubscriptionOverlap(t *testing.T) {
+	bad := setup(
+		mkdoc("Lamp", "l1", map[string]any{"meta.subscribe": []any{"home/+/status"}}),
+		mkdoc("Fan", "f1", map[string]any{"meta.subscribe": []any{"home/kitchen/#"}, "meta.attach": []any{"l1"}}),
+	)
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V010")
+	if vet.HasErrors(diags) {
+		t.Error("overlap should be a warning, not an error")
+	}
+
+	// Disjoint filters, and overlapping filters within ONE model, are
+	// both fine.
+	good := setup(
+		mkdoc("Lamp", "l1", map[string]any{"meta.subscribe": []any{"home/a", "home/a/#"}}),
+		mkdoc("Fan", "f1", map[string]any{"meta.subscribe": []any{"garden/b"}, "meta.attach": []any{"l1"}}),
+	)
+	exactIDs(t, vet.RunSetup(good, nil))
+}
+
+func TestConfigBounds(t *testing.T) {
+	for _, c := range []struct {
+		name   string
+		config map[string]any
+	}{
+		{"zero interval", map[string]any{"interval_ms": int64(0)}},
+		{"negative delay", map[string]any{"actuation_delay_ms": int64(-5)}},
+		{"probability above 1", map[string]any{"trigger_prob": 1.5}},
+		{"inverted range", map[string]any{"temp_min": 30.0, "temp_max": 20.0}},
+	} {
+		extra := map[string]any{}
+		for k, v := range c.config {
+			extra["meta."+k] = v
+		}
+		diags := vet.RunSetup(setup(mkdoc("Occupancy", "o1", extra)), nil)
+		exactIDs(t, diags, "V011")
+		if len(diags) == 0 {
+			t.Errorf("%s: no diagnostics", c.name)
+		}
+	}
+
+	// Bounds declared by a kind library.
+	vet.DeclareConfigBounds("BoundsTestKind", "gain", 0, 10)
+	over := setup(mkdoc("BoundsTestKind", "b1", map[string]any{"meta.gain": 99.0}))
+	exactIDs(t, vet.RunSetup(over, nil), "V011")
+	within := setup(mkdoc("BoundsTestKind", "b1", map[string]any{"meta.gain": 9.0}))
+	exactIDs(t, vet.RunSetup(within, nil))
+
+	good := setup(mkdoc("Occupancy", "o1", map[string]any{
+		"meta.interval_ms":  int64(20),
+		"meta.trigger_prob": 0.5,
+		"meta.temp_min":     18.0,
+		"meta.temp_max":     26.0,
+	}))
+	exactIDs(t, vet.RunSetup(good, nil))
+}
+
+func TestBadMeta(t *testing.T) {
+	noName := model.Doc{"meta": map[string]any{"type": "Lamp"}}
+	bad := &iac.Setup{Name: "t", Kinds: map[string]string{"Lamp": "v1"}, Models: []model.Doc{noName}}
+	exactIDs(t, vet.RunSetup(bad, nil), "V012")
+
+	dup := setup(
+		mkdoc("Lamp", "same", nil),
+		mkdoc("Fan", "same", nil),
+	)
+	diags := vet.RunSetup(dup, nil)
+	if !ruleIDs(diags)["V012"] {
+		t.Errorf("duplicate name not reported: %s", vet.Text(diags))
+	}
+}
+
+// The kitchen-sink regression: one deliberately broken setup, one
+// exact expected rule-ID set.
+func TestBrokenSetupYieldsExactRuleSet(t *testing.T) {
+	mem := vet.MemKinds{"Lamp/v1": lampSchema(t)}
+	s := &iac.Setup{
+		Name:  "broken",
+		Kinds: map[string]string{"Lamp": "v1", "Ghost": "v1"},
+		Models: []model.Doc{
+			// V001 (dangling) + V002 (duplicate child).
+			mkdoc("Lamp", "l1", map[string]any{
+				"brightness":  0.5,
+				"meta.attach": []any{"nope", "l2", "l2"},
+			}),
+			// V007 (brightness out of range) + V008 (wildcard topic).
+			mkdoc("Lamp", "l2", map[string]any{
+				"brightness": 9.9,
+				"meta.topic": "a/+/b",
+			}),
+			// V005 (no kind ref for type Stray) + V011 (bad probability).
+			mkdoc("Stray", "s1", map[string]any{"meta.smoke_prob": 2.0}),
+		},
+	}
+	diags := vet.RunSetup(s, mem)
+	// V005 also flags the unused Ghost reference; V006 flags Ghost/v1
+	// missing from the kind source; V004 flags the unattached stray.
+	exactIDs(t, diags, "V001", "V002", "V004", "V005", "V006", "V007", "V008", "V011")
+}

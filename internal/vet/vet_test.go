@@ -1,0 +1,229 @@
+package vet_test
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/iac"
+	"repro/internal/model"
+	"repro/internal/vet"
+)
+
+func TestSeverityStringsAndJSON(t *testing.T) {
+	cases := map[vet.Severity]string{
+		vet.Info:    "info",
+		vet.Warning: "warning",
+		vet.Error:   "error",
+	}
+	for sev, want := range cases {
+		if sev.String() != want {
+			t.Errorf("String(%d) = %q", int(sev), sev.String())
+		}
+		data, err := json.Marshal(sev)
+		if err != nil || string(data) != `"`+want+`"` {
+			t.Errorf("Marshal(%v) = %s, %v", sev, data, err)
+		}
+		var back vet.Severity
+		if err := json.Unmarshal(data, &back); err != nil || back != sev {
+			t.Errorf("Unmarshal(%s) = %v, %v", data, back, err)
+		}
+	}
+	var s vet.Severity
+	if err := json.Unmarshal([]byte(`"fatal"`), &s); err == nil {
+		t.Error("unknown severity unmarshaled without error")
+	}
+}
+
+func TestRegisteredRuleSuite(t *testing.T) {
+	rules := vet.Rules()
+	if len(rules) < 8 {
+		t.Fatalf("only %d rules registered, want >= 8", len(rules))
+	}
+	want := map[string]string{
+		"V001": "dangling-attach",
+		"V002": "duplicate-attach",
+		"V003": "attach-cycle",
+		"V004": "orphan-model",
+		"V005": "missing-kind-ref",
+		"V006": "kind-unresolved",
+		"V007": "schema-mismatch",
+		"V008": "bad-topic",
+		"V009": "topic-collision",
+		"V010": "subscription-overlap",
+		"V011": "config-bounds",
+		"V012": "bad-meta",
+	}
+	byID := map[string]vet.Rule{}
+	for i, r := range rules {
+		byID[r.ID] = r
+		if i > 0 && rules[i-1].ID >= r.ID {
+			t.Errorf("rules out of ID order: %s before %s", rules[i-1].ID, r.ID)
+		}
+		if r.Doc == "" {
+			t.Errorf("rule %s has no doc line", r.ID)
+		}
+	}
+	for id, name := range want {
+		r, ok := byID[id]
+		if !ok {
+			t.Errorf("rule %s not registered", id)
+			continue
+		}
+		if r.Name != name {
+			t.Errorf("rule %s named %q, want %q", id, r.Name, name)
+		}
+	}
+}
+
+func TestRegisterRuleDuplicatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate rule ID did not panic")
+		}
+	}()
+	vet.RegisterRule(vet.Rule{ID: "V001", Name: "imposter", Run: func(*vet.Context) []vet.Diagnostic { return nil }})
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := vet.Diagnostic{
+		Rule: "V001", Severity: vet.Error, File: "conf.yaml", Doc: 2,
+		Message: `"Room" attaches unknown model "Ghost"`,
+	}
+	want := `conf.yaml#2: V001 error: "Room" attaches unknown model "Ghost"`
+	if d.String() != want {
+		t.Errorf("String() = %q, want %q", d.String(), want)
+	}
+	d.File = ""
+	if !strings.HasPrefix(d.String(), "setup#2:") {
+		t.Errorf("no-file String() = %q", d.String())
+	}
+}
+
+func TestRunDataParseFailure(t *testing.T) {
+	diags := vet.RunData("broken.yaml", []byte("not a setup header"), nil)
+	if len(diags) != 1 || diags[0].Rule != "V000" || diags[0].Severity != vet.Error {
+		t.Fatalf("diags = %+v", diags)
+	}
+	if diags[0].File != "broken.yaml" {
+		t.Errorf("file = %q", diags[0].File)
+	}
+}
+
+func TestRunDataHeaderOnlySetupIsClean(t *testing.T) {
+	diags := vet.RunData("minimal", []byte("setup: minimal\n"), nil)
+	if len(diags) != 0 {
+		t.Errorf("header-only setup produced %+v", diags)
+	}
+}
+
+func TestHasErrorsAndErrors(t *testing.T) {
+	diags := []vet.Diagnostic{
+		{Rule: "V004", Severity: vet.Warning},
+		{Rule: "V001", Severity: vet.Error},
+		{Rule: "V005", Severity: vet.Info},
+	}
+	if !vet.HasErrors(diags) {
+		t.Error("HasErrors = false")
+	}
+	errs := vet.Errors(diags)
+	if len(errs) != 1 || errs[0].Rule != "V001" {
+		t.Errorf("Errors = %+v", errs)
+	}
+	if vet.HasErrors(errs[:0]) {
+		t.Error("HasErrors(empty) = true")
+	}
+}
+
+func TestTextAndSummary(t *testing.T) {
+	diags := []vet.Diagnostic{
+		{Rule: "V001", Severity: vet.Error, File: "s", Doc: 1, Message: "one"},
+		{Rule: "V009", Severity: vet.Error, File: "s", Doc: 2, Message: "two"},
+	}
+	text := vet.Text(diags)
+	if strings.Count(text, "\n") != 2 || !strings.Contains(text, "V009") {
+		t.Errorf("Text = %q", text)
+	}
+	sum := vet.Summary(diags)
+	if sum != "V001 error: one; V009 error: two" {
+		t.Errorf("Summary = %q", sum)
+	}
+}
+
+func TestRunSortsAndStampsDiagnostics(t *testing.T) {
+	// Two dangling attaches in different documents: output must carry
+	// the rule ID and file and come back document-ordered.
+	s := &iac.Setup{
+		Name:  "sorted",
+		Kinds: map[string]string{"Room": "v1"},
+		Models: []model.Doc{
+			mkdoc("Room", "a", map[string]any{"meta.attach": []any{"nope1"}}),
+			mkdoc("Room", "b", map[string]any{"meta.attach": []any{"nope2"}}),
+		},
+	}
+	diags := vet.Run(&vet.Context{Setup: s, File: "sorted.yaml"})
+	var v001 []vet.Diagnostic
+	for _, d := range diags {
+		if d.Rule == "V001" {
+			v001 = append(v001, d)
+		}
+	}
+	if len(v001) != 2 {
+		t.Fatalf("V001 diags = %+v", diags)
+	}
+	if v001[0].Doc != 1 || v001[1].Doc != 2 {
+		t.Errorf("order = %d, %d", v001[0].Doc, v001[1].Doc)
+	}
+	for _, d := range v001 {
+		if d.File != "sorted.yaml" {
+			t.Errorf("file not stamped: %+v", d)
+		}
+	}
+}
+
+func TestCheckDocRunsOnlyDocScopeRules(t *testing.T) {
+	// A doc with a bad topic AND a dangling attach: CheckDoc must
+	// report the topic (DocScope V008) but not the attach (SetupScope
+	// V001), which only makes sense against a whole setup.
+	doc := mkdoc("Lamp", "L1", map[string]any{
+		"meta.topic":  "bad/+/wildcard",
+		"meta.attach": []any{"ghost"},
+	})
+	diags := vet.CheckDoc(doc)
+	ids := ruleIDs(diags)
+	if !ids["V008"] {
+		t.Errorf("V008 missing: %+v", diags)
+	}
+	if ids["V001"] {
+		t.Errorf("setup-scope rule ran on a single doc: %+v", diags)
+	}
+}
+
+func TestMemKinds(t *testing.T) {
+	mem := vet.MemKinds{"Lamp/v1": []byte("kind: Lamp\n")}
+	if data, err := mem.KindDoc("Lamp", "v1"); err != nil || string(data) != "kind: Lamp\n" {
+		t.Errorf("KindDoc = %q, %v", data, err)
+	}
+	if _, err := mem.KindDoc("Lamp", "v2"); err == nil {
+		t.Error("missing version resolved")
+	}
+}
+
+// mkdoc builds a model document with valid meta plus extra paths.
+func mkdoc(typ, name string, extra map[string]any) model.Doc {
+	d := model.Doc{}
+	d.SetMeta(model.Meta{Type: typ, Version: "v1", Name: name, Managed: true})
+	for k, v := range extra {
+		d.Set(k, v)
+	}
+	return d
+}
+
+// ruleIDs collects the distinct rule IDs in a diagnostic list.
+func ruleIDs(diags []vet.Diagnostic) map[string]bool {
+	ids := map[string]bool{}
+	for _, d := range diags {
+		ids[d.Rule] = true
+	}
+	return ids
+}
