@@ -28,6 +28,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/trace"
 )
 
@@ -458,5 +459,95 @@ func BenchmarkActuationDelay(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(elapsed.Milliseconds())/float64(b.N), "ms/actuation")
 		})
+	}
+}
+
+// BenchmarkFaultSweep measures MQTT session recovery under the chaos
+// engine's broker faults: a subscriber is force-disconnected while a
+// publisher keeps emitting, and the metric is the time from the kick
+// until the subscriber receives a message again — reconnect backoff
+// plus resubscribe plus however many post-recovery deliveries the
+// active drop rule eats. Swept over drop rate × reconnect backoff
+// floor (see EXPERIMENTS.md).
+func BenchmarkFaultSweep(b *testing.B) {
+	for _, dropRate := range []float64{0, 0.25, 0.5, 0.75} {
+		for _, backoff := range []time.Duration{10 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond} {
+			b.Run(fmt.Sprintf("drop=%.2f/backoff=%v", dropRate, backoff), func(b *testing.B) {
+				br := broker.NewBroker(nil)
+				if err := br.ListenAndServe("127.0.0.1:0"); err != nil {
+					b.Fatal(err)
+				}
+				defer br.Close()
+				br.SetFaultSeed(1)
+				if dropRate > 0 {
+					remove := br.AddFault(broker.FaultRule{Client: "sub", DropRate: dropRate})
+					defer remove()
+				}
+				pub, err := broker.Dial(br.Addr(), &broker.ClientOptions{ClientID: "pub"})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer pub.Close()
+				delivered := make(chan struct{}, 64)
+				sub, err := broker.Dial(br.Addr(), &broker.ClientOptions{
+					ClientID:      "sub",
+					AutoReconnect: true,
+					ReconnectMin:  backoff,
+					ReconnectMax:  8 * backoff,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				defer sub.Close()
+				if err := sub.Subscribe("sweep/t", 0, func(broker.Message) {
+					select {
+					case delivered <- struct{}{}:
+					default:
+					}
+				}); err != nil {
+					b.Fatal(err)
+				}
+				stop := make(chan struct{})
+				defer close(stop)
+				go func() {
+					tick := time.NewTicker(2 * time.Millisecond)
+					defer tick.Stop()
+					for {
+						select {
+						case <-stop:
+							return
+						case <-tick.C:
+							pub.Publish("sweep/t", []byte("x"), 0, false)
+						}
+					}
+				}()
+				// Confirm the pipeline flows before measuring.
+				select {
+				case <-delivered:
+				case <-time.After(5 * time.Second):
+					b.Fatal("no baseline delivery")
+				}
+				b.ResetTimer()
+				var total time.Duration
+				for i := 0; i < b.N; i++ {
+					// Drain stale deliveries, then sever the session.
+					for len(delivered) > 0 {
+						<-delivered
+					}
+					start := time.Now()
+					if !br.Kick("sub") {
+						b.Fatal("subscriber not connected")
+					}
+					select {
+					case <-delivered:
+						total += time.Since(start)
+					case <-time.After(10 * time.Second):
+						b.Fatal("no delivery after reconnect")
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(float64(total.Microseconds())/float64(b.N)/1000, "ms/recovery")
+			})
+		}
 	}
 }

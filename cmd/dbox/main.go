@@ -26,6 +26,7 @@
 //	trace save FILE           download the daemon's trace archive
 //	trace push NAME           publish the trace to the remote
 //	replay NAME [-speed s]    replay a shared trace
+//	chaos run PLAN.yaml       apply a fault-injection plan
 //	ls                        list running mocks and scenes
 //	status                    daemon status
 package main
@@ -34,11 +35,14 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/model"
@@ -76,6 +80,7 @@ commands (Table 1):
   vet [-json] [--all | NAME|FILE]
   recreate NAME [VERSION]    replay NAME [SPEED]
   trace save FILE | trace push NAME
+  chaos run PLAN.yaml
   ls | status
 `)
 }
@@ -278,6 +283,11 @@ func dispatch(cli *ctl.Client, args []string) error {
 			return nil
 		}
 		return fmt.Errorf("usage: dbox trace save FILE | dbox trace push NAME")
+	case "chaos":
+		if len(rest) != 2 || rest[0] != "run" {
+			return fmt.Errorf("usage: dbox chaos run PLAN.yaml")
+		}
+		return chaosRunCmd(cli, rest[1])
 	case "ls":
 		names, err := cli.List()
 		if err != nil {
@@ -301,6 +311,38 @@ func dispatch(cli *ctl.Client, args []string) error {
 		usage()
 		return fmt.Errorf("unknown command %q", cmd)
 	}
+}
+
+// chaosRunCmd implements "dbox chaos run PLAN.yaml": parse and
+// validate the plan locally, apply it through the daemon, and print
+// the engine's report. The request timeout is sized to the plan.
+func chaosRunCmd(cli *ctl.Client, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	plan, err := chaos.ParsePlan(data)
+	if err != nil {
+		return err
+	}
+	if err := plan.Validate(); err != nil {
+		return err
+	}
+	run := *cli
+	run.HTTP = &http.Client{Timeout: plan.End() + 60*time.Second}
+	rep, err := run.ChaosRun(plan)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("plan %s (seed %d): %d injected, %d reverted, %d skipped\n",
+		rep.Plan, rep.Seed, rep.Injected, rep.Reverted, len(rep.Skipped))
+	for _, line := range rep.Applied {
+		fmt.Printf("  %s\n", line)
+	}
+	for _, s := range rep.Skipped {
+		fmt.Printf("  skipped: %s\n", s)
+	}
+	return nil
 }
 
 // vetCmd implements "dbox vet [-json] [--all | NAME|FILE]". A target

@@ -49,6 +49,9 @@ func main() {
 		BrokerAddr:   *mqttAddr,
 		RESTAddr:     *restAddr,
 		LocalRepoDir: *repoDir,
+		// The daemon exposes a real broker, so route the digi runtime
+		// through it: chaos plans can then sever and heal the session.
+		RuntimeMQTT: true,
 	}
 	if *remoteDir != "" {
 		opts.RemoteRepoDir = *remoteDir

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	digibox "repro"
+	"repro/internal/chaos"
+	"repro/internal/iac"
+	"repro/internal/vet"
+	"repro/internal/vet/vettest"
+)
+
+// The drill's scene table plus its chaos section must emit a vet-clean
+// setup: every plan target resolves against the composition (V013).
+func TestSetupWithChaosIsVetClean(t *testing.T) {
+	kinds := append(digibox.DeviceKinds(), digibox.SceneKinds()...)
+	setup, mem, err := vettest.SetupWithChaos("chaosdrill", kinds, digis, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := iac.Marshal(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := vet.RunData("chaosdrill", data, mem)
+	if errs := vet.Errors(diags); len(errs) > 0 {
+		t.Fatalf("setup not vet-clean:\n%s", vet.Text(errs))
+	}
+}
+
+// Retargeting an event at a digi outside the setup must trip V013 —
+// the negative control proving the gate is live for this example.
+func TestDanglingChaosTargetIsCaught(t *testing.T) {
+	kinds := append(digibox.DeviceKinds(), digibox.SceneKinds()...)
+	broken := &chaos.Plan{Name: plan.Name, Seed: plan.Seed,
+		Events: append([]chaos.Event(nil), plan.Events...)}
+	broken.Events[3].Digi = "ghost"
+	setup, mem, err := vettest.SetupWithChaos("chaosdrill", kinds, digis, broken)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := iac.Marshal(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := vet.RunData("chaosdrill", data, mem)
+	errs := vet.Errors(diags)
+	if len(errs) == 0 {
+		t.Fatal("dangling chaos target not reported")
+	}
+	if !strings.Contains(vet.Text(errs), `"ghost"`) {
+		t.Fatalf("diagnostic does not name the target:\n%s", vet.Text(errs))
+	}
+}

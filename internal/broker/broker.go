@@ -19,6 +19,7 @@ type Stats struct {
 	PublishesIn   int64 // PUBLISH packets received
 	MessagesOut   int64 // PUBLISH packets delivered to subscribers
 	Dropped       int64 // messages dropped on slow/full sessions
+	FaultDrops    int64 // messages dropped by injected fault rules/partitions
 }
 
 // Options configures a Broker.
@@ -32,6 +33,11 @@ type Options struct {
 	GraceKeepAlive float64
 	// Logf, when set, receives debug log lines.
 	Logf func(format string, args ...any)
+	// ConnHook, when set, wraps every accepted connection before the
+	// MQTT handshake — an injection point for chaos proxies (latency,
+	// corruption) and tests. Closing the returned conn must close the
+	// underlying one.
+	ConnHook func(net.Conn) net.Conn
 }
 
 func (o *Options) withDefaults() Options {
@@ -44,6 +50,7 @@ func (o *Options) withDefaults() Options {
 			out.GraceKeepAlive = o.GraceKeepAlive
 		}
 		out.Logf = o.Logf
+		out.ConnHook = o.ConnHook
 	}
 	return out
 }
@@ -66,6 +73,12 @@ type Broker struct {
 	messagesOut int64
 	dropped     int64
 	retainCount int64
+
+	// Chaos fault injection (see faults.go). faultsOn is an atomic
+	// fast-path flag so fault-free routing never takes faults.mu.
+	faultsOn   int32
+	faultDrops int64
+	faults     faultState
 }
 
 // NewBroker returns an idle broker.
@@ -160,6 +173,7 @@ func (b *Broker) Stats() Stats {
 		PublishesIn:   atomic.LoadInt64(&b.publishesIn),
 		MessagesOut:   atomic.LoadInt64(&b.messagesOut),
 		Dropped:       atomic.LoadInt64(&b.dropped),
+		FaultDrops:    atomic.LoadInt64(&b.faultDrops),
 	}
 }
 
@@ -183,6 +197,9 @@ type session struct {
 }
 
 func (b *Broker) serveConn(conn net.Conn) {
+	if b.opts.ConnHook != nil {
+		conn = b.opts.ConnHook(conn)
+	}
 	defer conn.Close()
 	// The first packet must be CONNECT, within a handshake deadline.
 	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
@@ -314,7 +331,7 @@ func (s *session) readLoop() {
 		switch pkt.Type {
 		case PUBLISH:
 			atomic.AddInt64(&s.broker.publishesIn, 1)
-			s.broker.route(pkt)
+			s.broker.route(s.clientID, pkt)
 			if pkt.QoS == 1 {
 				s.send(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
 			}
@@ -361,8 +378,10 @@ func isTimeout(err error) bool {
 }
 
 // route fans a PUBLISH out to matching subscribers and updates the
-// retained store.
-func (b *Broker) route(pkt *Packet) {
+// retained store. from identifies the publisher (wire client ID or
+// PublishFrom name; "" for anonymous in-process publishes) and scopes
+// injected fault rules and partition checks.
+func (b *Broker) route(from string, pkt *Packet) {
 	if pkt.Retain {
 		key := pkt.Topic
 		if len(pkt.Payload) == 0 {
@@ -398,6 +417,34 @@ func (b *Broker) route(pkt *Packet) {
 		}
 		if out.QoS > 0 {
 			out.PacketID = nextBrokerPacketID()
+		}
+		if b.faultsActive() {
+			act := b.decideFault(from, sub.clientID, pkt.Topic)
+			if act.drop {
+				atomic.AddInt64(&b.faultDrops, 1)
+				continue
+			}
+			if act.delay > 0 {
+				deliver, pkt := sub.deliver, out
+				dup := act.dup
+				time.AfterFunc(act.delay, func() {
+					atomic.AddInt64(&b.messagesOut, 1)
+					deliver(pkt)
+					if dup {
+						d := *pkt
+						d.Dup = d.QoS > 0
+						atomic.AddInt64(&b.messagesOut, 1)
+						deliver(&d)
+					}
+				})
+				continue
+			}
+			if act.dup {
+				d := *out
+				d.Dup = d.QoS > 0
+				atomic.AddInt64(&b.messagesOut, 1)
+				sub.deliver(&d)
+			}
 		}
 		atomic.AddInt64(&b.messagesOut, 1)
 		sub.deliver(out)
@@ -469,10 +516,18 @@ func (b *Broker) Clients() []string {
 // without a client connection. Mocks co-located with the broker use
 // this fast path; the wire path behaves identically.
 func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
+	return b.PublishFrom("", topic, payload, retain)
+}
+
+// PublishFrom is Publish with a publisher identity, so in-process
+// publishes participate in partition groups and From-scoped fault
+// rules the same way wire clients do. The digi runtime passes the
+// publishing digi's name.
+func (b *Broker) PublishFrom(from, topic string, payload []byte, retain bool) error {
 	if err := ValidateTopicName(topic); err != nil {
 		return err
 	}
 	atomic.AddInt64(&b.publishesIn, 1)
-	b.route(&Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain})
+	b.route(from, &Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain})
 	return nil
 }

@@ -1,0 +1,208 @@
+package broker
+
+import (
+	"fmt"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func subscribeChan(t *testing.T, c *Client, filter string) chan Message {
+	t.Helper()
+	ch := make(chan Message, 64)
+	if err := c.Subscribe(filter, 0, func(m Message) { ch <- m }); err != nil {
+		t.Fatal(err)
+	}
+	return ch
+}
+
+// A DropRate-1 rule suppresses every matching delivery; removing the
+// rule restores traffic.
+func TestFaultRuleDropsMessages(t *testing.T) {
+	b := startBroker(t, nil)
+	sub := dialClient(t, b, "sub")
+	msgs := subscribeChan(t, sub, "t/#")
+
+	remove := b.AddFault(FaultRule{Topic: "t/#", DropRate: 1})
+	for i := 0; i < 5; i++ {
+		if err := b.Publish("t/a", []byte(fmt.Sprint(i)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("message delivered through drop rule: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+	if st := b.Stats(); st.FaultDrops != 5 {
+		t.Errorf("FaultDrops = %d, want 5", st.FaultDrops)
+	}
+
+	remove()
+	if err := b.Publish("t/a", []byte("after"), false); err != nil {
+		t.Fatal(err)
+	}
+	if m := waitMsg(t, msgs, "message after rule removal"); string(m.Payload) != "after" {
+		t.Errorf("payload = %q", m.Payload)
+	}
+}
+
+// A DupRate-1 rule delivers every matching message twice.
+func TestFaultRuleDuplicatesMessages(t *testing.T) {
+	b := startBroker(t, nil)
+	sub := dialClient(t, b, "sub")
+	msgs := subscribeChan(t, sub, "t/#")
+
+	defer b.AddFault(FaultRule{Topic: "t/#", DupRate: 1})()
+	if err := b.Publish("t/a", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, msgs, "first copy")
+	waitMsg(t, msgs, "duplicate copy")
+}
+
+// A Delay rule holds matching deliveries back by roughly the delay.
+func TestFaultRuleDelaysMessages(t *testing.T) {
+	b := startBroker(t, nil)
+	sub := dialClient(t, b, "sub")
+	msgs := subscribeChan(t, sub, "t/#")
+
+	defer b.AddFault(FaultRule{Topic: "t/#", Delay: 150 * time.Millisecond})()
+	start := time.Now()
+	if err := b.Publish("t/a", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, msgs, "delayed message")
+	if elapsed := time.Since(start); elapsed < 100*time.Millisecond {
+		t.Errorf("message arrived after %v, want >= ~150ms", elapsed)
+	}
+}
+
+// Rules scoped to one receiving client leave other clients untouched.
+func TestFaultRuleScopedToClient(t *testing.T) {
+	b := startBroker(t, nil)
+	lucky := dialClient(t, b, "lucky")
+	unlucky := dialClient(t, b, "unlucky")
+	luckyMsgs := subscribeChan(t, lucky, "t/#")
+	unluckyMsgs := subscribeChan(t, unlucky, "t/#")
+
+	defer b.AddFault(FaultRule{Client: "unlucky", DropRate: 1})()
+	if err := b.Publish("t/a", []byte("x"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, luckyMsgs, "message to unscoped client")
+	select {
+	case m := <-unluckyMsgs:
+		t.Fatalf("scoped client received %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+}
+
+// Partition groups block cross-group traffic both ways while
+// intra-group and unlisted traffic flows; ClearPartitions heals.
+func TestPartitionIsolatesGroups(t *testing.T) {
+	b := startBroker(t, nil)
+	a := dialClient(t, b, "a")
+	c := dialClient(t, b, "c")
+	outside := dialClient(t, b, "outside")
+	aMsgs := subscribeChan(t, a, "t/#")
+	cMsgs := subscribeChan(t, c, "t/#")
+	outsideMsgs := subscribeChan(t, outside, "t/#")
+
+	b.SetPartitions([][]string{{"a", "b"}, {"c"}})
+	if err := a.Publish("t/x", []byte("from-a"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	// a's own delivery (same group) and the unlisted client both get it.
+	waitMsg(t, aMsgs, "intra-group delivery")
+	waitMsg(t, outsideMsgs, "delivery to unlisted client")
+	select {
+	case m := <-cMsgs:
+		t.Fatalf("cross-partition delivery: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+
+	b.ClearPartitions()
+	if err := a.Publish("t/x", []byte("healed"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	for {
+		m := waitMsg(t, cMsgs, "delivery after heal")
+		if string(m.Payload) == "healed" {
+			break
+		}
+	}
+}
+
+// PublishFrom gives in-process publishes a partitionable identity.
+func TestPublishFromParticipatesInPartitions(t *testing.T) {
+	b := startBroker(t, nil)
+	app := dialClient(t, b, "app")
+	msgs := subscribeChan(t, app, "digibox/#")
+
+	b.SetPartitions([][]string{{"S1"}, {"app"}})
+	if err := b.PublishFrom("S1", "digibox/S1/status", []byte("cut"), false); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case m := <-msgs:
+		t.Fatalf("partitioned in-process publish delivered: %+v", m)
+	case <-time.After(100 * time.Millisecond):
+	}
+	// Anonymous publishes are unaffected by partitions.
+	if err := b.Publish("digibox/S1/status", []byte("anon"), false); err != nil {
+		t.Fatal(err)
+	}
+	waitMsg(t, msgs, "anonymous publish during partition")
+}
+
+// A seeded ~50% drop rate is reproducible: the same seed and delivery
+// order drops the same messages.
+func TestFaultSamplingIsSeeded(t *testing.T) {
+	run := func() []string {
+		b := startBroker(t, nil)
+		sub := dialClient(t, b, "sub")
+		msgs := subscribeChan(t, sub, "t/#")
+		b.SetFaultSeed(99)
+		defer b.AddFault(FaultRule{Topic: "t/#", DropRate: 0.5})()
+		for i := 0; i < 20; i++ {
+			if err := b.Publish("t/a", []byte(fmt.Sprint(i)), false); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []string
+		for {
+			select {
+			case m := <-msgs:
+				got = append(got, string(m.Payload))
+			case <-time.After(200 * time.Millisecond):
+				return got
+			}
+		}
+	}
+	first := run()
+	second := run()
+	if len(first) == 0 || len(first) == 20 {
+		t.Fatalf("drop rate 0.5 delivered %d/20 messages", len(first))
+	}
+	if fmt.Sprint(first) != fmt.Sprint(second) {
+		t.Errorf("seeded sampling diverged:\n%v\n%v", first, second)
+	}
+}
+
+// ConnHook wraps every accepted connection before the handshake.
+func TestConnHookWrapsConnections(t *testing.T) {
+	var hooked int32
+	b := startBroker(t, &Options{
+		ConnHook: func(conn net.Conn) net.Conn {
+			atomic.AddInt32(&hooked, 1)
+			return conn
+		},
+	})
+	dialClient(t, b, "c1")
+	dialClient(t, b, "c2")
+	if n := atomic.LoadInt32(&hooked); n != 2 {
+		t.Errorf("hook saw %d connections, want 2", n)
+	}
+}

@@ -1,0 +1,244 @@
+package broker
+
+import (
+	"errors"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// dialReconnecting dials a client with auto-reconnect and a channel of
+// connection-state transitions.
+func dialReconnecting(t *testing.T, b *Broker, id string) (*Client, chan bool) {
+	t.Helper()
+	states := make(chan bool, 16)
+	c, err := Dial(b.Addr(), &ClientOptions{
+		ClientID:      id,
+		KeepAlive:     5 * time.Second,
+		AutoReconnect: true,
+		ReconnectMin:  10 * time.Millisecond,
+		ReconnectMax:  100 * time.Millisecond,
+		OnConnectionState: func(connected bool, cause error) {
+			states <- connected
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c, states
+}
+
+func waitState(t *testing.T, states chan bool, want bool, what string) {
+	t.Helper()
+	deadline := time.After(5 * time.Second)
+	for {
+		select {
+		case got := <-states:
+			if got == want {
+				return
+			}
+		case <-deadline:
+			t.Fatalf("timeout waiting for %s", what)
+		}
+	}
+}
+
+// A kicked auto-reconnect client comes back, re-establishes its
+// subscriptions, and receives both the retained state and new traffic.
+func TestClientAutoReconnectResubscribes(t *testing.T) {
+	b := startBroker(t, nil)
+	if err := b.Publish("digibox/S1/status", []byte(`{"v":1}`), true); err != nil {
+		t.Fatal(err)
+	}
+
+	c, states := dialReconnecting(t, b, "app")
+	msgs := make(chan Message, 16)
+	if err := c.Subscribe("digibox/#", 1, func(m Message) { msgs <- m }); err != nil {
+		t.Fatal(err)
+	}
+	if m := waitMsg(t, msgs, "retained before kick"); !m.Retained {
+		t.Errorf("expected retained message, got %+v", m)
+	}
+
+	if !b.Kick("app") {
+		t.Fatal("kick failed")
+	}
+	waitState(t, states, false, "disconnect notification")
+	waitState(t, states, true, "reconnect notification")
+	if !c.IsConnected() {
+		t.Error("client not connected after reconnect notification")
+	}
+
+	// The resubscription triggers retained redelivery...
+	if m := waitMsg(t, msgs, "retained redelivery after reconnect"); !m.Retained {
+		t.Errorf("expected retained message, got %+v", m)
+	}
+	// ...and live traffic flows again.
+	if err := b.Publish("digibox/S1/status", []byte(`{"v":2}`), false); err != nil {
+		t.Fatal(err)
+	}
+	m := waitMsg(t, msgs, "live message after reconnect")
+	if m.Retained || string(m.Payload) != `{"v":2}` {
+		t.Errorf("live message = %+v", m)
+	}
+}
+
+// Publishes issued while disconnected are buffered and flushed on
+// reconnect, QoS 1 included.
+func TestClientBuffersPublishesWhileDisconnected(t *testing.T) {
+	b := startBroker(t, nil)
+	c, states := dialReconnecting(t, b, "pub")
+
+	sub := dialClient(t, b, "sub")
+	msgs := make(chan Message, 16)
+	if err := sub.Subscribe("t/+", 1, func(m Message) { msgs <- m }); err != nil {
+		t.Fatal(err)
+	}
+
+	if !b.Kick("pub") {
+		t.Fatal("kick failed")
+	}
+	waitState(t, states, false, "disconnect notification")
+	if err := c.Publish("t/a", []byte("buffered-0"), 0, false); err != nil {
+		t.Errorf("buffered QoS0 publish: %v", err)
+	}
+	if err := c.Publish("t/b", []byte("buffered-1"), 1, false); err != nil {
+		t.Errorf("buffered QoS1 publish: %v", err)
+	}
+	waitState(t, states, true, "reconnect notification")
+
+	got := map[string]bool{}
+	for i := 0; i < 2; i++ {
+		m := waitMsg(t, msgs, "flushed publish")
+		got[string(m.Payload)] = true
+	}
+	if !got["buffered-0"] || !got["buffered-1"] {
+		t.Errorf("flushed payloads = %v", got)
+	}
+}
+
+// Without auto-reconnect a connection loss still closes the client —
+// the pre-chaos contract — and the close cause is the real error.
+func TestClientWithoutAutoReconnectClosesOnLoss(t *testing.T) {
+	b := startBroker(t, nil)
+	c := dialClient(t, b, "victim")
+	if !b.Kick("victim") {
+		t.Fatal("kick failed")
+	}
+	select {
+	case <-c.Done():
+	case <-time.After(3 * time.Second):
+		t.Fatal("client did not close on connection loss")
+	}
+	err := c.Publish("t", nil, 1, false)
+	if err == nil {
+		t.Fatal("publish on dead client succeeded")
+	}
+	if !strings.Contains(err.Error(), "connection lost") {
+		t.Errorf("error does not carry the real cause: %v", err)
+	}
+}
+
+// fakeServer accepts one MQTT connection and hands packets to fn;
+// anything fn returns is written back.
+func fakeServer(t *testing.T, fn func(*Packet) []*Packet) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		for {
+			pkt, err := ReadPacket(conn)
+			if err != nil {
+				return
+			}
+			if pkt.Type == CONNECT {
+				data, _ := (&Packet{Type: CONNACK, ReturnCode: ConnAccepted}).Encode()
+				conn.Write(data)
+				continue
+			}
+			for _, out := range fn(pkt) {
+				data, _ := out.Encode()
+				conn.Write(data)
+			}
+		}
+	}()
+	t.Cleanup(wg.Wait)
+	return ln.Addr().String()
+}
+
+// The QoS 1 publish path retransmits with the DUP flag and the same
+// packet ID when the ack does not arrive in time.
+func TestPublishQoS1RetriesWithDup(t *testing.T) {
+	var mu sync.Mutex
+	var seen []*Packet
+	addr := fakeServer(t, func(pkt *Packet) []*Packet {
+		if pkt.Type != PUBLISH {
+			return nil
+		}
+		mu.Lock()
+		seen = append(seen, pkt)
+		n := len(seen)
+		mu.Unlock()
+		if n == 1 {
+			return nil // swallow the first attempt's ack
+		}
+		return []*Packet{{Type: PUBACK, PacketID: pkt.PacketID}}
+	})
+	c, err := Dial(addr, &ClientOptions{
+		ClientID:   "retrier",
+		KeepAlive:  0,
+		AckTimeout: 100 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Publish("t", []byte("x"), 1, false); err != nil {
+		t.Fatalf("publish failed despite retry: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != 2 {
+		t.Fatalf("broker saw %d publishes, want 2", len(seen))
+	}
+	if seen[0].Dup || !seen[1].Dup {
+		t.Errorf("dup flags = %v, %v; want false, true", seen[0].Dup, seen[1].Dup)
+	}
+	if seen[0].PacketID != seen[1].PacketID {
+		t.Errorf("retransmission changed packet ID: %d -> %d", seen[0].PacketID, seen[1].PacketID)
+	}
+}
+
+// When every retransmission times out, Publish fails with the ack
+// timeout.
+func TestPublishQoS1FailsAfterRetriesExhausted(t *testing.T) {
+	addr := fakeServer(t, func(pkt *Packet) []*Packet { return nil })
+	c, err := Dial(addr, &ClientOptions{
+		ClientID:       "nohope",
+		KeepAlive:      0,
+		AckTimeout:     50 * time.Millisecond,
+		PublishRetries: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	err = c.Publish("t", []byte("x"), 1, false)
+	if !errors.Is(err, errAckTimeout) {
+		t.Fatalf("err = %v, want ack timeout", err)
+	}
+}

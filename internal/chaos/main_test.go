@@ -1,0 +1,14 @@
+package chaos
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/vet/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine (a stuck
+// engine run, an unreverted delayed-delivery timer).
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m))
+}

@@ -74,6 +74,11 @@ type Options struct {
 	RemoteRepoDir string
 	// ReadyTimeout bounds digi startup waits; default 10s.
 	ReadyTimeout time.Duration
+	// RuntimeMQTT routes digi status publishes through a real MQTT
+	// client session (auto-reconnecting, QoS 1) instead of the
+	// in-process fast path — required for chaos plans that disconnect
+	// or partition the runtime, and for observing reconnect behaviour.
+	RuntimeMQTT bool
 }
 
 // Testbed is one Digibox prototyping environment.
@@ -91,6 +96,9 @@ type Testbed struct {
 
 	localRepo  *repo.Repo
 	remoteRepo *repo.Repo
+
+	// runtimeClient is the digi runtime's MQTT session (RuntimeMQTT).
+	runtimeClient *broker.Client
 
 	mu      sync.Mutex
 	started bool
@@ -173,6 +181,17 @@ func (tb *Testbed) Start() error {
 			return fmt.Errorf("core: broker: %w", err)
 		}
 		tb.Runtime.Broker = tb.Broker
+		if tb.opts.RuntimeMQTT {
+			c, err := broker.Dial(tb.Broker.Addr(), &broker.ClientOptions{
+				ClientID:      "digi-runtime",
+				AutoReconnect: true,
+			})
+			if err != nil {
+				return fmt.Errorf("core: runtime mqtt: %w", err)
+			}
+			tb.runtimeClient = c
+			tb.Runtime.BindClient(c)
+		}
 	}
 	tb.Cluster.Start()
 	if tb.opts.RESTAddr != "none" {
@@ -219,6 +238,9 @@ func (tb *Testbed) Stop() {
 		tb.Gateway.Close()
 	}
 	tb.Cluster.Stop()
+	if tb.runtimeClient != nil {
+		tb.runtimeClient.Close()
+	}
 	if tb.Broker != nil {
 		tb.Broker.Close()
 	}

@@ -35,7 +35,7 @@ func (tb *Testbed) Run(typ, name string, config map[string]any) error {
 	}
 	if err := tb.Cluster.CreatePod(&kube.Pod{
 		Name:   podName(name),
-		Spec:   kube.PodSpec{Image: "digi", Env: map[string]any{"name": name}},
+		Spec:   kube.PodSpec{Image: "digi", Env: map[string]any{"name": name}, RestartPolicy: kube.RestartAlways},
 		Labels: map[string]string{"digi": name, "type": typ},
 	}); err != nil {
 		tb.Store.Delete(name)
@@ -66,7 +66,7 @@ func (tb *Testbed) RunDoc(doc model.Doc) error {
 	}
 	if err := tb.Cluster.CreatePod(&kube.Pod{
 		Name:   podName(meta.Name),
-		Spec:   kube.PodSpec{Image: "digi", Env: map[string]any{"name": meta.Name}},
+		Spec:   kube.PodSpec{Image: "digi", Env: map[string]any{"name": meta.Name}, RestartPolicy: kube.RestartAlways},
 		Labels: map[string]string{"digi": meta.Name, "type": meta.Type},
 	}); err != nil {
 		tb.Store.Delete(meta.Name)

@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/trace"
@@ -67,6 +68,13 @@ type VetRequest struct {
 	Name    string `json:"name,omitempty"`
 	Version string `json:"version,omitempty"`
 	All     bool   `json:"all,omitempty"`
+}
+
+// ChaosRequest is the body of POST /ctl/chaos: a fault plan in its
+// generic-value encoding (chaos.Plan.Value), applied to the running
+// testbed. The response is the engine's chaos.Report.
+type ChaosRequest struct {
+	Plan any `json:"plan"`
 }
 
 // ShareRequest is the body of POST /ctl/push and /ctl/pull.
@@ -134,6 +142,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ctl/push", s.handlePush)
 	mux.HandleFunc("POST /ctl/pull", s.handlePull)
 	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
+	mux.HandleFunc("POST /ctl/chaos", s.handleChaos)
 	mux.HandleFunc("POST /ctl/replay", s.handleReplay)
 	mux.HandleFunc("POST /ctl/checktrace", s.handleCheckTrace)
 	mux.HandleFunc("GET /ctl/trace", s.handleTraceDownload)
@@ -373,6 +382,30 @@ func (s *Server) handleRecreate(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]string{"status": "recreated"})
 }
 
+// handleChaos runs a fault plan to completion against the testbed; the
+// connection stays open for the plan's duration (dbox chaos run).
+func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
+	var req ChaosRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	plan, err := chaos.PlanFromValue(req.Plan)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if err := plan.Validate(); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := s.TB.RunChaosPlan(r.Context(), plan)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req ReplayRequest
 	if !decode(w, r, &req) {
@@ -599,6 +632,17 @@ func (c *Client) Pull(name string) error {
 // Recreate instantiates a pulled setup.
 func (c *Client) Recreate(name, version string) error {
 	return c.post("/ctl/recreate", RecreateRequest{Name: name, Version: version}, nil)
+}
+
+// ChaosRun issues dbox chaos run: apply a fault plan and wait for the
+// engine's report. The HTTP timeout must cover the plan's duration;
+// callers with long plans should set Client.HTTP accordingly.
+func (c *Client) ChaosRun(p *chaos.Plan) (*chaos.Report, error) {
+	var rep chaos.Report
+	if err := c.post("/ctl/chaos", ChaosRequest{Plan: p.Value()}, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
 }
 
 // Replay issues dbox replay against a shared trace.

@@ -56,8 +56,18 @@ func RegisterAll(reg *digi.Registry) error {
 }
 
 // walk advances a value by a bounded random step, clamped to
-// [min, max] — the canonical sensor-reading generator.
+// [min, max] — the canonical sensor-reading generator. Under an
+// injected "outlier" fault mode (chaos engine) the reading
+// occasionally spikes out of the configured range: to the meta config
+// fault_value if set, else one full range above max.
 func walk(c *digi.Ctx, cur, min, max, step float64) float64 {
+	if c.FaultMode() == "outlier" && rare(c, c.ConfigFloat("fault_prob", 0.5)) {
+		spike := max + (max - min)
+		if v := c.ConfigFloat("fault_value", 0); v != 0 {
+			spike = v
+		}
+		return float64(int(spike*100)) / 100
+	}
 	next := cur + (c.Rand.Float64()*2-1)*step
 	if next < min {
 		next = min

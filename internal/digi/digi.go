@@ -140,6 +140,99 @@ type Runtime struct {
 
 	readyMu sync.Mutex
 	ready   map[string]chan struct{}
+
+	// Status-publish path state. client, when bound, carries status
+	// publishes over a real MQTT connection instead of the in-process
+	// Broker fast path; lastStatus remembers the latest retained
+	// payload per topic so state is re-established after an outage.
+	pubMu      sync.Mutex
+	client     *broker.Client
+	outage     bool
+	lastStatus map[string][]byte
+}
+
+// BindClient routes the runtime's status publishes through a real MQTT
+// client connection (with the client's auto-reconnect resilience)
+// instead of the in-process broker fast path. The runtime degrades
+// gracefully across the client's outages: digis keep simulating, a
+// single gap marker is logged per outage, and on reconnect the latest
+// retained status of every topic is republished.
+func (rt *Runtime) BindClient(c *broker.Client) {
+	rt.pubMu.Lock()
+	rt.client = c
+	rt.pubMu.Unlock()
+	c.OnState(func(connected bool, cause error) {
+		if connected {
+			rt.recoverFromGap()
+		} else {
+			rt.noteGap(cause)
+		}
+	})
+}
+
+// noteGap logs one fault marker per outage.
+func (rt *Runtime) noteGap(cause error) {
+	rt.pubMu.Lock()
+	if rt.outage {
+		rt.pubMu.Unlock()
+		return
+	}
+	rt.outage = true
+	rt.pubMu.Unlock()
+	detail := "broker connection lost"
+	if cause != nil {
+		detail = cause.Error()
+	}
+	rt.Log.Fault("runtime", "broker-gap", detail, nil)
+}
+
+// recoverFromGap marks the outage over and republishes the latest
+// retained status of every topic, so the broker's retained store is
+// correct even if it restarted and lost it.
+func (rt *Runtime) recoverFromGap() {
+	rt.pubMu.Lock()
+	if !rt.outage {
+		rt.pubMu.Unlock()
+		return
+	}
+	rt.outage = false
+	client := rt.client
+	topics := make([]string, 0, len(rt.lastStatus))
+	for t := range rt.lastStatus {
+		topics = append(topics, t)
+	}
+	sort.Strings(topics)
+	last := make(map[string][]byte, len(topics))
+	for _, t := range topics {
+		last[t] = rt.lastStatus[t]
+	}
+	rt.pubMu.Unlock()
+	rt.Log.Fault("runtime", "broker-recover",
+		fmt.Sprintf("reconnected; republishing %d retained status topics", len(topics)), nil)
+	for _, topic := range topics {
+		client.Publish(topic, last[topic], 1, true)
+	}
+}
+
+// publishStatus sends one retained status message over the bound
+// client if any, else the in-process broker. from carries the
+// publishing digi's identity into the broker's partition/fault
+// scoping.
+func (rt *Runtime) publishStatus(from, topic string, payload []byte) error {
+	rt.pubMu.Lock()
+	if rt.lastStatus == nil {
+		rt.lastStatus = map[string][]byte{}
+	}
+	rt.lastStatus[topic] = payload
+	client := rt.client
+	rt.pubMu.Unlock()
+	if client != nil {
+		return client.Publish(topic, payload, 1, true)
+	}
+	if rt.Broker != nil {
+		return rt.Broker.PublishFrom(from, topic, payload, true)
+	}
+	return nil
 }
 
 func (rt *Runtime) readyCh(name string) chan struct{} {
@@ -299,10 +392,18 @@ func (c *Ctx) Publish(fields map[string]any) error {
 		}
 	}
 	c.rt.Log.Message(c.Name, topic, string(payload), "send")
-	if c.rt.Broker != nil {
-		return c.rt.Broker.Publish(topic, payload, true)
+	return c.rt.publishStatus(c.Name, topic, payload)
+}
+
+// FaultMode returns the injected device fault mode ("", "stuck",
+// "dropout", or "outlier"; chaos engine, meta config "fault").
+func (c *Ctx) FaultMode() string {
+	v, ok := c.Config("fault")
+	if !ok {
+		return ""
 	}
-	return nil
+	s, _ := v.(string)
+	return s
 }
 
 // NewTestCtx builds a handler context directly, without a running

@@ -149,6 +149,17 @@ func (r *reconciler) tick() {
 	if !doc.Managed() || doc.GetBool("meta.offline") {
 		return
 	}
+	switch doc.GetString("meta.fault") {
+	case "dropout":
+		// The sensor goes silent: no events, no status publishes.
+		return
+	case "stuck":
+		// The reading is frozen, but the device keeps reporting it:
+		// skip the event generator and rerun the simulation handler so
+		// the unchanged status is republished each tick.
+		r.simulate()
+		return
+	}
 	work := doc.DeepCopy()
 	if err := r.kind.Loop(r.c, work); err != nil {
 		r.rt.Log.Violation(r.name, "loop-error", err.Error())

@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/model"
 	"repro/internal/yamlite"
 )
@@ -25,6 +26,9 @@ type Setup struct {
 	// Models are the full model documents (meta.attach carries the
 	// hierarchy).
 	Models []model.Doc
+	// Chaos is the optional scene-scoped fault plan (header "chaos"
+	// section). Vet rule V013 checks its targets against the setup.
+	Chaos *chaos.Plan
 }
 
 // Marshal renders the setup. The first document is the header; every
@@ -44,6 +48,9 @@ func Marshal(s *Setup) ([]byte, error) {
 		"setup":   s.Name,
 		"digibox": "v1",
 		"kinds":   kinds,
+	}
+	if s.Chaos != nil {
+		header["chaos"] = s.Chaos.Value()
 	}
 	docs := []any{header}
 	for _, m := range s.Models {
@@ -94,6 +101,13 @@ func Parse(data []byte) (*Setup, error) {
 			s.Kinds[k] = ver
 		}
 	}
+	if raw, ok := header["chaos"]; ok {
+		plan, err := chaos.PlanFromValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("iac: chaos section: %w", err)
+		}
+		s.Chaos = plan
+	}
 	for i, d := range docs[1:] {
 		m, ok := d.(map[string]any)
 		if !ok {
@@ -129,6 +143,11 @@ func Validate(s *Setup) error {
 			if _, ok := names[child]; !ok {
 				return fmt.Errorf("iac: %q attaches unknown model %q", m.Name(), child)
 			}
+		}
+	}
+	if s.Chaos != nil {
+		if err := s.Chaos.Validate(); err != nil {
+			return fmt.Errorf("iac: %w", err)
 		}
 	}
 	return checkAcyclic(names)

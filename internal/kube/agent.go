@@ -17,6 +17,10 @@ type nodeAgent struct {
 
 	mu      sync.Mutex
 	running map[string]*podRuntime
+	// stopping blocks new launches once stop() has begun cancelling;
+	// without it a watcher event in flight could insert a runtime
+	// after the cancel sweep and leave its workload uncancellable.
+	stopping bool
 
 	watcher  *podWatcher
 	done     chan struct{}
@@ -27,6 +31,14 @@ type nodeAgent struct {
 type podRuntime struct {
 	cancel   context.CancelFunc
 	finished chan struct{}
+	// attemptCancel cancels only the current run attempt (chaos
+	// pod-crash); the restart loop then starts the next attempt.
+	attemptCancel context.CancelFunc
+	// pendingCrash records a crash requested while no attempt was
+	// live — the pod is reported Running before the first attempt
+	// registers, and between restarts during backoff. The loop
+	// honours it as soon as the next attempt starts.
+	pendingCrash bool
 	// generationStopped guards against restarting a pod whose runtime
 	// was explicitly stopped (deletion or node shutdown).
 	stopped bool
@@ -68,6 +80,7 @@ func (na *nodeAgent) stop() {
 		close(na.done)
 		na.watcher.Close()
 		na.mu.Lock()
+		na.stopping = true
 		for _, rt := range na.running {
 			rt.stopped = true
 			rt.cancel()
@@ -107,7 +120,7 @@ func (na *nodeAgent) teardown(podName string) {
 // launch starts a pod workload; idempotent per pod name.
 func (na *nodeAgent) launch(pod *Pod) {
 	na.mu.Lock()
-	if _, exists := na.running[pod.Name]; exists {
+	if _, exists := na.running[pod.Name]; exists || na.stopping {
 		na.mu.Unlock()
 		return
 	}
@@ -143,15 +156,35 @@ func (na *nodeAgent) launch(pod *Pod) {
 				na.fail(pod.Name, fmt.Sprintf("image %s: %v", pod.Spec.Image, err))
 				return
 			}
-			runErr := runGuarded(ctx, workload)
+			// Each attempt gets its own derived context so an injected
+			// crash (crashPod) kills only this attempt; the pod context
+			// stays live and the restart policy decides what follows.
+			attemptCtx, attemptCancel := context.WithCancel(ctx)
+			na.mu.Lock()
+			rt.attemptCancel = attemptCancel
+			if rt.pendingCrash {
+				rt.pendingCrash = false
+				attemptCancel()
+			}
+			na.mu.Unlock()
+			runErr := runGuarded(attemptCtx, workload)
 
 			na.mu.Lock()
+			rt.attemptCancel = nil
 			stopped := rt.stopped
 			na.mu.Unlock()
 			if stopped || ctx.Err() != nil {
+				attemptCancel()
 				na.adjustRunning(-1)
 				return
 			}
+			if runErr == nil && attemptCtx.Err() != nil {
+				// The attempt was cancelled but the pod was not stopped:
+				// an injected crash. Surface it as a failure so
+				// RestartOnFailure pods restart too.
+				runErr = fmt.Errorf("crashed: injected fault")
+			}
+			attemptCancel()
 
 			policy := pod.Spec.RestartPolicy
 			shouldRestart := policy == RestartAlways || (policy == RestartOnFailure && runErr != nil)
@@ -189,6 +222,28 @@ func (na *nodeAgent) launch(pod *Pod) {
 			}
 		}
 	}()
+}
+
+// crashPod cancels the current run attempt of a pod on this node,
+// reporting whether the pod was running here.
+func (na *nodeAgent) crashPod(podName string) bool {
+	na.mu.Lock()
+	defer na.mu.Unlock()
+	rt, ok := na.running[podName]
+	if !ok || rt.stopped {
+		return false
+	}
+	if rt.attemptCancel != nil {
+		// Cancelling under the mutex pairs with the loop's
+		// register/deregister critical sections, so the cancel always
+		// hits the attempt it was fetched for.
+		rt.attemptCancel()
+		return true
+	}
+	// The pod is live but between attempts (pre-first-register or
+	// restart backoff): defer the crash to the next attempt.
+	rt.pendingCrash = true
+	return true
 }
 
 // runGuarded runs a workload, converting panics into errors so one

@@ -222,6 +222,41 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 	return nil
 }
 
+// KillNode takes a node down (chaos verb): its agent stops, its pods
+// are evicted back to Pending, and the scheduler re-places them on
+// surviving nodes.
+func (c *Cluster) KillNode(name string) error {
+	return c.SetNodeReady(name, false)
+}
+
+// ReviveNode brings a killed node back; its capacity becomes
+// schedulable again.
+func (c *Cluster) ReviveNode(name string) error {
+	return c.SetNodeReady(name, true)
+}
+
+// CrashPod kills the named pod's current run attempt in place (chaos
+// verb). Unlike DeletePod the pod object survives; the node agent's
+// restart policy decides whether the workload comes back (digi pods
+// run with RestartPolicy Always). The pod's restart counter records
+// the crash.
+func (c *Cluster) CrashPod(name string) error {
+	p, err := c.api.getPod(name)
+	if err != nil {
+		return err
+	}
+	if p.Status.Phase != PodRunning || p.Status.NodeName == "" {
+		return fmt.Errorf("kube: pod %q is not running", name)
+	}
+	c.mu.Lock()
+	agent := c.agents[p.Status.NodeName]
+	c.mu.Unlock()
+	if agent == nil || !agent.crashPod(name) {
+		return fmt.Errorf("kube: pod %q has no live attempt on node %q", name, p.Status.NodeName)
+	}
+	return nil
+}
+
 // CreatePod submits a pod. The scheduler binds it asynchronously; use
 // WaitPodPhase to block until it runs.
 func (c *Cluster) CreatePod(p *Pod) error {

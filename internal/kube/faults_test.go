@@ -109,6 +109,84 @@ func TestSetNodeReadyIdempotentAndUnknown(t *testing.T) {
 	}
 }
 
+func TestCrashPodRestartsInPlace(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("n1", 10, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	var started, stopped int32
+	c.RegisterImage("digi/block", blockingImage(&started, &stopped))
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block", RestartPolicy: RestartAlways}})
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := c.CrashPod("p"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		p, _ := c.GetPod("p")
+		return p != nil && p.Status.Restarts >= 1 && p.Status.Phase == PodRunning
+	}, "pod restarted in place after crash")
+	p, _ := c.GetPod("p")
+	if p.Status.NodeName != "n1" {
+		t.Errorf("pod moved to %q; CrashPod must restart in place", p.Status.NodeName)
+	}
+
+	// The chaos verbs wrap node readiness.
+	if err := c.KillNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := c.api.getNode("n1"); n.Status.Ready {
+		t.Error("node still ready after KillNode")
+	}
+	if err := c.ReviveNode("n1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrashPodErrors(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("n1", 10, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	if err := c.CrashPod("ghost"); err == nil {
+		t.Error("crash of unknown pod accepted")
+	}
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	// A pod on a dead node has no live attempt to crash.
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block"}})
+	c.WaitPodPhase("p", PodRunning, 5*time.Second)
+	c.KillNode("n1")
+	if err := c.CrashPod("p"); err == nil {
+		t.Error("crash of evicted pod accepted")
+	}
+}
+
+// A crash on a RestartOnFailure pod restarts too: the injected crash
+// is surfaced as a failure even when the workload returns nil.
+func TestCrashPodCountsAsFailure(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("n1", 10, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	c.CreatePod(&Pod{Name: "p", Spec: PodSpec{Image: "digi/block", RestartPolicy: RestartOnFailure}})
+	if err := c.WaitPodPhase("p", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.CrashPod("p"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		p, _ := c.GetPod("p")
+		return p != nil && p.Status.Restarts >= 1 && p.Status.Phase == PodRunning
+	}, "OnFailure pod restarted after injected crash")
+}
+
 func TestClusterStopAfterNodeDown(t *testing.T) {
 	// Cluster.Stop must not double-stop an agent already stopped by a
 	// node failure.

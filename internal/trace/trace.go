@@ -33,6 +33,9 @@ const (
 	KindMessage Kind = "message"
 	// KindViolation is a scene-property violation report.
 	KindViolation Kind = "violation"
+	// KindFault is an injected fault or a recovery from one (chaos
+	// engine, runtime gap/recover markers).
+	KindFault Kind = "fault"
 )
 
 // Record is one log entry. The wire form is a single JSON object per
@@ -55,6 +58,9 @@ type Record struct {
 	// For KindViolation.
 	Property string `json:"property,omitempty"`
 	Detail   string `json:"detail,omitempty"`
+	// For KindFault: the fault kind ("disconnect", "node-down", ...)
+	// or a recovery marker ("revert", "broker-gap", "broker-recover").
+	Fault string `json:"fault,omitempty"`
 }
 
 // Log is an append-only, concurrency-safe trace log for one testbed
@@ -116,6 +122,26 @@ func (l *Log) Message(name, topic, payload, direction string) {
 // Violation logs a scene-property violation.
 func (l *Log) Violation(name, property, detail string) {
 	l.Append(Record{Kind: KindViolation, Name: name, Property: property, Detail: detail})
+}
+
+// Fault logs an injected fault or a recovery. Fields carry the
+// scheduled parameters (scoped target, rates, offsets) so a run's
+// fault sequence can be compared across runs and replayed.
+func (l *Log) Fault(name, fault, detail string, fields map[string]any) {
+	l.Append(Record{Kind: KindFault, Name: name, Fault: fault, Detail: detail, Fields: fields})
+}
+
+// Faults returns all fault/recovery records.
+func (l *Log) Faults() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Record
+	for _, r := range l.recs {
+		if r.Kind == KindFault {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // Subscribe registers fn to receive every subsequently appended

@@ -73,6 +73,11 @@ func init() {
 		Doc: "a model document has a broken meta section or a duplicate name",
 		Run: ruleBadMeta,
 	})
+	RegisterRule(Rule{
+		ID: "V013", Name: "chaos-target", Severity: Error,
+		Doc: "the header chaos plan targets a digi or topic not in the setup",
+		Run: ruleChaosTarget,
+	})
 }
 
 // modelNames indexes the setup's models by name, skipping documents
@@ -503,6 +508,62 @@ func ruleConfigBounds(ctx *Context) []Diagnostic {
 			if v, ok := configFloat(meta.Config, k); ok && (v < b.Min || v > b.Max) {
 				emit("meta.%s %v is outside the %s bounds [%v, %v]", k, v, meta.Type, b.Min, b.Max)
 			}
+		}
+	}
+	return out
+}
+
+// ruleChaosTarget checks the header chaos plan against the setup: a
+// malformed plan is reported event by event, every targeted digi must
+// name a model, and every topic filter must be syntactically valid and
+// able to match traffic some model publishes or subscribes to — a
+// dangling target means the fault would silently hit nothing.
+func ruleChaosTarget(ctx *Context) []Diagnostic {
+	plan := ctx.Setup.Chaos
+	if plan == nil {
+		return nil
+	}
+	var out []Diagnostic
+	emit := func(format string, args ...any) {
+		out = append(out, Diagnostic{
+			Severity: Error, Doc: 0,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	if err := plan.Validate(); err != nil {
+		emit("chaos plan: %v", err)
+	}
+	names := modelNames(ctx)
+	digis, topics := plan.Targets()
+	for _, d := range digis {
+		if _, ok := names[d]; !ok {
+			emit("chaos plan targets digi %q, which is not in the setup", d)
+		}
+	}
+	for _, f := range topics {
+		if err := broker.ValidateTopicFilter(f); err != nil {
+			emit("chaos plan topic %q: %v", f, err)
+			continue
+		}
+		matched := false
+		for _, m := range ctx.Setup.Models {
+			if t := publishTopic(m); t != "" && broker.ValidateTopicName(t) == nil && broker.MatchTopic(f, t) {
+				matched = true
+				break
+			}
+			subs, _ := subscribeFilters(m)
+			for _, s := range subs {
+				if broker.ValidateTopicFilter(s) == nil && broker.FiltersOverlap(f, s) {
+					matched = true
+					break
+				}
+			}
+			if matched {
+				break
+			}
+		}
+		if !matched {
+			emit("chaos plan topic %q matches no publish topic or subscription in the setup", f)
 		}
 	}
 	return out

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/chaos"
 	"repro/internal/iac"
 	"repro/internal/model"
 	"repro/internal/vet"
@@ -309,4 +310,46 @@ func TestBrokenSetupYieldsExactRuleSet(t *testing.T) {
 	// V005 also flags the unused Ghost reference; V006 flags Ghost/v1
 	// missing from the kind source; V004 flags the unattached stray.
 	exactIDs(t, diags, "V001", "V002", "V004", "V005", "V006", "V007", "V008", "V011")
+}
+
+func TestChaosTarget(t *testing.T) {
+	// Targets resolving against model names, default publish topics,
+	// and subscription filters are all accepted.
+	good := setup(
+		mkdoc("Lamp", "l1", nil),
+		mkdoc("Fan", "f1", map[string]any{"meta.subscribe": []any{"ctl/fan/#"}, "meta.attach": []any{"l1"}}),
+	)
+	good.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{Fault: chaos.FaultDropout, Digi: "l1"},
+		{Fault: chaos.FaultDrop, Topic: "digibox/l1/status", Rate: 0.5},
+		{Fault: chaos.FaultDrop, Topic: "ctl/fan/speed", Rate: 0.5},
+	}}
+	exactIDs(t, vet.RunSetup(good, nil))
+
+	// Dangling digi, unmatched topic, and invalid filter syntax each
+	// get their own diagnostic.
+	bad := setup(mkdoc("Lamp", "l1", nil))
+	bad.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+		{Fault: chaos.FaultStuck, Digi: "ghost"},
+		{Fault: chaos.FaultDrop, Topic: "nowhere/#", Rate: 0.5},
+		{Fault: chaos.FaultDrop, Topic: "bad/+wild", Rate: 1},
+	}}
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V013")
+	if len(diags) != 3 {
+		t.Errorf("got %d diagnostics, want 3:\n%s", len(diags), vet.Text(diags))
+	}
+	if !strings.Contains(vet.Text(diags), `"ghost"`) {
+		t.Errorf("dangling digi not named: %s", vet.Text(diags))
+	}
+
+	// A structurally invalid plan is reported through the same rule.
+	malformed := setup(mkdoc("Lamp", "l1", nil))
+	malformed.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+		{Fault: chaos.FaultDisconnect}, // missing client
+	}}
+	exactIDs(t, vet.RunSetup(malformed, nil), "V013")
+
+	// No plan: nothing to check.
+	exactIDs(t, vet.RunSetup(setup(mkdoc("Lamp", "l1", nil)), nil))
 }

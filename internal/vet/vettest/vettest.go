@@ -7,6 +7,7 @@ package vettest
 import (
 	"fmt"
 
+	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/digi"
 	"repro/internal/iac"
@@ -66,6 +67,17 @@ func Setup(name string, kinds []*digi.Kind, digis []Digi) (*iac.Setup, vet.MemKi
 			mem[d.Type+"/"+ver] = data
 		}
 	}
+	return setup, mem, nil
+}
+
+// SetupWithChaos builds the same fixture as Setup with a chaos plan
+// attached to the header, for V013 (chaos-target) coverage.
+func SetupWithChaos(name string, kinds []*digi.Kind, digis []Digi, plan *chaos.Plan) (*iac.Setup, vet.MemKinds, error) {
+	setup, mem, err := Setup(name, kinds, digis)
+	if err != nil {
+		return nil, nil, err
+	}
+	setup.Chaos = plan
 	return setup, mem, nil
 }
 
