@@ -27,6 +27,8 @@
 //	trace push NAME           publish the trace to the remote
 //	replay NAME [-speed s]    replay a shared trace
 //	chaos run PLAN.yaml       apply a fault-injection plan
+//	top [-n iters] [-i secs]  live per-digi throughput/latency table
+//	metrics                   dump Prometheus text exposition
 //	ls                        list running mocks and scenes
 //	status                    daemon status
 package main
@@ -81,6 +83,7 @@ commands (Table 1):
   recreate NAME [VERSION]    replay NAME [SPEED]
   trace save FILE | trace push NAME
   chaos run PLAN.yaml
+  top [-n iters] [-i secs] | metrics
   ls | status
 `)
 }
@@ -288,6 +291,15 @@ func dispatch(cli *ctl.Client, args []string) error {
 			return fmt.Errorf("usage: dbox chaos run PLAN.yaml")
 		}
 		return chaosRunCmd(cli, rest[1])
+	case "top":
+		return topCmd(cli, rest)
+	case "metrics":
+		text, err := cli.MetricsText()
+		if err != nil {
+			return err
+		}
+		fmt.Print(text)
+		return nil
 	case "ls":
 		names, err := cli.List()
 		if err != nil {

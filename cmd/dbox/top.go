@@ -1,0 +1,174 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"time"
+
+	"repro/internal/ctl"
+	"repro/internal/obs"
+)
+
+// topCmd implements "dbox top [-n iters] [-i seconds]": a refreshing
+// per-digi table of message throughput, end-to-end latency quantiles,
+// restarts, and faults, rendered from /ctl/metrics.json.
+func topCmd(cli *ctl.Client, rest []string) error {
+	iters, interval := 0, 2*time.Second
+	for i := 0; i < len(rest); i++ {
+		switch rest[i] {
+		case "-n":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+			}
+			v, err := strconv.Atoi(rest[i+1])
+			if err != nil || v < 1 {
+				return fmt.Errorf("invalid iteration count %q", rest[i+1])
+			}
+			iters = v
+			i++
+		case "-i":
+			if i+1 >= len(rest) {
+				return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+			}
+			v, err := strconv.ParseFloat(rest[i+1], 64)
+			if err != nil || v <= 0 {
+				return fmt.Errorf("invalid interval %q", rest[i+1])
+			}
+			interval = time.Duration(v * float64(time.Second))
+			i++
+		default:
+			return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+		}
+	}
+	return runTop(cli, iters, interval, os.Stdout, iters != 1)
+}
+
+// topRow is one digi's line in the table.
+type topRow struct {
+	digi     string
+	msgs     float64 // cumulative runtime publishes
+	rate     float64 // msgs/s since last frame
+	p50, p99 float64 // end-to-end publish→deliver latency (seconds)
+	restarts float64
+	faults   float64
+}
+
+// runTop renders the table every interval. iters == 0 refreshes until
+// the daemon goes away; ansi clears the screen between frames.
+func runTop(cli *ctl.Client, iters int, interval time.Duration, w io.Writer, ansi bool) error {
+	prev := map[string]float64{}
+	prevAt := time.Time{}
+	for frame := 0; iters == 0 || frame < iters; frame++ {
+		if frame > 0 {
+			time.Sleep(interval)
+		}
+		snap, err := cli.Metrics()
+		if err != nil {
+			return err
+		}
+		now := time.Now()
+		rows := assembleTop(snap, prev, now.Sub(prevAt))
+		for _, r := range rows {
+			prev[r.digi] = r.msgs
+		}
+		prevAt = now
+		if ansi && frame > 0 {
+			fmt.Fprint(w, "\x1b[H\x1b[2J")
+		}
+		renderTop(w, snap, rows)
+	}
+	return nil
+}
+
+// assembleTop joins the per-digi families into rows. The row set is
+// the union of digis seen across publishes, latency, restart, and
+// fault families, sorted by name.
+func assembleTop(snap *obs.Snapshot, prev map[string]float64, since time.Duration) []topRow {
+	byDigi := map[string]*topRow{}
+	row := func(digi string) *topRow {
+		r, ok := byDigi[digi]
+		if !ok {
+			r = &topRow{digi: digi}
+			byDigi[digi] = r
+		}
+		return r
+	}
+	if fs := snap.Family("digibox_digi_publishes_total"); fs != nil {
+		for _, m := range fs.Metrics {
+			r := row(m.Label(fs, "digi"))
+			r.msgs = m.Value
+			if p, ok := prev[r.digi]; ok && since > 0 {
+				r.rate = (m.Value - p) / since.Seconds()
+			}
+		}
+	}
+	if fs := snap.Family("digibox_e2e_latency_seconds"); fs != nil {
+		for _, m := range fs.Metrics {
+			r := row(m.Label(fs, "digi"))
+			r.p50, r.p99 = m.P50, m.P99
+		}
+	}
+	if fs := snap.Family("digibox_kube_restarts_total"); fs != nil {
+		for _, m := range fs.Metrics {
+			row(m.Label(fs, "digi")).restarts = m.Value
+		}
+	}
+	if fs := snap.Family(obs.FaultsInjectedName); fs != nil {
+		for _, m := range fs.Metrics {
+			// Fault targets name digis, topics, nodes, or "broker"; only
+			// rows that exist elsewhere get annotated — a topic-scoped
+			// fault shouldn't fabricate a digi row.
+			if r, ok := byDigi[m.Label(fs, "target")]; ok {
+				r.faults += m.Value
+			}
+		}
+	}
+	rows := make([]topRow, 0, len(byDigi))
+	for _, r := range byDigi {
+		rows = append(rows, *r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].digi < rows[j].digi })
+	return rows
+}
+
+func renderTop(w io.Writer, snap *obs.Snapshot, rows []topRow) {
+	total := func(name string) float64 {
+		var sum float64
+		if fs := snap.Family(name); fs != nil {
+			for _, m := range fs.Metrics {
+				sum += m.Value
+			}
+		}
+		return sum
+	}
+	fmt.Fprintf(w, "dbox top — publishes %.0f  deliveries %.0f  connections %.0f  faults %.0f/%.0f recovered\n",
+		total("digibox_broker_publishes_total"),
+		total("digibox_broker_deliveries_total"),
+		total("digibox_broker_connections"),
+		total(obs.FaultsRecoveredName),
+		total(obs.FaultsInjectedName))
+	fmt.Fprintf(w, "%-16s %8s %8s %10s %10s %8s %7s\n",
+		"DIGI", "MSGS", "MSGS/S", "P50", "P99", "RESTART", "FAULTS")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-16s %8.0f %8.1f %10s %10s %8.0f %7.0f\n",
+			r.digi, r.msgs, r.rate, fmtLatency(r.p50), fmtLatency(r.p99),
+			r.restarts, r.faults)
+	}
+}
+
+// fmtLatency prints a seconds value in the natural unit.
+func fmtLatency(s float64) string {
+	switch {
+	case s <= 0:
+		return "-"
+	case s < 1e-3:
+		return fmt.Sprintf("%.0fµs", s*1e6)
+	case s < 1:
+		return fmt.Sprintf("%.2fms", s*1e3)
+	default:
+		return fmt.Sprintf("%.2fs", s)
+	}
+}

@@ -1,0 +1,106 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/device"
+	"repro/internal/scene"
+)
+
+// TestTopRendersLatency drives a publishing ensemble and checks the
+// top table carries real per-digi rows with e2e latency quantiles.
+func TestTopRendersLatency(t *testing.T) {
+	tb, err := core.New(core.Options{
+		LocalRepoDir: filepath.Join(t.TempDir(), "local"),
+		RuntimeMQTT:  true,
+		Observer:     true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Few messages flow in this test; trace all of them rather than the
+	// production 1-in-8 sample.
+	tb.Tracer.SetSampleInterval(1)
+	device.RegisterAll(tb.Registry)
+	scene.RegisterAll(tb.Registry)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	srv := &ctl.Server{TB: tb}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := &ctl.Client{Base: "http://" + srv.Addr()}
+
+	if err := cli.Run("Occupancy", "O1",
+		map[string]any{"interval_ms": int64(50), "trigger_prob": 1.0}); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wait until spans have closed, then render two frames.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		snap, err := cli.Metrics()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fs := snap.Family("digibox_e2e_latency_seconds"); fs != nil && len(fs.Metrics) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no e2e spans completed")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	var out strings.Builder
+	if err := runTop(cli, 2, 100*time.Millisecond, &out, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "DIGI") || !strings.Contains(text, "O1") {
+		t.Fatalf("table missing digi row:\n%s", text)
+	}
+	// The O1 row must carry a real latency, not the "-" placeholder.
+	for _, line := range strings.Split(text, "\n") {
+		if !strings.HasPrefix(line, "O1") {
+			continue
+		}
+		if !strings.Contains(line, "µs") && !strings.Contains(line, "ms") &&
+			!strings.Contains(line, "s") {
+			t.Fatalf("O1 row has no latency: %q", line)
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 7 {
+			t.Fatalf("O1 row malformed: %q", line)
+		}
+		if fields[3] == "-" || fields[4] == "-" {
+			t.Fatalf("O1 row has placeholder quantiles: %q", line)
+		}
+	}
+
+	// Dispatch plumbing: flag parsing and error cases.
+	if err := dispatch(cli, []string{"top", "-n", "1"}); err != nil {
+		t.Fatalf("dbox top -n 1: %v", err)
+	}
+	if err := dispatch(cli, []string{"metrics"}); err != nil {
+		t.Fatalf("dbox metrics: %v", err)
+	}
+	for _, bad := range [][]string{
+		{"top", "-n"},
+		{"top", "-n", "zero"},
+		{"top", "-n", "0"},
+		{"top", "-i", "-1"},
+		{"top", "extra"},
+	} {
+		if err := dispatch(cli, bad); err == nil {
+			t.Errorf("dbox %v succeeded, want error", bad)
+		}
+	}
+}

@@ -14,12 +14,15 @@
 //	-nodes n        number of simulated nodes    (default 1)
 //	-node-capacity  pods per node                (default 4096)
 //	-zone-delay-ms  inter-zone one-way delay when nodes > 1
+//	-pprof addr     serve net/http/pprof on addr (off by default)
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -42,6 +45,7 @@ func main() {
 		nodes     = flag.Int("nodes", 1, "number of simulated cluster nodes")
 		capacity  = flag.Int("node-capacity", 4096, "pod capacity per node")
 		zoneDelay = flag.Int("zone-delay-ms", 0, "one-way delay between gateway zone and cluster zone (ms)")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
@@ -52,6 +56,10 @@ func main() {
 		// The daemon exposes a real broker, so route the digi runtime
 		// through it: chaos plans can then sever and heal the session.
 		RuntimeMQTT: true,
+		// The wildcard observer closes publish→deliver spans so
+		// /ctl/metrics latency histograms fill even when no application
+		// client is subscribed.
+		Observer: true,
 	}
 	if *remoteDir != "" {
 		opts.RemoteRepoDir = *remoteDir
@@ -94,6 +102,16 @@ func main() {
 		log.Fatalf("dboxd: control API: %v", err)
 	}
 	defer srv.Close()
+
+	if *pprofAddr != "" {
+		// DefaultServeMux carries the net/http/pprof handlers.
+		go func() {
+			log.Printf("dboxd: pprof on %s", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("dboxd: pprof: %v", err)
+			}
+		}()
+	}
 
 	log.Printf("dboxd: control API on %s", srv.Addr())
 	log.Printf("dboxd: MQTT broker on %s", tb.BrokerAddr())

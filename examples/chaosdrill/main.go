@@ -17,14 +17,20 @@ import (
 
 	digibox "repro"
 	"repro/internal/chaos"
+	"repro/internal/obs"
 	"repro/internal/vet/vettest"
 )
 
 func main() {
-	tb, err := digibox.New(digibox.Options{RuntimeMQTT: true})
+	// Observer: a wildcard MQTT session closes publish→deliver spans,
+	// so the e2e latency histograms fill even with no app subscribed.
+	tb, err := digibox.New(digibox.Options{RuntimeMQTT: true, Observer: true})
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The drill routes a few dozen messages; trace every one (the
+	// production default samples 1-in-8) so the latency table fills.
+	tb.Tracer.SetSampleInterval(1)
 	if err := tb.Start(); err != nil {
 		log.Fatal(err)
 	}
@@ -62,6 +68,35 @@ func main() {
 	st := tb.Stats()
 	fmt.Printf("\n== survived: lamp power=%s, %d pods running, %d broker drops injected\n",
 		l1.GetString("power.status"), st.PodsRunning, st.Broker.FaultDrops)
+
+	// Self-healing gate: every injected fault must be recovered — by
+	// the engine's scheduled revert or by the runtime reconnecting its
+	// severed session. The reconnect backs off, so give it a moment.
+	injected := tb.Obs.Value(obs.FaultsInjectedName)
+	var recovered float64
+	for wait := 0; ; wait++ {
+		recovered = tb.Obs.Value(obs.FaultsRecoveredName)
+		if recovered >= injected || wait >= 100 {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	snap := tb.Obs.Snapshot()
+	fmt.Printf("\n== metrics: %d families, %.0f/%.0f faults recovered\n",
+		len(snap.Families), recovered, injected)
+	if fs := snap.Family("digibox_e2e_latency_seconds"); fs != nil {
+		for _, m := range fs.Metrics {
+			fmt.Printf("   e2e latency %-12s p50=%s p99=%s (%d msgs)\n",
+				m.LabelValues[0], time.Duration(m.P50*float64(time.Second)),
+				time.Duration(m.P99*float64(time.Second)), m.Count)
+		}
+	}
+	if recovered < injected {
+		log.Fatalf("chaosdrill: %v faults injected but only %v recovered", injected, recovered)
+	}
+	if len(snap.Families) < 12 {
+		log.Fatalf("chaosdrill: only %d metric families exposed, want >= 12", len(snap.Families))
+	}
 }
 
 func must(err error) {

@@ -9,6 +9,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // Stats is a snapshot of broker counters.
@@ -38,6 +40,15 @@ type Options struct {
 	// corruption) and tests. Closing the returned conn must close the
 	// underlying one.
 	ConnHook func(net.Conn) net.Conn
+	// Obs, when set, exposes the broker's counters as metric families.
+	// The counters are the same atomics the broker already maintains,
+	// registered as gather-time funcs — enabling metrics adds no cost
+	// to the publish hot path.
+	Obs *obs.Registry
+	// Tracer, when set, opens a publish→deliver span per routed
+	// message and closes one leg per subscriber delivery, feeding
+	// end-to-end latency histograms. Usually shared testbed-wide.
+	Tracer *obs.Tracer
 }
 
 func (o *Options) withDefaults() Options {
@@ -51,6 +62,8 @@ func (o *Options) withDefaults() Options {
 		}
 		out.Logf = o.Logf
 		out.ConnHook = o.ConnHook
+		out.Obs = o.Obs
+		out.Tracer = o.Tracer
 	}
 	return out
 }
@@ -73,6 +86,14 @@ type Broker struct {
 	messagesOut int64
 	dropped     int64
 	retainCount int64
+	retransIn   int64 // DUP PUBLISH packets received (client retransmits)
+	connects    int64 // sessions accepted (CONNACK sent)
+	disconnects int64 // sessions ended (any cause)
+
+	// Observability (nil when Options.Obs is unset; all uses are
+	// nil-safe no-ops).
+	tracer *obs.Tracer
+	fanout *obs.Histogram
 
 	// Chaos fault injection (see faults.go). faultsOn is an atomic
 	// fast-path flag so fault-free routing never takes faults.mu.
@@ -83,11 +104,53 @@ type Broker struct {
 
 // NewBroker returns an idle broker.
 func NewBroker(opts *Options) *Broker {
-	return &Broker{
+	b := &Broker{
 		opts:     opts.withDefaults(),
 		subs:     newSubTrie(),
 		sessions: map[string]*session{},
 	}
+	b.tracer = b.opts.Tracer
+	if r := b.opts.Obs; r != nil {
+		b.bindMetrics(r)
+	}
+	return b
+}
+
+// bindMetrics registers the broker's counters as families in r. The
+// funcs read the broker's existing atomics at gather time, so the
+// publish path pays nothing for them.
+func (b *Broker) bindMetrics(r *obs.Registry) {
+	load := func(p *int64) func() float64 {
+		return func() float64 { return float64(atomic.LoadInt64(p)) }
+	}
+	r.CounterFunc("digibox_broker_publishes_total",
+		"PUBLISH packets received (wire and in-process)", load(&b.publishesIn))
+	r.CounterFunc("digibox_broker_deliveries_total",
+		"PUBLISH packets delivered to subscribers", load(&b.messagesOut))
+	r.CounterFunc("digibox_broker_dropped_total",
+		"messages dropped on slow/full sessions", load(&b.dropped))
+	r.CounterFunc("digibox_broker_fault_drops_total",
+		"messages dropped by injected fault rules/partitions", load(&b.faultDrops))
+	r.CounterFunc("digibox_broker_retransmits_total",
+		"DUP PUBLISH packets received (QoS 1 client retransmits)", load(&b.retransIn))
+	r.CounterFunc("digibox_broker_connects_total",
+		"client sessions accepted", load(&b.connects))
+	r.CounterFunc("digibox_broker_disconnects_total",
+		"client sessions ended (clean or broken)", load(&b.disconnects))
+	r.GaugeFunc("digibox_broker_connections",
+		"currently connected sessions", func() float64 {
+			b.mu.Lock()
+			defer b.mu.Unlock()
+			return float64(len(b.sessions))
+		})
+	r.GaugeFunc("digibox_broker_subscriptions",
+		"live subscriptions across all sessions", func() float64 {
+			return float64(b.subs.countSubscriptions())
+		})
+	r.GaugeFunc("digibox_broker_retained",
+		"retained messages held", load(&b.retainCount))
+	b.fanout = r.Histogram("digibox_broker_fanout_seconds",
+		"time to fan one PUBLISH out to all matching subscribers", nil)
 }
 
 // ListenAndServe binds addr (e.g. "127.0.0.1:0") and serves until
@@ -256,6 +319,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 		b.mu.Unlock()
 		b.subs.removeClient(s.clientID)
 		s.terminate()
+		atomic.AddInt64(&b.disconnects, 1)
 	}()
 
 	ack, err := (&Packet{Type: CONNACK, ReturnCode: ConnAccepted}).Encode()
@@ -265,6 +329,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 	if _, err := conn.Write(ack); err != nil {
 		return
 	}
+	atomic.AddInt64(&b.connects, 1)
 	b.logf("mqtt: session %s connected from %s", s.clientID, conn.RemoteAddr())
 
 	go s.writeLoop()
@@ -290,6 +355,9 @@ func (s *session) writeLoop() {
 			if _, err := s.conn.Write(data); err != nil {
 				s.terminate()
 				return
+			}
+			if pkt.span != 0 {
+				s.broker.tracer.End(pkt.span)
 			}
 		case <-s.closedCh:
 			return
@@ -331,6 +399,9 @@ func (s *session) readLoop() {
 		switch pkt.Type {
 		case PUBLISH:
 			atomic.AddInt64(&s.broker.publishesIn, 1)
+			if pkt.Dup {
+				atomic.AddInt64(&s.broker.retransIn, 1)
+			}
 			s.broker.route(s.clientID, pkt)
 			if pkt.QoS == 1 {
 				s.send(&Packet{Type: PUBACK, PacketID: pkt.PacketID})
@@ -400,6 +471,20 @@ func (b *Broker) route(from string, pkt *Packet) {
 	if len(matches) == 0 {
 		return
 	}
+	// The span is stamped here — publish time, after the match check
+	// so unrouted messages cost nothing — and closed by each
+	// subscriber's writeLoop after the socket write: true end-to-end
+	// delivery latency. A nil tracer returns 0 and the stamps below
+	// are no-ops.
+	sid := b.tracer.Start(from, pkt.Topic)
+	// Fan-out timing rides the tracer's sampling interval (every
+	// message when no tracer is bound) so unsampled messages skip both
+	// clock reads.
+	measureFan := b.fanout != nil && (sid != 0 || b.tracer == nil)
+	var fanStart time.Time
+	if measureFan {
+		fanStart = time.Now()
+	}
 	// Overlapping filters: deliver once per client at the max QoS.
 	perClient := make(map[string]*subscription, len(matches))
 	for _, sub := range matches {
@@ -413,6 +498,7 @@ func (b *Broker) route(from string, pkt *Packet) {
 			Topic:   pkt.Topic,
 			Payload: pkt.Payload,
 			QoS:     min(pkt.QoS, sub.qos),
+			span:    sid,
 			// Retain flag is false on live routing per spec §3.3.1.3.
 		}
 		if out.QoS > 0 {
@@ -448,6 +534,9 @@ func (b *Broker) route(from string, pkt *Packet) {
 		}
 		atomic.AddInt64(&b.messagesOut, 1)
 		sub.deliver(out)
+	}
+	if measureFan {
+		b.fanout.Observe(time.Since(fanStart).Seconds())
 	}
 }
 

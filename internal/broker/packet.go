@@ -17,6 +17,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
+
+	"repro/internal/obs"
 )
 
 // PacketType is the MQTT control packet type (spec §2.2.1).
@@ -107,6 +109,11 @@ type Packet struct {
 	// SUBSCRIBE / UNSUBSCRIBE
 	Filters []string
 	QoSs    []byte // requested (SUBSCRIBE) or granted (SUBACK) QoS per filter
+
+	// span carries the publish→deliver span id from routing to the
+	// delivering writeLoop. In-process only: it is not encoded on the
+	// wire, and 0 means untraced.
+	span obs.SpanID
 }
 
 // ErrMalformed is wrapped by all decoding errors.

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -63,6 +64,47 @@ type Engine struct {
 	Cluster ClusterInjector
 	Devices DeviceInjector
 	Log     *trace.Log
+	// Obs, when set, counts injected/recovered faults and times
+	// inject→revert windows. The recovered counter joins the shared
+	// faults-recovered family (see obs.FaultsRecoveredName) under
+	// via="revert".
+	Obs *obs.Registry
+}
+
+// engineMetrics is resolved once per Run from Engine.Obs.
+type engineMetrics struct {
+	injected  *obs.CounterVec // by fault kind and target
+	recovered *obs.Counter    // shared family, via=revert
+	recovery  *obs.Histogram  // inject → revert elapsed
+}
+
+func (e *Engine) bindMetrics() *engineMetrics {
+	if e.Obs == nil {
+		return nil
+	}
+	return &engineMetrics{
+		injected: e.Obs.CounterVec(obs.FaultsInjectedName,
+			"faults injected by the chaos engine", "fault", "target"),
+		recovered: e.Obs.CounterVec(obs.FaultsRecoveredName,
+			"faults recovered (chaos reverts and runtime reconnects)", "via").With("revert"),
+		recovery: e.Obs.Histogram("digibox_chaos_recovery_seconds",
+			"fault inject → revert elapsed time", nil),
+	}
+}
+
+// target names the fault's subject for the injected-counter label.
+func target(ev Event) string {
+	switch {
+	case ev.Digi != "":
+		return ev.Digi
+	case ev.Node != "":
+		return ev.Node
+	case ev.Client != "":
+		return ev.Client
+	case ev.Topic != "":
+		return ev.Topic
+	}
+	return "broker"
 }
 
 // step is one entry of a compiled schedule: either an Event firing or
@@ -136,7 +178,9 @@ func (e *Engine) Run(ctx context.Context, p *Plan) (*Report, error) {
 		e.Broker.SetFaultSeed(p.Seed)
 	}
 	rep := &Report{Plan: p.Name, Seed: p.Seed}
+	metrics := e.bindMetrics()
 	reverts := map[int]func(){}
+	applied := map[int]time.Time{} // inject wall time, for recovery latency
 	start := time.Now()
 	for _, st := range steps {
 		if wait := st.At - time.Since(start); wait > 0 {
@@ -154,6 +198,12 @@ func (e *Engine) Run(ctx context.Context, p *Plan) (*Report, error) {
 			delete(reverts, st.RevertOf)
 			fn()
 			rep.Reverted++
+			if metrics != nil {
+				metrics.recovered.Inc()
+				if t0, ok := applied[st.RevertOf]; ok {
+					metrics.recovery.Observe(time.Since(t0).Seconds())
+				}
+			}
 			line := revertSignature(st.Event)
 			rep.Applied = append(rep.Applied, line)
 			e.logFault(st.Event, "revert", line)
@@ -166,8 +216,12 @@ func (e *Engine) Run(ctx context.Context, p *Plan) (*Report, error) {
 		}
 		if revert != nil {
 			reverts[st.Index] = revert
+			applied[st.Index] = time.Now()
 		}
 		rep.Injected++
+		if metrics != nil {
+			metrics.injected.With(string(st.Event.Fault), target(st.Event)).Inc()
+		}
 		line := eventSignature(st.Event)
 		rep.Applied = append(rep.Applied, line)
 		e.logFault(st.Event, string(st.Event.Fault), line)

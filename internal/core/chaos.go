@@ -75,6 +75,7 @@ func (tb *Testbed) ChaosEngine() *chaos.Engine {
 		Cluster: clusterInjector{tb},
 		Devices: deviceInjector{tb},
 		Log:     tb.Log,
+		Obs:     tb.Obs,
 	}
 	if tb.Broker != nil {
 		e.Broker = brokerInjector{tb.Broker}

@@ -31,6 +31,7 @@ import (
 	"repro/internal/digi"
 	"repro/internal/kube"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/property"
 	"repro/internal/repo"
 	"repro/internal/rest"
@@ -79,6 +80,15 @@ type Options struct {
 	// in-process fast path — required for chaos plans that disconnect
 	// or partition the runtime, and for observing reconnect behaviour.
 	RuntimeMQTT bool
+	// DisableMetrics turns the observability layer off: no registry,
+	// no spans, and Stats falls back to per-subsystem snapshots.
+	DisableMetrics bool
+	// Observer, when set, connects a wire MQTT client subscribed to
+	// "#" (QoS 1) so every publish has at least one wire delivery.
+	// This closes publish→deliver spans even when no application
+	// client is attached, making end-to-end latency histograms live
+	// from the first publish.
+	Observer bool
 }
 
 // Testbed is one Digibox prototyping environment.
@@ -94,11 +104,20 @@ type Testbed struct {
 	Gateway  *rest.Gateway
 	Checker  *property.Checker
 
+	// Obs is the testbed-wide metrics registry (nil when
+	// Options.DisableMetrics); every layer registers its families
+	// here and GET /ctl/metrics exposes it. Tracer stamps
+	// publish→deliver spans through the broker.
+	Obs    *obs.Registry
+	Tracer *obs.Tracer
+
 	localRepo  *repo.Repo
 	remoteRepo *repo.Repo
 
-	// runtimeClient is the digi runtime's MQTT session (RuntimeMQTT).
+	// runtimeClient is the digi runtime's MQTT session (RuntimeMQTT);
+	// observer is the wildcard subscriber session (Options.Observer).
 	runtimeClient *broker.Client
+	observer      *broker.Client
 
 	mu      sync.Mutex
 	started bool
@@ -131,12 +150,26 @@ func New(opts Options) (*Testbed, error) {
 		Log:      trace.NewLog(),
 		Registry: digi.NewRegistry(),
 	}
+	if !opts.DisableMetrics {
+		tb.Obs = obs.NewRegistry()
+		tb.Tracer = obs.NewTracer(tb.Obs)
+		// Correlate completed spans into the trace log so shared and
+		// replayed traces carry delivery-timing evidence (§3.5).
+		log := tb.Log
+		tb.Tracer.OnSpan(func(from, topic string, elapsed time.Duration) {
+			log.Span(from, topic, elapsed)
+		})
+	}
 	tb.Runtime = &digi.Runtime{
 		Store:    tb.Store,
 		Log:      tb.Log,
 		Registry: tb.Registry,
 	}
+	tb.Runtime.BindObs(tb.Obs)
 	tb.Cluster = kube.NewCluster()
+	if tb.Obs != nil {
+		tb.Cluster.BindMetrics(tb.Obs)
+	}
 	tb.Cluster.RegisterImage("digi", tb.Runtime.ImageFactory())
 	for _, n := range opts.Nodes {
 		if err := tb.Cluster.AddNode(n.Name, n.Capacity, n.Zone); err != nil {
@@ -147,6 +180,17 @@ func New(opts Options) (*Testbed, error) {
 		tb.Cluster.SetZoneDelay(zd.A, zd.B, zd.Delay)
 	}
 	tb.Checker = property.NewChecker(tb.Store, tb.Log)
+	if tb.Obs != nil {
+		tb.Obs.GaugeFunc("digibox_models", "models in the store", func() float64 {
+			return float64(len(tb.Store.List()))
+		})
+		tb.Obs.GaugeFunc("digibox_trace_records", "records in the trace log", func() float64 {
+			return float64(tb.Log.Len())
+		})
+		tb.Obs.GaugeFunc("digibox_violations", "property violations recorded", func() float64 {
+			return float64(len(tb.Checker.Violations()))
+		})
+	}
 
 	if opts.LocalRepoDir != "" {
 		r, err := repo.Open(opts.LocalRepoDir)
@@ -176,7 +220,10 @@ func (tb *Testbed) Start() error {
 	tb.mu.Unlock()
 
 	if tb.opts.BrokerAddr != "none" {
-		tb.Broker = broker.NewBroker(nil)
+		tb.Broker = broker.NewBroker(&broker.Options{
+			Obs:    tb.Obs,
+			Tracer: tb.Tracer,
+		})
 		if err := tb.Broker.ListenAndServe(tb.opts.BrokerAddr); err != nil {
 			return fmt.Errorf("core: broker: %w", err)
 		}
@@ -192,6 +239,11 @@ func (tb *Testbed) Start() error {
 			tb.runtimeClient = c
 			tb.Runtime.BindClient(c)
 		}
+		if tb.opts.Observer {
+			if err := tb.startObserver(); err != nil {
+				return fmt.Errorf("core: observer: %w", err)
+			}
+		}
 	}
 	tb.Cluster.Start()
 	if tb.opts.RESTAddr != "none" {
@@ -205,6 +257,29 @@ func (tb *Testbed) Start() error {
 		}
 	}
 	tb.Checker.Start()
+	return nil
+}
+
+// startObserver dials the wildcard observer session. Its deliveries
+// close publish→deliver spans; the received counter doubles as a
+// delivery liveness signal.
+func (tb *Testbed) startObserver() error {
+	c, err := broker.Dial(tb.Broker.Addr(), &broker.ClientOptions{
+		ClientID:      "dbox-observer",
+		AutoReconnect: true,
+	})
+	if err != nil {
+		return err
+	}
+	received := tb.Obs.Counter("digibox_observer_received_total",
+		"messages delivered to the wildcard observer session")
+	if err := c.Subscribe("#", 1, func(broker.Message) {
+		received.Inc()
+	}); err != nil {
+		c.Close()
+		return err
+	}
+	tb.observer = c
 	return nil
 }
 
@@ -238,6 +313,9 @@ func (tb *Testbed) Stop() {
 		tb.Gateway.Close()
 	}
 	tb.Cluster.Stop()
+	if tb.observer != nil {
+		tb.observer.Close()
+	}
 	if tb.runtimeClient != nil {
 		tb.runtimeClient.Close()
 	}
@@ -287,20 +365,43 @@ type Stats struct {
 	Broker      broker.Stats
 }
 
-// Stats returns a state snapshot.
+// Stats returns a state snapshot. With metrics enabled the snapshot
+// is computed from a single registry sweep — every family is read in
+// one locked pass, so broker and cluster counts are mutually
+// consistent even mid-chaos. Without metrics it falls back to
+// per-subsystem snapshots taken at slightly different instants.
 func (tb *Testbed) Stats() Stats {
-	cs := tb.Cluster.Stats()
-	st := Stats{
-		Models:      len(tb.Store.List()),
-		PodsRunning: cs.PodsRunning,
-		PodsPending: cs.PodsPending,
-		Violations:  len(tb.Checker.Violations()),
-		TraceLen:    tb.Log.Len(),
+	if tb.Obs == nil {
+		cs := tb.Cluster.Stats()
+		st := Stats{
+			Models:      len(tb.Store.List()),
+			PodsRunning: cs.PodsRunning,
+			PodsPending: cs.PodsPending,
+			Violations:  len(tb.Checker.Violations()),
+			TraceLen:    tb.Log.Len(),
+		}
+		if tb.Broker != nil {
+			st.Broker = tb.Broker.Stats()
+		}
+		return st
 	}
-	if tb.Broker != nil {
-		st.Broker = tb.Broker.Stats()
+	v := tb.Obs.Values()
+	return Stats{
+		Models:      int(v["digibox_models"]),
+		PodsRunning: int(v["digibox_kube_pods_running"]),
+		PodsPending: int(v["digibox_kube_pods_pending"]),
+		Violations:  int(v["digibox_violations"]),
+		TraceLen:    int(v["digibox_trace_records"]),
+		Broker: broker.Stats{
+			Connections:   int(v["digibox_broker_connections"]),
+			Subscriptions: int(v["digibox_broker_subscriptions"]),
+			Retained:      int(v["digibox_broker_retained"]),
+			PublishesIn:   int64(v["digibox_broker_publishes_total"]),
+			MessagesOut:   int64(v["digibox_broker_deliveries_total"]),
+			Dropped:       int64(v["digibox_broker_dropped_total"]),
+			FaultDrops:    int64(v["digibox_broker_fault_drops_total"]),
+		},
 	}
-	return st
 }
 
 // Names returns all model names, sorted.

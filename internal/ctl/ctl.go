@@ -130,6 +130,8 @@ func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /ctl/status", s.handleStatus)
+	mux.HandleFunc("GET /ctl/metrics", s.handleMetrics)
+	mux.HandleFunc("GET /ctl/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /ctl/list", s.handleList)
 	mux.HandleFunc("POST /ctl/run", s.handleRun)
 	mux.HandleFunc("POST /ctl/stop", s.handleStop)

@@ -29,10 +29,12 @@ import (
 	"math/rand"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/broker"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -148,7 +150,46 @@ type Runtime struct {
 	pubMu      sync.Mutex
 	client     *broker.Client
 	outage     bool
+	gapStart   time.Time
 	lastStatus map[string][]byte
+
+	// metrics is the bound instrument bundle (nil = unobserved).
+	metrics atomic.Pointer[runtimeMetrics]
+}
+
+// runtimeMetrics bundles the runtime's instrument handles.
+type runtimeMetrics struct {
+	events    *obs.CounterVec // event-generator firings by digi
+	publishes *obs.CounterVec // status publishes by digi
+	commits   *obs.Histogram  // model-commit latency
+	gaps      *obs.Counter    // broker-session outages
+	recovered *obs.Counter    // shared faults-recovered family, via=reconnect
+	gapDur    *obs.Histogram  // outage duration
+}
+
+// BindObs wires the runtime's instruments into r. The recovered
+// counter joins the registry-wide faults-recovered family (shared
+// with the chaos engine's revert counter) under via="reconnect", so a
+// forced disconnect healed by the client's auto-reconnect counts as a
+// recovered fault.
+func (rt *Runtime) BindObs(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	rt.metrics.Store(&runtimeMetrics{
+		events: r.CounterVec("digibox_digi_events_total",
+			"event-generator firings (Loop events and scene coordination)", "digi"),
+		publishes: r.CounterVec("digibox_digi_publishes_total",
+			"status messages published", "digi"),
+		commits: r.Histogram("digibox_digi_commit_seconds",
+			"model-commit latency (diff apply through the store)", nil),
+		gaps: r.Counter("digibox_runtime_gaps_total",
+			"broker-session outages observed by the digi runtime"),
+		recovered: r.CounterVec(obs.FaultsRecoveredName,
+			"faults recovered (chaos reverts and runtime reconnects)", "via").With("reconnect"),
+		gapDur: r.Histogram("digibox_runtime_gap_seconds",
+			"broker-session outage duration (disconnect → reconnect)", nil),
+	})
 }
 
 // BindClient routes the runtime's status publishes through a real MQTT
@@ -178,7 +219,11 @@ func (rt *Runtime) noteGap(cause error) {
 		return
 	}
 	rt.outage = true
+	rt.gapStart = time.Now()
 	rt.pubMu.Unlock()
+	if m := rt.metrics.Load(); m != nil {
+		m.gaps.Inc()
+	}
 	detail := "broker connection lost"
 	if cause != nil {
 		detail = cause.Error()
@@ -196,6 +241,7 @@ func (rt *Runtime) recoverFromGap() {
 		return
 	}
 	rt.outage = false
+	gapStart := rt.gapStart
 	client := rt.client
 	topics := make([]string, 0, len(rt.lastStatus))
 	for t := range rt.lastStatus {
@@ -207,6 +253,12 @@ func (rt *Runtime) recoverFromGap() {
 		last[t] = rt.lastStatus[t]
 	}
 	rt.pubMu.Unlock()
+	if m := rt.metrics.Load(); m != nil {
+		m.recovered.Inc()
+		if !gapStart.IsZero() {
+			m.gapDur.Observe(time.Since(gapStart).Seconds())
+		}
+	}
 	rt.Log.Fault("runtime", "broker-recover",
 		fmt.Sprintf("reconnected; republishing %d retained status topics", len(topics)), nil)
 	for _, topic := range topics {
@@ -226,6 +278,9 @@ func (rt *Runtime) publishStatus(from, topic string, payload []byte) error {
 	rt.lastStatus[topic] = payload
 	client := rt.client
 	rt.pubMu.Unlock()
+	if m := rt.metrics.Load(); m != nil {
+		m.publishes.With(from).Inc()
+	}
 	if client != nil {
 		return client.Publish(topic, payload, 1, true)
 	}

@@ -176,10 +176,32 @@ func (r *reconciler) tick() {
 		}
 	}
 	r.rt.Log.Event(r.name, r.c.Type, fields)
-	r.rt.Store.Apply(r.name, func(d model.Doc) error {
+	r.countEvent()
+	r.commit(r.name, changes)
+}
+
+// countEvent bumps the digi's event-generator counter.
+func (r *reconciler) countEvent() {
+	if m := r.rt.metrics.Load(); m != nil {
+		m.events.With(r.name).Inc()
+	}
+}
+
+// commit applies a change set to a model, timing it into the
+// commit-latency histogram when metrics are bound.
+func (r *reconciler) commit(name string, changes []model.Change) {
+	m := r.rt.metrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	r.rt.Store.Apply(name, func(d model.Doc) error {
 		d.ApplyChanges(changes)
 		return nil
 	})
+	if m != nil {
+		m.commits.Observe(time.Since(t0).Seconds())
+	}
 }
 
 // handleUpdate reacts to a committed change of the digi's own model or
@@ -249,10 +271,7 @@ func (r *reconciler) simulate() {
 
 	// Commit own-model changes.
 	if changes := model.Diff(doc, work); len(changes) > 0 {
-		r.rt.Store.Apply(r.name, func(d model.Doc) error {
-			d.ApplyChanges(changes)
-			return nil
-		})
+		r.commit(r.name, changes)
 	}
 	// Commit child changes (scene coordination). The write is logged
 	// at the scene as a coordination event; the child's own reconciler
@@ -274,10 +293,8 @@ func (r *reconciler) simulate() {
 				}
 			}
 			r.rt.Log.Event(r.name, r.c.Type, fields)
-			r.rt.Store.Apply(childName, func(d model.Doc) error {
-				d.ApplyChanges(changes)
-				return nil
-			})
+			r.countEvent()
+			r.commit(childName, changes)
 		}
 	}
 }

@@ -202,6 +202,9 @@ func (na *nodeAgent) launch(pod *Pod) {
 				return
 			}
 			restarts++
+			if m := na.cluster.getMetrics(); m != nil {
+				m.restarts.With(digiLabel(pod)).Inc()
+			}
 			na.cluster.api.updatePod(pod.Name, func(p *Pod) bool {
 				p.Status.Restarts = restarts
 				if runErr != nil {

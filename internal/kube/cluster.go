@@ -23,6 +23,7 @@ type Cluster struct {
 	agents  map[string]*nodeAgent
 	zones   map[zonePair]time.Duration
 	sched   *scheduler
+	metrics *clusterMetrics // nil until BindMetrics
 	started bool
 	stopped bool
 }
@@ -128,6 +129,7 @@ func (c *Cluster) Start() {
 	}
 	c.started = true
 	c.sched = newScheduler(c.api)
+	c.sched.metrics = c.getMetrics
 	agents := make([]*nodeAgent, 0, len(c.agents))
 	for _, a := range c.agents {
 		agents = append(agents, a)
@@ -189,6 +191,7 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 			n.Status.Running = 0
 		})
 		// Evict: return this node's pods to the scheduler.
+		m := c.getMetrics()
 		for _, p := range c.api.listPods() {
 			if p.Status.NodeName != name {
 				continue
@@ -199,6 +202,9 @@ func (c *Cluster) SetNodeReady(name string, ready bool) error {
 				pod.Status.Message = "evicted: node " + name + " down"
 				return true
 			})
+			if m != nil {
+				m.evictions.Inc()
+			}
 		}
 		if c.sched != nil {
 			c.sched.releaseAll(name)
@@ -266,7 +272,13 @@ func (c *Cluster) CreatePod(p *Pod) error {
 	if p.Spec.Image == "" {
 		return fmt.Errorf("kube: pod image required")
 	}
-	return c.api.createPod(p)
+	if err := c.api.createPod(p); err != nil {
+		return err
+	}
+	if m := c.getMetrics(); m != nil {
+		m.created.Inc()
+	}
+	return nil
 }
 
 // DeletePod removes a pod; its workload context is cancelled.

@@ -1,0 +1,81 @@
+package kube
+
+import (
+	"repro/internal/obs"
+)
+
+// clusterMetrics bundles the cluster's instrument handles. The struct
+// exists (rather than globals) so two testbeds in one process keep
+// independent registries; every instrument is nil-safe so unbound
+// clusters skip the whole layer.
+type clusterMetrics struct {
+	scheduling *obs.Histogram  // pod create → node bind
+	restarts   *obs.CounterVec // workload restarts by digi
+	evictions  *obs.Counter    // pods evicted off dead nodes
+	created    *obs.Counter    // pods submitted
+}
+
+// BindMetrics exposes cluster state in r. Gauges are gather-time funcs
+// over the API server (no bookkeeping in the scheduling path); the
+// scheduling-latency histogram and restart counters are fed from the
+// scheduler and node agents. Call before Start.
+func (c *Cluster) BindMetrics(r *obs.Registry) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("digibox_kube_nodes", "registered nodes", func() float64 {
+		return float64(len(c.api.listNodes()))
+	})
+	r.GaugeFunc("digibox_kube_nodes_ready", "nodes in Ready condition", func() float64 {
+		n := 0
+		for _, node := range c.api.listNodes() {
+			if node.Status.Ready {
+				n++
+			}
+		}
+		return float64(n)
+	})
+	phaseGauge := func(phase PodPhase) func() float64 {
+		return func() float64 {
+			n := 0
+			for _, p := range c.api.listPods() {
+				if p.Status.Phase == phase {
+					n++
+				}
+			}
+			return float64(n)
+		}
+	}
+	r.GaugeFunc("digibox_kube_pods_running", "pods in Running phase", phaseGauge(PodRunning))
+	r.GaugeFunc("digibox_kube_pods_pending", "pods in Pending phase", phaseGauge(PodPending))
+	r.GaugeFunc("digibox_kube_pods_failed", "pods in Failed phase", phaseGauge(PodFailed))
+
+	m := &clusterMetrics{
+		scheduling: r.Histogram("digibox_kube_scheduling_seconds",
+			"pod submission → node binding latency", nil),
+		restarts: r.CounterVec("digibox_kube_restarts_total",
+			"workload restarts (crash loops, injected crashes)", "digi"),
+		evictions: r.Counter("digibox_kube_evictions_total",
+			"pods evicted from nodes taken down"),
+		created: r.Counter("digibox_kube_pods_created_total",
+			"pods submitted to the API server"),
+	}
+	c.mu.Lock()
+	c.metrics = m
+	c.mu.Unlock()
+}
+
+func (c *Cluster) getMetrics() *clusterMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.metrics
+}
+
+// digiLabel names the pod's digi for metric labels, falling back to
+// the pod name for non-digi workloads.
+func digiLabel(p *Pod) string {
+	if d, ok := p.Labels["digi"]; ok && d != "" {
+		return d
+	}
+	return p.Name
+}

@@ -1,0 +1,82 @@
+package kube
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// TestClusterMetrics drives a small cluster through create, crash,
+// and node-down cycles and checks the bound registry reflects each.
+func TestClusterMetrics(t *testing.T) {
+	r := obs.NewRegistry()
+	c := NewCluster()
+	c.BindMetrics(r)
+	c.AddNode("n1", 50, "local")
+	c.AddNode("n2", 50, "local")
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+	c.Start()
+	t.Cleanup(c.Stop)
+
+	pod := &Pod{
+		Name:   "digi-l1",
+		Labels: map[string]string{"digi": "L1"},
+		Spec:   PodSpec{Image: "digi/block", RestartPolicy: RestartAlways},
+	}
+	if err := c.CreatePod(pod); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.WaitPodPhase("digi-l1", PodRunning, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := r.Value("digibox_kube_pods_created_total"); got != 1 {
+		t.Fatalf("pods created = %v", got)
+	}
+	if got := r.Value("digibox_kube_pods_running"); got != 1 {
+		t.Fatalf("pods running gauge = %v", got)
+	}
+	if got := r.Value("digibox_kube_nodes_ready"); got != 2 {
+		t.Fatalf("nodes ready = %v", got)
+	}
+	if got := r.Value("digibox_kube_scheduling_seconds"); got < 1 {
+		t.Fatalf("scheduling latency observations = %v, want >= 1", got)
+	}
+
+	// A crash must surface as a restart under the digi label.
+	if err := c.CrashPod("digi-l1"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return r.Value("digibox_kube_restarts_total") >= 1
+	}, "restart counted")
+	fs := r.Snapshot().Family("digibox_kube_restarts_total")
+	if fs == nil || len(fs.Metrics) != 1 || fs.Metrics[0].LabelValues[0] != "L1" {
+		t.Fatalf("restart labels: %+v", fs)
+	}
+
+	// Node down: the pod is evicted and rescheduled, which observes
+	// scheduling latency again.
+	before := r.Value("digibox_kube_scheduling_seconds")
+	if err := c.SetNodeReady("n1", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetNodeReady("n2", false); err != nil {
+		// One of the two nodes hosted the pod; killing both guarantees
+		// an eviction regardless of placement.
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return r.Value("digibox_kube_evictions_total") >= 1
+	}, "eviction counted")
+	if got := r.Value("digibox_kube_nodes_ready"); got != 0 {
+		t.Fatalf("nodes ready after double kill = %v", got)
+	}
+	if err := c.SetNodeReady("n1", true); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return r.Value("digibox_kube_scheduling_seconds") > before
+	}, "rescheduling observed")
+}

@@ -2,6 +2,7 @@ package kube
 
 import (
 	"sync"
+	"time"
 )
 
 // scheduler binds pending pods to nodes. Placement is least-loaded
@@ -21,6 +22,10 @@ type scheduler struct {
 	watcher *podWatcher
 	done    chan struct{}
 	wg      sync.WaitGroup
+
+	// metrics resolves the cluster's instrument bundle at observe
+	// time (nil getter or nil bundle = unobserved).
+	metrics func() *clusterMetrics
 }
 
 func newScheduler(api *apiServer) *scheduler {
@@ -158,6 +163,14 @@ func (s *scheduler) schedule(name string) {
 	})
 	if !bound {
 		s.release(target)
+		return
+	}
+	if s.metrics != nil {
+		if m := s.metrics(); m != nil && !pod.Status.CreatedAt.IsZero() {
+			// Re-schedules after eviction observe again, measured from
+			// creation: the pod's cumulative time-to-placement.
+			m.scheduling.Observe(time.Since(pod.Status.CreatedAt).Seconds())
+		}
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 )
 
 // apiServer is the cluster's object store: versioned pods and nodes
@@ -41,6 +42,9 @@ func (a *apiServer) createPod(p *Pod) error {
 	stored.ResourceVersion = a.version
 	if stored.Status.Phase == "" {
 		stored.Status.Phase = PodPending
+	}
+	if stored.Status.CreatedAt.IsZero() {
+		stored.Status.CreatedAt = time.Now()
 	}
 	if stored.Spec.RestartPolicy == "" {
 		stored.Spec.RestartPolicy = RestartAlways

@@ -67,7 +67,10 @@ type PodStatus struct {
 	NodeName string // bound node, "" while pending
 	Restarts int
 	Message  string // human-readable reason for the current phase
-	StartAt  time.Time
+	// CreatedAt is stamped by the API server on submission; the gap to
+	// node binding is the scheduling-latency metric.
+	CreatedAt time.Time
+	StartAt   time.Time
 }
 
 // DeepCopy returns an independent copy of the pod.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"time"
 )
 
@@ -16,14 +17,27 @@ const (
 	archiveMetaFile  = "meta.txt"
 )
 
-// WriteArchive packages the log as a shareable zip stream.
+// WriteArchive packages the log as a shareable zip stream. meta.txt
+// makes the archive self-describing: total record count (kept first
+// for compatibility), wall-clock start/end, and per-kind counts.
 func (l *Log) WriteArchive(w io.Writer) error {
 	zw := zip.NewWriter(w)
 	meta, err := zw.Create(archiveMetaFile)
 	if err != nil {
 		return err
 	}
+	start, end, kinds := l.Bounds()
 	fmt.Fprintf(meta, "digibox-trace v1\nrecords: %d\n", l.Len())
+	fmt.Fprintf(meta, "start: %s\nend: %s\n",
+		start.UTC().Format(time.RFC3339Nano), end.UTC().Format(time.RFC3339Nano))
+	names := make([]string, 0, len(kinds))
+	for k := range kinds {
+		names = append(names, string(k))
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(meta, "kind %s: %d\n", k, kinds[Kind(k)])
+	}
 	tf, err := zw.Create(archiveTraceFile)
 	if err != nil {
 		return err

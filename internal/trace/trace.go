@@ -36,6 +36,11 @@ const (
 	// KindFault is an injected fault or a recovery from one (chaos
 	// engine, runtime gap/recover markers).
 	KindFault Kind = "fault"
+	// KindSpan is a completed publish→deliver span: the measured
+	// end-to-end latency of one MQTT delivery leg, correlated from the
+	// obs tracer so replayed traces carry timing evidence. Spans are
+	// observational — the replayer skips them.
+	KindSpan Kind = "span"
 )
 
 // Record is one log entry. The wire form is a single JSON object per
@@ -131,6 +136,14 @@ func (l *Log) Fault(name, fault, detail string, fields map[string]any) {
 	l.Append(Record{Kind: KindFault, Name: name, Fault: fault, Detail: detail, Fields: fields})
 }
 
+// Span logs a completed publish→deliver span. name is the publishing
+// digi (or client id), topic the delivered topic, elapsed the
+// end-to-end latency.
+func (l *Log) Span(name, topic string, elapsed time.Duration) {
+	l.Append(Record{Kind: KindSpan, Name: name, Topic: topic,
+		Fields: map[string]any{"elapsed_ns": int64(elapsed)}})
+}
+
 // Faults returns all fault/recovery records.
 func (l *Log) Faults() []Record {
 	l.mu.Lock()
@@ -169,6 +182,24 @@ func (l *Log) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	return len(l.recs)
+}
+
+// Bounds returns the wall-clock start of the log and the timestamp of
+// the last record (equal to start when the log is empty), plus the
+// per-kind record counts — the self-describing header data for
+// shared archives.
+func (l *Log) Bounds() (start, end time.Time, kinds map[Kind]int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	start, end = l.start, l.start
+	if n := len(l.recs); n > 0 {
+		end = l.start.Add(l.recs[n-1].TS)
+	}
+	kinds = map[Kind]int{}
+	for _, r := range l.recs {
+		kinds[r.Kind]++
+	}
+	return start, end, kinds
 }
 
 // RecordsFor returns records for one mock/scene name.

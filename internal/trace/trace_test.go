@@ -1,7 +1,9 @@
 package trace
 
 import (
+	"archive/zip"
 	"bytes"
+	"io"
 	"path/filepath"
 	"reflect"
 	"strings"
@@ -305,5 +307,106 @@ func TestConcurrentAppend(t *testing.T) {
 			t.Fatalf("duplicate seq %d", r.Seq)
 		}
 		seen[r.Seq] = true
+	}
+}
+
+func TestSpanRecords(t *testing.T) {
+	l := NewLogAt(newFakeClock().now)
+	l.Span("L1", "digibox/L1/status", 1500*time.Microsecond)
+	recs := l.Records()
+	if len(recs) != 1 || recs[0].Kind != KindSpan {
+		t.Fatalf("recs = %+v", recs)
+	}
+	if recs[0].Name != "L1" || recs[0].Topic != "digibox/L1/status" {
+		t.Fatalf("span fields: %+v", recs[0])
+	}
+	if ns, ok := recs[0].Fields["elapsed_ns"].(int64); !ok || ns != int64(1500*time.Microsecond) {
+		t.Fatalf("elapsed_ns = %v", recs[0].Fields["elapsed_ns"])
+	}
+	// Spans must not drive replay.
+	rp := &Replayer{Apply: func(Record) error {
+		t.Fatal("span record reached Apply")
+		return nil
+	}}
+	if err := rp.Run(recs); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBounds(t *testing.T) {
+	l := NewLogAt(newFakeClock().now)
+	start, end, kinds := l.Bounds()
+	if !start.Equal(end) || len(kinds) != 0 {
+		t.Fatalf("empty log bounds: %v %v %v", start, end, kinds)
+	}
+	l.Event("o1", "Occupancy", nil)
+	l.Event("o1", "Occupancy", nil)
+	l.Span("o1", "t/x/s", time.Millisecond)
+	start, end, kinds = l.Bounds()
+	if !end.After(start) {
+		t.Fatalf("end %v not after start %v", end, start)
+	}
+	if kinds[KindEvent] != 2 || kinds[KindSpan] != 1 {
+		t.Fatalf("kind counts: %v", kinds)
+	}
+}
+
+// TestArchiveMeta pins the self-describing meta.txt layout: total
+// records (first, for compatibility), start/end timestamps, and
+// per-kind counts.
+func TestArchiveMeta(t *testing.T) {
+	l := sampleLog()
+	l.Event("o1", "Occupancy", map[string]any{"triggered": true})
+	var buf bytes.Buffer
+	if err := l.WriteArchive(&buf); err != nil {
+		t.Fatal(err)
+	}
+	zr, err := zip.NewReader(bytes.NewReader(buf.Bytes()), int64(buf.Len()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meta string
+	for _, f := range zr.File {
+		if f.Name == "meta.txt" {
+			rc, err := f.Open()
+			if err != nil {
+				t.Fatal(err)
+			}
+			data, err := io.ReadAll(rc)
+			rc.Close()
+			if err != nil {
+				t.Fatal(err)
+			}
+			meta = string(data)
+		}
+	}
+	if meta == "" {
+		t.Fatal("archive has no meta.txt")
+	}
+	lines := strings.Split(strings.TrimSpace(meta), "\n")
+	if lines[0] != "digibox-trace v1" || lines[1] != "records: 6" {
+		t.Fatalf("meta header: %q", lines[:2])
+	}
+	var hasStart, hasEnd bool
+	counts := map[string]string{}
+	for _, ln := range lines[2:] {
+		switch {
+		case strings.HasPrefix(ln, "start: "):
+			hasStart = true
+			if _, err := time.Parse(time.RFC3339Nano, strings.TrimPrefix(ln, "start: ")); err != nil {
+				t.Fatalf("start timestamp: %v", err)
+			}
+		case strings.HasPrefix(ln, "end: "):
+			hasEnd = true
+		case strings.HasPrefix(ln, "kind "):
+			kv := strings.SplitN(strings.TrimPrefix(ln, "kind "), ": ", 2)
+			counts[kv[0]] = kv[1]
+		}
+	}
+	if !hasStart || !hasEnd {
+		t.Fatalf("meta missing start/end:\n%s", meta)
+	}
+	if counts["action"] != "5" || counts["event"] != "1" {
+		t.Fatalf("kind counts: %v\n%s", counts, meta)
 	}
 }
