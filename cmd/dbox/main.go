@@ -26,6 +26,8 @@
 //	trace save FILE           download the daemon's trace archive
 //	trace push NAME           publish the trace to the remote
 //	replay NAME [-speed s]    replay a shared trace
+//	record SCENARIO.yaml      record a scenario deterministically
+//	replay [-verify] ARCHIVE  re-execute a replay archive (byte-exact)
 //	chaos run PLAN.yaml       apply a fault-injection plan
 //	top [-n iters] [-i secs]  live per-digi throughput/latency table
 //	metrics                   dump Prometheus text exposition
@@ -81,6 +83,8 @@ commands (Table 1):
   commit [-k|-f] NAME        push NAME | pull NAME
   vet [-json] [--all | NAME|FILE]
   recreate NAME [VERSION]    replay NAME [SPEED]
+  record [-o OUT.zip] [-remote] SCENARIO.yaml
+  replay [-verify] [-remote] ARCHIVE.zip
   trace save FILE | trace push NAME
   chaos run PLAN.yaml
   top [-n iters] [-i secs] | metrics
@@ -230,7 +234,14 @@ func dispatch(cli *ctl.Client, args []string) error {
 		}
 		fmt.Printf("recreated %s\n", rest[0])
 		return nil
+	case "record":
+		return recordCmd(cli, rest)
 	case "replay":
+		// Archive form: any flag, or a target naming an existing file,
+		// selects the deterministic record/replay path.
+		if isReplayArchiveForm(rest) {
+			return replayArchiveCmd(cli, rest)
+		}
 		if len(rest) < 1 || len(rest) > 2 {
 			return fmt.Errorf("usage: dbox replay NAME [SPEED]")
 		}

@@ -114,11 +114,28 @@ func TestDispatchTable1Workflow(t *testing.T) {
 	}
 	for _, step := range steps {
 		if step[0] == "watch" {
-			// watch blocks until an update arrives; provide one.
+			// watch blocks until an update arrives and there is no
+			// connect handshake, so a single delayed edit can be
+			// missed; keep editing until the stream completes.
+			stop := make(chan struct{})
 			go func() {
-				time.Sleep(100 * time.Millisecond)
-				cli.Edit("L1", map[string]any{"intensity": map[string]any{"intent": 0.42}})
+				level := 0.42
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(20 * time.Millisecond):
+						cli.Edit("L1", map[string]any{"intensity": map[string]any{"intent": level}})
+						level += 0.01
+					}
+				}
 			}()
+			err := dispatch(cli, step)
+			close(stop)
+			if err != nil {
+				t.Fatalf("dbox %v: %v", step, err)
+			}
+			continue
 		}
 		if err := dispatch(cli, step); err != nil {
 			t.Fatalf("dbox %v: %v", step, err)

@@ -1,0 +1,181 @@
+package main
+
+// dbox record / dbox replay (archive form): the CLI surface of the
+// deterministic record/replay harness. Like "dbox vet FILE", both run
+// locally by default — the engine needs no daemon — while -remote
+// sends the scenario through the control API instead.
+
+import (
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/ctl"
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/replay"
+	"repro/internal/scene"
+)
+
+// isReplayArchiveForm reports whether a "dbox replay" invocation is
+// the archive form (deterministic re-execution) rather than the
+// shared-trace form: any flag argument, or a target naming a file.
+func isReplayArchiveForm(rest []string) bool {
+	for _, a := range rest {
+		if strings.HasPrefix(a, "-") {
+			return true
+		}
+		if st, err := os.Stat(a); err == nil && !st.IsDir() {
+			return true
+		}
+	}
+	return false
+}
+
+// localRegistry builds the kind registry the local deterministic
+// engine resolves scenario digis against: every built-in device mock
+// plus the example scene kinds.
+func localRegistry() (*digi.Registry, error) {
+	reg := digi.NewRegistry()
+	if err := device.RegisterAll(reg); err != nil {
+		return nil, err
+	}
+	if err := scene.RegisterAll(reg); err != nil {
+		return nil, err
+	}
+	return reg, nil
+}
+
+// recordCmd implements "dbox record [-o OUT.zip] [-remote] SCENARIO.yaml":
+// execute the scenario on the deterministic engine and print the
+// chained trace digest; -o additionally saves the replay archive.
+func recordCmd(cli *ctl.Client, rest []string) error {
+	usageErr := fmt.Errorf("usage: dbox record [-o OUT.zip] [-remote] SCENARIO.yaml")
+	out, remote, target := "", false, ""
+	for i := 0; i < len(rest); i++ {
+		switch a := rest[i]; a {
+		case "-o", "--out":
+			i++
+			if i >= len(rest) {
+				return usageErr
+			}
+			out = rest[i]
+		case "-remote", "--remote":
+			remote = true
+		default:
+			if strings.HasPrefix(a, "-") || target != "" {
+				return usageErr
+			}
+			target = a
+		}
+	}
+	if target == "" {
+		return usageErr
+	}
+	data, err := os.ReadFile(target)
+	if err != nil {
+		return err
+	}
+	sc, err := replay.ParseScenario(data)
+	if err != nil {
+		return err
+	}
+
+	if remote {
+		resp, err := cli.Record(sc, out != "")
+		if err != nil {
+			return err
+		}
+		if out != "" {
+			if err := os.WriteFile(out, resp.Archive, 0o644); err != nil {
+				return err
+			}
+		}
+		printRecorded(resp.Scenario, resp.Records, resp.Digest, out)
+		return nil
+	}
+
+	reg, err := localRegistry()
+	if err != nil {
+		return err
+	}
+	res, err := replay.Record(reg, sc)
+	if err != nil {
+		return err
+	}
+	if out != "" {
+		if err := replay.SaveArchive(out, res); err != nil {
+			return err
+		}
+	}
+	printRecorded(sc.Name, len(res.Records), res.Digest, out)
+	return nil
+}
+
+// replayArchiveCmd implements "dbox replay [-verify] [-remote] ARCHIVE.zip":
+// re-execute a recorded scenario; with -verify the run's digest must
+// match the archived one byte-for-byte.
+func replayArchiveCmd(cli *ctl.Client, rest []string) error {
+	usageErr := fmt.Errorf("usage: dbox replay [-verify] [-remote] ARCHIVE.zip")
+	verify, remote, target := false, false, ""
+	for _, a := range rest {
+		switch a {
+		case "-verify", "--verify":
+			verify = true
+		case "-remote", "--remote":
+			remote = true
+		default:
+			if strings.HasPrefix(a, "-") || target != "" {
+				return usageErr
+			}
+			target = a
+		}
+	}
+	if target == "" {
+		return usageErr
+	}
+	ar, err := replay.LoadArchive(target)
+	if err != nil {
+		return err
+	}
+
+	if remote {
+		resp, err := cli.ReplayScenario(ar.Scenario, ar.Digest, verify)
+		if err != nil {
+			return err
+		}
+		printReplayed(resp.Scenario, resp.Records, resp.Digest, verify)
+		return nil
+	}
+
+	reg, err := localRegistry()
+	if err != nil {
+		return err
+	}
+	var res *replay.Result
+	if verify {
+		res, err = replay.Verify(reg, ar.Scenario, ar.Digest)
+	} else {
+		res, err = replay.Record(reg, ar.Scenario)
+	}
+	if err != nil {
+		return err
+	}
+	printReplayed(ar.Scenario.Name, len(res.Records), res.Digest, verify)
+	return nil
+}
+
+func printRecorded(name string, records int, digest, out string) {
+	fmt.Printf("recorded %s: %d records, %s\n", name, records, digest)
+	if out != "" {
+		fmt.Printf("archive saved to %s\n", out)
+	}
+}
+
+func printReplayed(name string, records int, digest string, verified bool) {
+	status := "replayed"
+	if verified {
+		status = "replayed and verified"
+	}
+	fmt.Printf("%s %s: %d records, %s\n", status, name, records, digest)
+}

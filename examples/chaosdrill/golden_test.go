@@ -1,0 +1,54 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/replay/replaytest"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+func goldenRegistry(t *testing.T) *digi.Registry {
+	t.Helper()
+	reg := digi.NewRegistry()
+	if err := device.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestGoldenTrace pins the chaos drill to its golden trace: the seeded
+// fault walk — message drops, the node kill/evict/reschedule cycle,
+// the sensor dropout — and the runtime's self-healing all replay
+// byte-identically.
+func TestGoldenTrace(t *testing.T) {
+	res := replaytest.GoldenFile(t, goldenRegistry(t), "scenario.yaml", "testdata/chaosdrill.trace.jsonl")
+
+	var faults, evicted, rescheduled int
+	for _, r := range res.Records {
+		switch {
+		case r.Kind == trace.KindFault:
+			faults++
+		case r.Kind == trace.KindMark && r.Detail == "pod-evicted":
+			evicted++
+		case r.Kind == trace.KindMark && r.Detail == "pod-scheduled":
+			rescheduled++
+		}
+	}
+	if faults == 0 {
+		t.Fatal("golden trace records no fault injections")
+	}
+	if evicted == 0 {
+		t.Fatal("node-down produced no evictions")
+	}
+	// Every digi is scheduled once at startup and again after the node
+	// revives, so reschedules must outnumber the initial placements.
+	if rescheduled <= 3 {
+		t.Fatalf("expected reschedules after node revival, got %d placements", rescheduled)
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/replay/replaytest"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+func goldenRegistry(t *testing.T) *digi.Registry {
+	t.Helper()
+	reg := digi.NewRegistry()
+	if err := device.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestGoldenTrace pins the quickstart scenario to its golden trace:
+// any behavioral drift in the digi runtime, broker, or scheduler shows
+// up as a byte-level diff against the checked-in fixture.
+func TestGoldenTrace(t *testing.T) {
+	res := replaytest.GoldenFile(t, goldenRegistry(t), "scenario.yaml", "testdata/quickstart.trace.jsonl")
+
+	// The scripted presence edit must still drive the lamp on.
+	sawLampIntent := false
+	for _, r := range res.Records {
+		if r.Kind == trace.KindAction && r.Name == "MeetingRoom" {
+			sawLampIntent = true
+		}
+	}
+	if !sawLampIntent {
+		t.Fatal("golden trace has no MeetingRoom action records")
+	}
+}

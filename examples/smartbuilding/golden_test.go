@@ -1,0 +1,32 @@
+package main
+
+import (
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/replay/replaytest"
+	"repro/internal/scene"
+)
+
+func goldenRegistry(t *testing.T) *digi.Registry {
+	t.Helper()
+	reg := digi.NewRegistry()
+	if err := device.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestGoldenTrace pins the three-level ConfCenter hierarchy to its
+// golden trace: sensor events propagate through two rooms into the
+// building scene, and the whole cascade must replay byte-identically.
+func TestGoldenTrace(t *testing.T) {
+	res := replaytest.GoldenFile(t, goldenRegistry(t), "scenario.yaml", "testdata/smartbuilding.trace.jsonl")
+	if len(res.Records) == 0 {
+		t.Fatal("golden trace is empty")
+	}
+}

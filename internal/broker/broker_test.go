@@ -41,6 +41,33 @@ func waitMsg(t *testing.T, ch <-chan Message, what string) Message {
 	}
 }
 
+// waitCond polls until cond holds, replacing fixed sleeps that made
+// these tests timing-sensitive on slow machines.
+func waitCond(t *testing.T, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timeout waiting for %s", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// holds asserts cond stays true for a short settle window — the
+// negative-assertion counterpart of waitCond, failing fast at the
+// first violation instead of sleeping blind.
+func holds(t *testing.T, window time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("%s violated", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestPublishSubscribeQoS0(t *testing.T) {
 	b := startBroker(t, nil)
 	pub := dialClient(t, b, "pub")
@@ -108,8 +135,7 @@ func TestRetainedMessageDelivery(t *testing.T) {
 	if err := pub.Publish("state/lamp", []byte("on"), 0, true); err != nil {
 		t.Fatal(err)
 	}
-	// Give the broker a moment to store the retained message.
-	time.Sleep(50 * time.Millisecond)
+	waitCond(t, func() bool { return b.Stats().Retained == 1 }, "retained message stored")
 
 	late := dialClient(t, b, "late")
 	ch := make(chan Message, 1)
@@ -125,7 +151,7 @@ func TestRetainedMessageDelivery(t *testing.T) {
 	if err := pub.Publish("state/lamp", nil, 0, true); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(50 * time.Millisecond)
+	waitCond(t, func() bool { return b.Stats().Retained == 0 }, "retained message cleared")
 	late2 := dialClient(t, b, "late2")
 	ch2 := make(chan Message, 1)
 	if err := late2.Subscribe("state/#", 0, func(m Message) { ch2 <- m }); err != nil {
@@ -174,10 +200,9 @@ func TestOverlappingSubscriptionsDeliverOnce(t *testing.T) {
 	if err := pub.Publish("ov/x", []byte("x"), 0, false); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(200 * time.Millisecond)
-	if n := atomic.LoadInt32(&count); n != 1 {
-		t.Errorf("delivered %d times, want 1", n)
-	}
+	waitCond(t, func() bool { return atomic.LoadInt32(&count) >= 1 }, "first delivery")
+	holds(t, 50*time.Millisecond, func() bool { return atomic.LoadInt32(&count) == 1 },
+		"exactly-once delivery across overlapping subscriptions")
 }
 
 func TestClientTakeover(t *testing.T) {
@@ -223,7 +248,10 @@ func TestBrokerStats(t *testing.T) {
 	sub := dialClient(t, b, "sub")
 	sub.Subscribe("s/t", 0, func(Message) {})
 	pub.Publish("s/t", []byte("x"), 0, false)
-	time.Sleep(100 * time.Millisecond)
+	waitCond(t, func() bool {
+		st := b.Stats()
+		return st.PublishesIn >= 1 && st.MessagesOut >= 1
+	}, "publish counters")
 	st := b.Stats()
 	if st.Connections != 2 {
 		t.Errorf("connections = %d", st.Connections)

@@ -351,14 +351,14 @@ func decodeBody(ptype PacketType, flags byte, body []byte) (*Packet, error) {
 		p.Retain = flags&0x01 != 0
 		p.Dup = flags&0x08 != 0
 		if p.QoS > 1 {
-			return nil, fmt.Errorf("mqtt: QoS %d not supported", p.QoS)
+			return nil, malformed("QoS %d not supported", p.QoS)
 		}
 		var err error
 		if p.Topic, err = rd.str(); err != nil {
 			return nil, err
 		}
 		if err := ValidateTopicName(p.Topic); err != nil {
-			return nil, err
+			return nil, malformed("%v", err)
 		}
 		if p.QoS > 0 {
 			if p.PacketID, err = rd.uint16(); err != nil {
@@ -392,7 +392,7 @@ func decodeBody(ptype PacketType, flags byte, body []byte) (*Packet, error) {
 				return nil, err
 			}
 			if err := ValidateTopicFilter(f); err != nil {
-				return nil, err
+				return nil, malformed("%v", err)
 			}
 			p.Filters = append(p.Filters, f)
 			p.QoSs = append(p.QoSs, q)

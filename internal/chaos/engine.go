@@ -107,9 +107,9 @@ func target(ev Event) string {
 	return "broker"
 }
 
-// step is one entry of a compiled schedule: either an Event firing or
+// Step is one entry of a compiled schedule: either an Event firing or
 // the compiled revert of an earlier bounded event.
-type step struct {
+type Step struct {
 	At       time.Duration
 	Event    Event
 	Index    int // index into Plan.Events
@@ -120,12 +120,12 @@ type step struct {
 // sampled from the plan seed in event order, and every bounded event
 // (For > 0) expands into an explicit revert step at At+For. The result
 // is a pure function of (plan, seed).
-func Compile(p *Plan) ([]step, error) {
+func Compile(p *Plan) ([]Step, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
 	rng := rand.New(rand.NewSource(p.Seed))
-	var steps []step
+	var steps []Step
 	for i, ev := range p.Events {
 		at := ev.At
 		if ev.Jitter > 0 {
@@ -133,9 +133,9 @@ func Compile(p *Plan) ([]step, error) {
 		}
 		resolved := ev
 		resolved.At = at
-		steps = append(steps, step{At: at, Event: resolved, Index: i, RevertOf: -1})
+		steps = append(steps, Step{At: at, Event: resolved, Index: i, RevertOf: -1})
 		if ev.For > 0 && revertible(ev.Fault) {
-			steps = append(steps, step{At: at + ev.For, Event: resolved, Index: i, RevertOf: i})
+			steps = append(steps, Step{At: at + ev.For, Event: resolved, Index: i, RevertOf: i})
 		}
 	}
 	sort.SliceStable(steps, func(a, b int) bool { return steps[a].At < steps[b].At })
@@ -174,59 +174,93 @@ func (e *Engine) Run(ctx context.Context, p *Plan) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	if e.Broker != nil {
-		e.Broker.SetFaultSeed(p.Seed)
-	}
-	rep := &Report{Plan: p.Name, Seed: p.Seed}
-	metrics := e.bindMetrics()
-	reverts := map[int]func(){}
-	applied := map[int]time.Time{} // inject wall time, for recovery latency
+	w := e.NewWalker(p)
 	start := time.Now()
 	for _, st := range steps {
 		if wait := st.At - time.Since(start); wait > 0 {
 			select {
 			case <-time.After(wait):
 			case <-ctx.Done():
-				return rep, ctx.Err()
+				return w.Report(), ctx.Err()
 			}
 		}
-		if st.RevertOf >= 0 {
-			fn := reverts[st.RevertOf]
-			if fn == nil {
-				continue
-			}
-			delete(reverts, st.RevertOf)
-			fn()
-			rep.Reverted++
-			if metrics != nil {
-				metrics.recovered.Inc()
-				if t0, ok := applied[st.RevertOf]; ok {
-					metrics.recovery.Observe(time.Since(t0).Seconds())
-				}
-			}
-			line := revertSignature(st.Event)
-			rep.Applied = append(rep.Applied, line)
-			e.logFault(st.Event, "revert", line)
-			continue
-		}
-		revert, err := e.apply(st.Event)
-		if err != nil {
-			rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %v", eventSignature(st.Event), err))
-			continue
-		}
-		if revert != nil {
-			reverts[st.Index] = revert
-			applied[st.Index] = time.Now()
-		}
-		rep.Injected++
-		if metrics != nil {
-			metrics.injected.With(string(st.Event.Fault), target(st.Event)).Inc()
-		}
-		line := eventSignature(st.Event)
-		rep.Applied = append(rep.Applied, line)
-		e.logFault(st.Event, string(st.Event.Fault), line)
+		w.Apply(st)
 	}
-	return rep, nil
+	return w.Report(), nil
+}
+
+// Walker applies a compiled schedule one step at a time, accumulating
+// the run report. Run drives it in real time; the deterministic
+// replay engine drives the same Walker from a virtual clock, so
+// recorded and replayed chaos runs log identical fault sequences.
+type Walker struct {
+	e       *Engine
+	rep     *Report
+	metrics *engineMetrics
+	reverts map[int]func()
+	applied map[int]time.Time // inject wall time, for recovery latency
+}
+
+// NewWalker seeds the broker's fault sampling from the plan and
+// returns a walker for its compiled schedule.
+func (e *Engine) NewWalker(p *Plan) *Walker {
+	if e.Broker != nil {
+		e.Broker.SetFaultSeed(p.Seed)
+	}
+	return &Walker{
+		e:       e,
+		rep:     &Report{Plan: p.Name, Seed: p.Seed},
+		metrics: e.bindMetrics(),
+		reverts: map[int]func(){},
+		applied: map[int]time.Time{},
+	}
+}
+
+// Report returns the accumulated run report.
+func (w *Walker) Report() *Report { return w.rep }
+
+// Apply fires one compiled step through the injectors, logging the
+// fault (or revert) and updating the report. Injector errors skip the
+// step rather than aborting.
+func (w *Walker) Apply(st Step) {
+	e, rep, metrics := w.e, w.rep, w.metrics
+	if st.RevertOf >= 0 {
+		fn := w.reverts[st.RevertOf]
+		if fn == nil {
+			return
+		}
+		delete(w.reverts, st.RevertOf)
+		fn()
+		rep.Reverted++
+		if metrics != nil {
+			metrics.recovered.Inc()
+			if t0, ok := w.applied[st.RevertOf]; ok {
+				metrics.recovery.Observe(time.Since(t0).Seconds())
+			}
+		}
+		line := revertSignature(st.Event)
+		rep.Applied = append(rep.Applied, line)
+		e.logFault(st.Event, "revert", line)
+		return
+	}
+	revert, err := e.apply(st.Event)
+	if err != nil {
+		rep.Skipped = append(rep.Skipped, fmt.Sprintf("%s: %v", eventSignature(st.Event), err))
+		return
+	}
+	if revert != nil {
+		w.reverts[st.Index] = revert
+		if metrics != nil {
+			w.applied[st.Index] = time.Now()
+		}
+	}
+	rep.Injected++
+	if metrics != nil {
+		metrics.injected.With(string(st.Event.Fault), target(st.Event)).Inc()
+	}
+	line := eventSignature(st.Event)
+	rep.Applied = append(rep.Applied, line)
+	e.logFault(st.Event, string(st.Event.Fault), line)
 }
 
 // apply injects one event and returns its revert (nil if the event is

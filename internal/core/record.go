@@ -1,0 +1,49 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/replay"
+)
+
+// Record executes a scenario on the deterministic replay engine using
+// this testbed's kind registry and returns the recorded run: the
+// normalized trace plus its chained digest. The live testbed itself is
+// untouched — recording is a pure, repeatable computation over the
+// same digi/broker/scheduler code the testbed runs concurrently.
+func (tb *Testbed) Record(sc *replay.Scenario) (*replay.Result, error) {
+	return replay.Record(tb.Registry, sc)
+}
+
+// RecordArchive records a scenario and packages the run as a replay
+// archive (scenario + trace + digest) ready to share or check in.
+func (tb *Testbed) RecordArchive(sc *replay.Scenario) (*replay.Result, []byte, error) {
+	res, err := tb.Record(sc)
+	if err != nil {
+		return nil, nil, err
+	}
+	data, err := replay.ArchiveBytes(res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, data, nil
+}
+
+// ReplayScenario re-executes a recorded scenario. With verify set the
+// run's digest must match want byte-for-byte, otherwise the replay
+// fails — the conformance check behind `dbox replay -verify`.
+func (tb *Testbed) ReplayScenario(sc *replay.Scenario, want string, verify bool) (*replay.Result, error) {
+	if verify {
+		if want == "" {
+			return nil, fmt.Errorf("core: replay verify requested but no expected digest given")
+		}
+		return replay.Verify(tb.Registry, sc, want)
+	}
+	return tb.Record(sc)
+}
+
+// ReplayArchive re-executes the scenario captured in a replay archive,
+// verifying against the archived digest when verify is set.
+func (tb *Testbed) ReplayArchive(ar *replay.Archive, verify bool) (*replay.Result, error) {
+	return tb.ReplayScenario(ar.Scenario, ar.Digest, verify)
+}

@@ -16,6 +16,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/replay"
 	"repro/internal/trace"
 	"repro/internal/vet"
 )
@@ -88,12 +89,41 @@ type RecreateRequest struct {
 	Version string `json:"version,omitempty"`
 }
 
-// ReplayRequest is the body of POST /ctl/replay: replay a shared trace
-// by repository name, at the given speed (0 = fast).
+// ReplayRequest is the body of POST /ctl/replay. Two forms:
+//
+//   - {trace, version, speed}: replay a shared trace by repository
+//     name against the live testbed, at the given speed (0 = fast).
+//   - {scenario, digest, verify}: re-execute a recorded scenario on
+//     the deterministic engine (replay.Scenario in its generic-value
+//     encoding); with verify set the run's chained digest must match
+//     the expected one.
 type ReplayRequest struct {
-	Trace   string  `json:"trace"`
+	Trace   string  `json:"trace,omitempty"`
 	Version string  `json:"version,omitempty"`
 	Speed   float64 `json:"speed,omitempty"`
+
+	Scenario any    `json:"scenario,omitempty"`
+	Digest   string `json:"digest,omitempty"`
+	Verify   bool   `json:"verify,omitempty"`
+}
+
+// RecordRequest is the body of POST /ctl/record: execute a scenario on
+// the deterministic replay engine (the scenario in its generic-value
+// encoding, replay.Scenario.Value) and return the run's digest. With
+// Archive set the response carries the full replay archive
+// (base64-encoded zip) ready to save with `dbox record -o`.
+type RecordRequest struct {
+	Scenario any  `json:"scenario"`
+	Archive  bool `json:"archive,omitempty"`
+}
+
+// RecordResponse is the reply of POST /ctl/record and of the scenario
+// form of POST /ctl/replay.
+type RecordResponse struct {
+	Scenario string `json:"scenario"`
+	Records  int    `json:"records"`
+	Digest   string `json:"digest"`
+	Archive  []byte `json:"archive,omitempty"`
 }
 
 // CheckTraceRequest is the body of POST /ctl/checktrace: evaluate the
@@ -145,6 +175,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ctl/pull", s.handlePull)
 	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
 	mux.HandleFunc("POST /ctl/chaos", s.handleChaos)
+	mux.HandleFunc("POST /ctl/record", s.handleRecord)
 	mux.HandleFunc("POST /ctl/replay", s.handleReplay)
 	mux.HandleFunc("POST /ctl/checktrace", s.handleCheckTrace)
 	mux.HandleFunc("GET /ctl/trace", s.handleTraceDownload)
@@ -408,9 +439,54 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, rep)
 }
 
+// handleRecord executes a scenario on the deterministic replay engine
+// and returns its digest (and optionally the full replay archive).
+func (s *Server) handleRecord(w http.ResponseWriter, r *http.Request) {
+	var req RecordRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	sc, err := replay.ScenarioFromValue(req.Scenario)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.TB.Record(sc)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := RecordResponse{Scenario: sc.Name, Records: len(res.Records), Digest: res.Digest}
+	if req.Archive {
+		data, err := replay.ArchiveBytes(res)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, err)
+			return
+		}
+		resp.Archive = data
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleReplay(w http.ResponseWriter, r *http.Request) {
 	var req ReplayRequest
 	if !decode(w, r, &req) {
+		return
+	}
+	if req.Scenario != nil {
+		sc, err := replay.ScenarioFromValue(req.Scenario)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := s.TB.ReplayScenario(sc, req.Digest, req.Verify)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, RecordResponse{
+			Scenario: sc.Name, Records: len(res.Records), Digest: res.Digest,
+		})
 		return
 	}
 	recs, err := s.TB.PullTrace(req.Trace, req.Version)
@@ -654,6 +730,29 @@ func (c *Client) Replay(traceName, version string, speed float64) (int, error) {
 	}
 	err := c.post("/ctl/replay", ReplayRequest{Trace: traceName, Version: version, Speed: speed}, &resp)
 	return resp.Records, err
+}
+
+// Record issues dbox record: execute a scenario deterministically on
+// the daemon and return the run's digest (plus the replay archive
+// when withArchive is set).
+func (c *Client) Record(sc *replay.Scenario, withArchive bool) (*RecordResponse, error) {
+	var resp RecordResponse
+	if err := c.post("/ctl/record", RecordRequest{Scenario: sc.Value(), Archive: withArchive}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// ReplayScenario issues the scenario form of dbox replay: re-execute a
+// recorded scenario on the daemon's deterministic engine, verifying
+// against the expected digest when verify is set.
+func (c *Client) ReplayScenario(sc *replay.Scenario, digest string, verify bool) (*RecordResponse, error) {
+	var resp RecordResponse
+	req := ReplayRequest{Scenario: sc.Value(), Digest: digest, Verify: verify}
+	if err := c.post("/ctl/replay", req, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // CheckTrace evaluates registered properties against a shared trace,

@@ -127,20 +127,32 @@ func TestWatchStreamOverHTTP(t *testing.T) {
 			mu.Unlock()
 		})
 	}()
-	time.Sleep(100 * time.Millisecond)
-	tb.Edit("L1", map[string]any{"power": map[string]any{"intent": "on"}})
-	select {
-	case err := <-done:
-		if err != nil {
-			t.Fatal(err)
+	// The stream only carries updates committed after the server-side
+	// subscription exists, and there is no connect handshake — so keep
+	// committing distinct edits until the stream has seen its two.
+	deadline := time.After(5 * time.Second)
+	level := 0.1
+	for waiting := true; waiting; {
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			waiting = false
+		case <-deadline:
+			t.Fatal("watch stream never completed")
+		case <-time.After(20 * time.Millisecond):
+			tb.Edit("L1", map[string]any{"intensity": map[string]any{"intent": level}})
+			level += 0.01
 		}
-	case <-time.After(5 * time.Second):
-		t.Fatal("watch stream never completed")
 	}
 	mu.Lock()
 	defer mu.Unlock()
 	if len(gens) != 2 {
 		t.Errorf("gens = %v", gens)
+	}
+	if gens[0] >= gens[1] {
+		t.Errorf("generations not increasing: %v", gens)
 	}
 }
 

@@ -157,6 +157,19 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	}
 }
 
+// holds asserts cond stays true for the whole window, failing at the
+// first observed violation instead of sleeping blind and sampling once.
+func holds(t *testing.T, window time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("%s violated", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestLoopGeneratesEventsWhileManaged(t *testing.T) {
 	h := newHarness(t, occupancyKind())
 	h.spawn(t, occupancyKind(), "O1", true)
@@ -173,12 +186,14 @@ func TestLoopGeneratesEventsWhileManaged(t *testing.T) {
 func TestLoopSilentWhenUnmanaged(t *testing.T) {
 	h := newHarness(t, occupancyKind())
 	h.spawn(t, occupancyKind(), "O1", false)
-	time.Sleep(150 * time.Millisecond)
-	for _, r := range h.rt.Log.RecordsFor("O1") {
-		if r.Kind == trace.KindEvent {
-			t.Fatalf("unmanaged digi generated event: %+v", r)
+	holds(t, 100*time.Millisecond, func() bool {
+		for _, r := range h.rt.Log.RecordsFor("O1") {
+			if r.Kind == trace.KindEvent {
+				return false
+			}
 		}
-	}
+		return true
+	}, "unmanaged digi stays silent")
 }
 
 func TestSimDerivesStatusFromIntent(t *testing.T) {
@@ -308,14 +323,14 @@ func TestOfflineFaultInjection(t *testing.T) {
 	}, "initial sim")
 
 	// Take the device offline, then change intent: status must not follow.
+	// The store patch is synchronous, so every sim tick after this sees
+	// offline=true — no settle sleep needed before flipping intent.
 	h.rt.Store.Patch("L1", map[string]any{"meta": map[string]any{"offline": true}})
-	time.Sleep(50 * time.Millisecond)
 	h.rt.Store.Patch("L1", map[string]any{"power": map[string]any{"intent": "on"}})
-	time.Sleep(150 * time.Millisecond)
-	d, _, _ := h.rt.Store.Get("L1")
-	if d.GetString("power.status") != "off" {
-		t.Fatal("offline device still simulating")
-	}
+	holds(t, 100*time.Millisecond, func() bool {
+		d, _, _ := h.rt.Store.Get("L1")
+		return d.GetString("power.status") == "off"
+	}, "offline device stays unsimulated")
 
 	// Back online: next update converges.
 	h.rt.Store.Patch("L1", map[string]any{"meta": map[string]any{"offline": false}})

@@ -3,7 +3,6 @@ package digi
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"sync"
 	"time"
 
@@ -32,12 +31,12 @@ func (rt *Runtime) ImageFactory() kube.ImageFactory {
 	}
 }
 
-// reconciler is the single-goroutine state machine of one digi.
+// reconciler is the single-goroutine live wrapper around a Stepper:
+// it owns the store watcher and ticker, and delegates the actual
+// tick/simulate/update logic to the Stepper it shares with the
+// deterministic replay engine.
 type reconciler struct {
-	rt   *Runtime
-	name string
-	kind *Kind
-	c    *Ctx
+	s *Stepper
 
 	// attach is the current child set (scene kinds only), updated when
 	// the digi's own model changes. Guarded by mu because the store
@@ -47,29 +46,12 @@ type reconciler struct {
 }
 
 func (rt *Runtime) run(ctx context.Context, name string) error {
-	doc, _, ok := rt.Store.Get(name)
-	if !ok {
-		return fmt.Errorf("digi: model %q not found", name)
+	s, err := rt.NewStepper(ctx, name)
+	if err != nil {
+		return err
 	}
-	kind, ok := rt.Registry.Get(doc.Type())
-	if !ok {
-		return fmt.Errorf("digi: kind %q not registered", doc.Type())
-	}
-
-	r := &reconciler{
-		rt:     rt,
-		name:   name,
-		kind:   kind,
-		attach: map[string]bool{},
-	}
-	r.c = &Ctx{
-		Name: name,
-		Type: doc.Type(),
-		Rand: rand.New(rand.NewSource(seedFor(name, doc))),
-		rt:   rt,
-		kind: kind,
-		ctx:  ctx,
-	}
+	r := &reconciler{s: s, attach: map[string]bool{}}
+	doc, _, _ := rt.Store.Get(name)
 	r.setAttach(doc.Attach())
 
 	// One watcher covers the digi's own model plus (for scenes) all
@@ -87,14 +69,7 @@ func (rt *Runtime) run(ctx context.Context, name string) error {
 	})
 	defer w.Close()
 
-	interval := kind.DefaultInterval
-	if interval <= 0 {
-		interval = 500 * time.Millisecond
-	}
-	if d := r.c.ConfigDuration("interval", interval); d > 0 {
-		interval = d
-	}
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(s.Interval())
 	defer ticker.Stop()
 
 	// The watcher is registered: no subsequent update can be missed.
@@ -103,25 +78,26 @@ func (rt *Runtime) run(ctx context.Context, name string) error {
 	// Log the initial model snapshot so traces are self-contained
 	// (replay and offline property checking reconstruct state without
 	// the original testbed).
-	if snap, _, ok := rt.Store.Get(name); ok {
-		rt.Log.Action(name, snap.Type(), model.Flatten(snap), nil)
-	}
+	s.LogSnapshot()
 
 	// Initial simulation pass so derived state is consistent from the
 	// start (e.g. lamp intensity.status derived from power at boot).
-	r.simulate()
+	s.Simulate()
 
 	for {
 		select {
 		case <-ctx.Done():
 			return nil
 		case <-ticker.C:
-			r.tick()
+			s.Tick()
 		case u, ok := <-w.C:
 			if !ok {
 				return nil
 			}
-			r.handleUpdate(u)
+			if u.Name == name && !u.Deleted {
+				r.setAttach(u.Doc.Attach())
+			}
+			s.HandleUpdate(u)
 		}
 	}
 }
@@ -134,167 +110,4 @@ func (r *reconciler) setAttach(children []string) {
 	r.mu.Lock()
 	r.attach = next
 	r.mu.Unlock()
-}
-
-// tick fires the event generator while the model is managed and the
-// simulated device is not offline (fault injection).
-func (r *reconciler) tick() {
-	if r.kind.Loop == nil {
-		return
-	}
-	doc, _, ok := r.rt.Store.Get(r.name)
-	if !ok {
-		return
-	}
-	if !doc.Managed() || doc.GetBool("meta.offline") {
-		return
-	}
-	switch doc.GetString("meta.fault") {
-	case "dropout":
-		// The sensor goes silent: no events, no status publishes.
-		return
-	case "stuck":
-		// The reading is frozen, but the device keeps reporting it:
-		// skip the event generator and rerun the simulation handler so
-		// the unchanged status is republished each tick.
-		r.simulate()
-		return
-	}
-	work := doc.DeepCopy()
-	if err := r.kind.Loop(r.c, work); err != nil {
-		r.rt.Log.Violation(r.name, "loop-error", err.Error())
-		return
-	}
-	changes := model.Diff(doc, work)
-	if len(changes) == 0 {
-		return
-	}
-	fields := map[string]any{}
-	for _, ch := range changes {
-		if ch.Op == model.OpSet {
-			fields[ch.Path] = ch.New
-		}
-	}
-	r.rt.Log.Event(r.name, r.c.Type, fields)
-	r.countEvent()
-	r.commit(r.name, changes)
-}
-
-// countEvent bumps the digi's event-generator counter.
-func (r *reconciler) countEvent() {
-	if m := r.rt.metrics.Load(); m != nil {
-		m.events.With(r.name).Inc()
-	}
-}
-
-// commit applies a change set to a model, timing it into the
-// commit-latency histogram when metrics are bound.
-func (r *reconciler) commit(name string, changes []model.Change) {
-	m := r.rt.metrics.Load()
-	var t0 time.Time
-	if m != nil {
-		t0 = time.Now()
-	}
-	r.rt.Store.Apply(name, func(d model.Doc) error {
-		d.ApplyChanges(changes)
-		return nil
-	})
-	if m != nil {
-		m.commits.Observe(time.Since(t0).Seconds())
-	}
-}
-
-// handleUpdate reacts to a committed change of the digi's own model or
-// of an attached child's model.
-func (r *reconciler) handleUpdate(u model.Update) {
-	if u.Deleted {
-		if u.Name == r.name {
-			return
-		}
-		// A deleted child falls out of atts on the next simulate.
-		r.simulate()
-		return
-	}
-	if u.Name == r.name {
-		// Log the digi-side action record (§3.5: changes are logged at
-		// the mock as well as at the scene that caused them).
-		sets := map[string]any{}
-		var deletes []string
-		for _, ch := range u.Changes {
-			if ch.Op == model.OpDelete {
-				deletes = append(deletes, ch.Path)
-			} else {
-				sets[ch.Path] = ch.New
-			}
-		}
-		r.rt.Log.Action(r.name, u.Type, sets, deletes)
-		r.setAttach(u.Doc.Attach())
-	}
-	r.simulate()
-}
-
-// simulate runs the Sim handler against a mutable snapshot of the own
-// model and attached children, then commits whatever the handler
-// changed.
-func (r *reconciler) simulate() {
-	if r.kind.Sim == nil {
-		return
-	}
-	doc, _, ok := r.rt.Store.Get(r.name)
-	if !ok {
-		return
-	}
-	if doc.GetBool("meta.offline") {
-		return
-	}
-	work := doc.DeepCopy()
-
-	atts := Atts{}
-	childBase := map[string]model.Doc{}
-	for _, childName := range doc.Attach() {
-		child, _, ok := r.rt.Store.Get(childName)
-		if !ok {
-			continue
-		}
-		typ := child.Type()
-		if atts[typ] == nil {
-			atts[typ] = map[string]model.Doc{}
-		}
-		childBase[childName] = child
-		atts[typ][childName] = child.DeepCopy()
-	}
-
-	if err := r.kind.Sim(r.c, work, atts); err != nil {
-		r.rt.Log.Violation(r.name, "sim-error", err.Error())
-		return
-	}
-
-	// Commit own-model changes.
-	if changes := model.Diff(doc, work); len(changes) > 0 {
-		r.commit(r.name, changes)
-	}
-	// Commit child changes (scene coordination). The write is logged
-	// at the scene as a coordination event; the child's own reconciler
-	// logs the action when it observes the commit.
-	for typ, group := range atts {
-		for childName, childWork := range group {
-			base, ok := childBase[childName]
-			if !ok {
-				continue
-			}
-			changes := model.Diff(base, childWork)
-			if len(changes) == 0 {
-				continue
-			}
-			fields := map[string]any{"target": childName, "target_type": typ}
-			for _, ch := range changes {
-				if ch.Op == model.OpSet {
-					fields[ch.Path] = ch.New
-				}
-			}
-			r.rt.Log.Event(r.name, r.c.Type, fields)
-			r.countEvent()
-			r.commit(childName, changes)
-		}
-	}
 }

@@ -1,0 +1,275 @@
+package digi
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"repro/internal/model"
+)
+
+// Stepper is the synchronous reconciliation core of one digi: the
+// tick/simulate/update logic with no goroutine, channel, or clock of
+// its own. The live reconciler (Runtime.run) wraps a Stepper in a
+// watcher + ticker loop; the deterministic replay engine drives the
+// same Stepper from a virtual clock instead, so recorded and replayed
+// runs execute identical handler code.
+//
+// Every method returns the model updates it committed, in commit
+// order, so a single-threaded caller can propagate them to other
+// steppers deterministically rather than racing store watchers.
+type Stepper struct {
+	rt   *Runtime
+	name string
+	kind *Kind
+	c    *Ctx
+}
+
+// NewStepper builds the reconciliation core for a digi whose model is
+// already in the runtime's store. ctx bounds Ctx.Sleep and is exposed
+// to handlers via Ctx.Context.
+func (rt *Runtime) NewStepper(ctx context.Context, name string) (*Stepper, error) {
+	doc, _, ok := rt.Store.Get(name)
+	if !ok {
+		return nil, fmt.Errorf("digi: model %q not found", name)
+	}
+	kind, ok := rt.Registry.Get(doc.Type())
+	if !ok {
+		return nil, fmt.Errorf("digi: kind %q not registered", doc.Type())
+	}
+	s := &Stepper{rt: rt, name: name, kind: kind}
+	s.c = &Ctx{
+		Name: name,
+		Type: doc.Type(),
+		Rand: rand.New(rand.NewSource(seedFor(name, doc))),
+		rt:   rt,
+		kind: kind,
+		ctx:  ctx,
+	}
+	return s, nil
+}
+
+// Name returns the digi's instance name.
+func (s *Stepper) Name() string { return s.name }
+
+// Type returns the digi's kind type.
+func (s *Stepper) Type() string { return s.c.Type }
+
+// Scene reports whether the digi is a scene controller.
+func (s *Stepper) Scene() bool { return s.kind.Scene() }
+
+// Ctx returns the handler context (for tests and the replay engine).
+func (s *Stepper) Ctx() *Ctx { return s.c }
+
+// Interval returns the digi's Loop period: the kind default (500ms if
+// unset), overridden by the meta config interval_ms.
+func (s *Stepper) Interval() time.Duration {
+	interval := s.kind.DefaultInterval
+	if interval <= 0 {
+		interval = 500 * time.Millisecond
+	}
+	if d := s.c.ConfigDuration("interval", interval); d > 0 {
+		interval = d
+	}
+	return interval
+}
+
+// LogSnapshot logs the digi's full current model as an action record
+// so traces are self-contained (replay and offline property checking
+// reconstruct state without the original testbed).
+func (s *Stepper) LogSnapshot() {
+	if snap, _, ok := s.rt.Store.Get(s.name); ok {
+		s.rt.Log.Action(s.name, snap.Type(), model.Flatten(snap), nil)
+	}
+}
+
+// Tick fires the event generator while the model is managed and the
+// simulated device is not offline (fault injection). It returns the
+// updates it committed.
+func (s *Stepper) Tick() []model.Update {
+	if s.kind.Loop == nil {
+		return nil
+	}
+	doc, _, ok := s.rt.Store.Get(s.name)
+	if !ok {
+		return nil
+	}
+	if !doc.Managed() || doc.GetBool("meta.offline") {
+		return nil
+	}
+	switch doc.GetString("meta.fault") {
+	case "dropout":
+		// The sensor goes silent: no events, no status publishes.
+		return nil
+	case "stuck":
+		// The reading is frozen, but the device keeps reporting it:
+		// skip the event generator and rerun the simulation handler so
+		// the unchanged status is republished each tick.
+		return s.Simulate()
+	}
+	work := doc.DeepCopy()
+	if err := s.kind.Loop(s.c, work); err != nil {
+		s.rt.Log.Violation(s.name, "loop-error", err.Error())
+		return nil
+	}
+	changes := model.Diff(doc, work)
+	if len(changes) == 0 {
+		return nil
+	}
+	fields := map[string]any{}
+	for _, ch := range changes {
+		if ch.Op == model.OpSet {
+			fields[ch.Path] = ch.New
+		}
+	}
+	s.rt.Log.Event(s.name, s.c.Type, fields)
+	s.countEvent()
+	if u, ok := s.commit(s.name, changes); ok {
+		return []model.Update{u}
+	}
+	return nil
+}
+
+// HandleUpdate reacts to a committed change of the digi's own model or
+// of an attached child's model, returning the updates it committed in
+// response.
+func (s *Stepper) HandleUpdate(u model.Update) []model.Update {
+	if u.Deleted {
+		if u.Name == s.name {
+			return nil
+		}
+		// A deleted child falls out of atts on the next simulate.
+		return s.Simulate()
+	}
+	if u.Name == s.name {
+		// Log the digi-side action record (§3.5: changes are logged at
+		// the mock as well as at the scene that caused them).
+		sets := map[string]any{}
+		var deletes []string
+		for _, ch := range u.Changes {
+			if ch.Op == model.OpDelete {
+				deletes = append(deletes, ch.Path)
+			} else {
+				sets[ch.Path] = ch.New
+			}
+		}
+		s.rt.Log.Action(s.name, u.Type, sets, deletes)
+	}
+	return s.Simulate()
+}
+
+// Simulate runs the Sim handler against a mutable snapshot of the own
+// model and attached children, then commits whatever the handler
+// changed. Child commits happen in sorted (type, name) order so the
+// resulting update sequence — and hence the trace — is deterministic.
+func (s *Stepper) Simulate() []model.Update {
+	if s.kind.Sim == nil {
+		return nil
+	}
+	doc, _, ok := s.rt.Store.Get(s.name)
+	if !ok {
+		return nil
+	}
+	if doc.GetBool("meta.offline") {
+		return nil
+	}
+	work := doc.DeepCopy()
+
+	atts := Atts{}
+	childBase := map[string]model.Doc{}
+	for _, childName := range doc.Attach() {
+		child, _, ok := s.rt.Store.Get(childName)
+		if !ok {
+			continue
+		}
+		typ := child.Type()
+		if atts[typ] == nil {
+			atts[typ] = map[string]model.Doc{}
+		}
+		childBase[childName] = child
+		atts[typ][childName] = child.DeepCopy()
+	}
+
+	if err := s.kind.Sim(s.c, work, atts); err != nil {
+		s.rt.Log.Violation(s.name, "sim-error", err.Error())
+		return nil
+	}
+
+	var out []model.Update
+	// Commit own-model changes.
+	if changes := model.Diff(doc, work); len(changes) > 0 {
+		if u, ok := s.commit(s.name, changes); ok {
+			out = append(out, u)
+		}
+	}
+	// Commit child changes (scene coordination) in sorted order. The
+	// write is logged at the scene as a coordination event; the child's
+	// own reconciler logs the action when it observes the commit.
+	types := make([]string, 0, len(atts))
+	for typ := range atts {
+		types = append(types, typ)
+	}
+	sort.Strings(types)
+	for _, typ := range types {
+		group := atts[typ]
+		names := make([]string, 0, len(group))
+		for n := range group {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, childName := range names {
+			childWork := group[childName]
+			base, ok := childBase[childName]
+			if !ok {
+				continue
+			}
+			changes := model.Diff(base, childWork)
+			if len(changes) == 0 {
+				continue
+			}
+			fields := map[string]any{"target": childName, "target_type": typ}
+			for _, ch := range changes {
+				if ch.Op == model.OpSet {
+					fields[ch.Path] = ch.New
+				}
+			}
+			s.rt.Log.Event(s.name, s.c.Type, fields)
+			s.countEvent()
+			if u, ok := s.commit(childName, changes); ok {
+				out = append(out, u)
+			}
+		}
+	}
+	return out
+}
+
+// countEvent bumps the digi's event-generator counter.
+func (s *Stepper) countEvent() {
+	if m := s.rt.metrics.Load(); m != nil {
+		m.events.With(s.name).Inc()
+	}
+}
+
+// commit applies a change set to a model, timing it into the
+// commit-latency histogram when metrics are bound. The returned bool
+// reports whether the store actually committed a change.
+func (s *Stepper) commit(name string, changes []model.Change) (model.Update, bool) {
+	m := s.rt.metrics.Load()
+	var t0 time.Time
+	if m != nil {
+		t0 = time.Now()
+	}
+	u, err := s.rt.Store.Apply(name, func(d model.Doc) error {
+		d.ApplyChanges(changes)
+		return nil
+	})
+	if m != nil {
+		m.commits.Observe(time.Since(t0).Seconds())
+	}
+	if err != nil {
+		return model.Update{}, false
+	}
+	return u, len(u.Changes) > 0
+}

@@ -67,11 +67,14 @@ func TestNodeFailureWithNoSurvivorLeavesPending(t *testing.T) {
 	if err := c.SetNodeReady("only", false); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	p, _ := c.GetPod("p")
-	if p.Status.Phase != PodPending || p.Status.NodeName != "" {
-		t.Fatalf("pod = %+v, want pending unbound", p.Status)
-	}
+	waitFor(t, func() bool {
+		p, err := c.GetPod("p")
+		return err == nil && p.Status.Phase == PodPending
+	}, "pod evicted to pending")
+	holds(t, 50*time.Millisecond, func() bool {
+		p, err := c.GetPod("p")
+		return err == nil && p.Status.Phase == PodPending && p.Status.NodeName == ""
+	}, "pod stays pending with no ready node")
 	// Recovery: the pod comes back on the same node.
 	if err := c.SetNodeReady("only", true); err != nil {
 		t.Fatal(err)

@@ -84,6 +84,19 @@ func waitFor(t *testing.T, cond func() bool, what string) {
 	}
 }
 
+// holds asserts cond stays true for the whole window, failing at the
+// first observed violation instead of sleeping blind and sampling once.
+func holds(t *testing.T, window time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("%s violated", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestSchedulerSpreadsByLeastLoaded(t *testing.T) {
 	c := NewCluster()
 	c.AddNode("n1", 100, "local")
@@ -121,11 +134,10 @@ func TestSchedulerRespectsCapacity(t *testing.T) {
 		c.CreatePod(&Pod{Name: fmt.Sprintf("p%d", i), Spec: PodSpec{Image: "digi/block"}})
 	}
 	waitFor(t, func() bool { return c.Stats().PodsRunning == 2 }, "2 running")
-	time.Sleep(100 * time.Millisecond)
-	st := c.Stats()
-	if st.PodsRunning != 2 || st.PodsPending != 2 {
-		t.Errorf("stats = %+v, want 2 running / 2 pending", st)
-	}
+	holds(t, 50*time.Millisecond, func() bool {
+		st := c.Stats()
+		return st.PodsRunning == 2 && st.PodsPending == 2
+	}, "capacity cap (2 running / 2 pending)")
 	// Freeing capacity lets a pending pod in.
 	var victim string
 	for _, p := range c.ListPods() {
@@ -169,11 +181,10 @@ func TestPodPendingWithNoFit(t *testing.T) {
 		Image:        "digi/block",
 		NodeSelector: map[string]string{"zone": "mars"},
 	}})
-	time.Sleep(100 * time.Millisecond)
-	p, _ := c.GetPod("nofit")
-	if p.Status.Phase != PodPending || p.Status.NodeName != "" {
-		t.Errorf("pod = %+v, want pending unbound", p.Status)
-	}
+	holds(t, 50*time.Millisecond, func() bool {
+		p, err := c.GetPod("nofit")
+		return err == nil && p.Status.Phase == PodPending && p.Status.NodeName == ""
+	}, "pod stays pending and unbound with no matching node")
 	// Adding a matching node unblocks it.
 	if err := c.AddNode("mars-1", 5, "mars"); err != nil {
 		t.Fatal(err)
@@ -213,10 +224,9 @@ func TestRestartPolicyNever(t *testing.T) {
 	if err := c.WaitPodPhase("once", PodSucceeded, 5*time.Second); err != nil {
 		t.Fatal(err)
 	}
-	time.Sleep(100 * time.Millisecond)
-	if n := atomic.LoadInt32(&runs); n != 1 {
-		t.Errorf("runs = %d, want 1", n)
-	}
+	holds(t, 50*time.Millisecond, func() bool {
+		return atomic.LoadInt32(&runs) == 1
+	}, "RestartNever pod not restarted")
 }
 
 func TestRestartPolicyOnFailure(t *testing.T) {

@@ -120,21 +120,20 @@ func (s *scheduler) retryPending() {
 	}
 }
 
-// schedule picks a node for the named pod and binds it.
-func (s *scheduler) schedule(name string) {
-	pod, err := s.api.getPod(name)
-	if err != nil || pod.Status.NodeName != "" {
-		return
-	}
-	nodes := s.api.listNodes()
-	s.mu.Lock()
+// PickNode is the cluster's placement policy as a pure function:
+// least-loaded ready node with free capacity that satisfies the
+// selector, ties broken by iteration order (callers pass nodes sorted
+// by name). assigned maps node name to committed pod count. The bool
+// is false when no node fits. Exported so the deterministic replay
+// engine places pods with the exact policy the live scheduler uses.
+func PickNode(nodes []*Node, selector map[string]string, assigned map[string]int) (string, bool) {
 	var best *Node
 	bestFree := 0
 	for _, n := range nodes {
-		if !n.Status.Ready || !selectorMatches(pod.Spec.NodeSelector, n.Labels) {
+		if !n.Status.Ready || !selectorMatches(selector, n.Labels) {
 			continue
 		}
-		free := n.Spec.Capacity - s.assigned[n.Name]
+		free := n.Spec.Capacity - assigned[n.Name]
 		if free <= 0 {
 			continue
 		}
@@ -144,11 +143,25 @@ func (s *scheduler) schedule(name string) {
 		}
 	}
 	if best == nil {
+		return "", false
+	}
+	return best.Name, true
+}
+
+// schedule picks a node for the named pod and binds it.
+func (s *scheduler) schedule(name string) {
+	pod, err := s.api.getPod(name)
+	if err != nil || pod.Status.NodeName != "" {
+		return
+	}
+	nodes := s.api.listNodes()
+	s.mu.Lock()
+	target, ok := PickNode(nodes, pod.Spec.NodeSelector, s.assigned)
+	if !ok {
 		s.mu.Unlock()
 		return // stays Pending; retried on the next state change
 	}
-	s.assigned[best.Name]++
-	target := best.Name
+	s.assigned[target]++
 	s.mu.Unlock()
 
 	bound := false

@@ -214,6 +214,57 @@ func TestLabelEscaping(t *testing.T) {
 	}
 }
 
+// TestParseTextMalformed pins the failure modes of the scrape parser:
+// every rejected input names the offending line, and tolerated
+// oddities (comments, blank lines, unknown HELP text) never error.
+func TestParseTextMalformed(t *testing.T) {
+	bad := []struct {
+		name, in, wantErr string
+	}{
+		{"no separator", "digibox_a_total", "line 1: no value separator"},
+		{"non-numeric value", "digibox_a_total x", "line 1"},
+		{"empty value", "digibox_a_total ", "line 1"},
+		{"bad label pair", `digibox_b{hive} 1`, `bad label "hive"`},
+		{"bad line cites position", "digibox_a_total 1\n\ndigibox_c nope", "line 3"},
+	}
+	for _, tc := range bad {
+		t.Run(tc.name, func(t *testing.T) {
+			_, _, err := ParseText(tc.in)
+			if err == nil {
+				t.Fatalf("ParseText(%q) accepted", tc.in)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+
+	ok := []struct {
+		name, in string
+		samples  int
+		families int
+	}{
+		{"empty input", "", 0, 0},
+		{"comments only", "# HELP x y\n# TYPE digibox_a_total counter\n", 0, 1},
+		{"short comment", "#\n# TYPE\n", 0, 0},
+		{"duplicate TYPE counted once", "# TYPE digibox_a_total counter\n# TYPE digibox_a_total counter\ndigibox_a_total 1\n", 1, 1},
+		{"inf and nan values", "digibox_a_total +Inf\ndigibox_b_total NaN\n", 2, 0},
+		{"label value with comma", `digibox_a{t="x,y"} 1`, 1, 0},
+	}
+	for _, tc := range ok {
+		t.Run(tc.name, func(t *testing.T) {
+			samples, families, err := ParseText(tc.in)
+			if err != nil {
+				t.Fatalf("ParseText(%q): %v", tc.in, err)
+			}
+			if len(samples) != tc.samples || len(families) != tc.families {
+				t.Fatalf("got %d samples / %d families, want %d / %d",
+					len(samples), len(families), tc.samples, tc.families)
+			}
+		})
+	}
+}
+
 func TestSnapshotJSON(t *testing.T) {
 	r := NewRegistry()
 	r.Histogram("digibox_h_seconds", "", []float64{1, 2}).Observe(1.5)

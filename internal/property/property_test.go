@@ -148,6 +148,19 @@ func waitViolations(t *testing.T, c *Checker, n int, what string) {
 	}
 }
 
+// holds asserts cond stays true for the whole window, failing at the
+// first observed violation instead of sleeping blind and sampling once.
+func holds(t *testing.T, window time.Duration, cond func() bool, what string) {
+	t.Helper()
+	deadline := time.Now().Add(window)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("%s violated", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
 func TestCheckerNeverViolation(t *testing.T) {
 	store, log, ch := newCheckedStore(t)
 	if err := ch.Add(paperProperty()); err != nil {
@@ -159,10 +172,9 @@ func TestCheckerNeverViolation(t *testing.T) {
 	// Legal transition: occupied then lamp on.
 	store.Patch("O1", map[string]any{"triggered": true})
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
-	time.Sleep(80 * time.Millisecond)
-	if n := len(ch.Violations()); n != 0 {
-		t.Fatalf("%d violations on legal state", n)
-	}
+	holds(t, 80*time.Millisecond, func() bool {
+		return len(ch.Violations()) == 0
+	}, "no violation on legal state")
 
 	// Sensor clears while lamp stays on: disallowed state.
 	store.Patch("O1", map[string]any{"triggered": false})
@@ -187,11 +199,13 @@ func TestCheckerEdgeTriggeredReporting(t *testing.T) {
 	// More commits while still in the bad state must not re-report.
 	store.Patch("L1", map[string]any{"note": "still bad"})
 	store.Patch("L1", map[string]any{"note2": "still bad"})
-	time.Sleep(100 * time.Millisecond)
-	if n := len(ch.Violations()); n != 1 {
-		t.Fatalf("re-reported persistent state: %d violations", n)
-	}
-	// Leaving and re-entering the bad state reports again.
+	holds(t, 100*time.Millisecond, func() bool {
+		return len(ch.Violations()) == 1
+	}, "no re-report while the bad state persists")
+	// Leaving and re-entering the bad state reports again. The checker
+	// samples current store state on wake-up, so it must get a chance to
+	// observe the off state before we flip back — this sleep creates the
+	// intermediate state, it is not a synchronization wait.
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "off"}})
 	time.Sleep(50 * time.Millisecond)
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
@@ -219,7 +233,7 @@ func TestCheckerLeadsToSatisfied(t *testing.T) {
 	ch.Add(&Property{
 		Name:     "lamp-follows-occupancy",
 		Kind:     LeadsTo,
-		Within:   time.Second,
+		Within:   200 * time.Millisecond,
 		Trigger:  Condition{{Model: "O1", Path: "triggered", Op: Eq, Value: true}},
 		Response: Condition{{Model: "L1", Path: "power.status", Op: Eq, Value: "on"}},
 	})
@@ -228,10 +242,11 @@ func TestCheckerLeadsToSatisfied(t *testing.T) {
 	store.Patch("O1", map[string]any{"triggered": true})
 	time.Sleep(30 * time.Millisecond)
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
-	time.Sleep(200 * time.Millisecond)
-	if n := len(ch.Violations()); n != 0 {
-		t.Fatalf("satisfied leads-to reported %d violations: %+v", n, ch.Violations())
-	}
+	// Hold past the Within deadline: a checker that missed the response
+	// would report exactly when the obligation expires.
+	holds(t, 300*time.Millisecond, func() bool {
+		return len(ch.Violations()) == 0
+	}, "satisfied leads-to stays violation-free")
 }
 
 func TestCheckerLeadsToExpires(t *testing.T) {

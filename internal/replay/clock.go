@@ -1,0 +1,106 @@
+// Package replay implements Digibox's deterministic record/replay
+// harness (§3.5 "logs everything for replay").
+//
+// A Scenario declares a scene run — the digis to deploy, scripted
+// edits, an optional seeded chaos plan, and a duration. The Engine
+// executes the scenario as a single-threaded discrete-event simulation
+// over the real digi, broker, kube-placement, and chaos code paths: a
+// virtual clock replaces tickers and timers, store-watcher delivery is
+// serialized into a deterministic propagation queue, and every trace
+// record carries virtual timestamps. Two runs of the same scenario are
+// byte-identical, verified by a chained digest over the normalised
+// records — which turns any example scene into a conformance
+// regression test (see the replaytest subpackage).
+package replay
+
+import (
+	"container/heap"
+	"time"
+)
+
+// epoch is the fixed virtual start time of every deterministic run.
+var epoch = time.Unix(0, 0).UTC()
+
+// clock is a virtual clock with a timer min-heap. Timers fire in
+// (time, schedule-order) order, so simultaneous timers resolve
+// deterministically.
+type clock struct {
+	now    time.Time
+	seq    uint64
+	timers timerHeap
+}
+
+type timer struct {
+	at  time.Time
+	seq uint64
+	fn  func()
+}
+
+func newClock() *clock {
+	return &clock{now: epoch}
+}
+
+// Now is the injectable time source (trace.NewLogAt).
+func (c *clock) Now() time.Time { return c.now }
+
+// Elapsed returns the virtual time since run start.
+func (c *clock) Elapsed() time.Duration { return c.now.Sub(epoch) }
+
+// schedule arms fn to fire after d (relative to virtual now).
+func (c *clock) schedule(d time.Duration, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	c.seq++
+	heap.Push(&c.timers, &timer{at: c.now.Add(d), seq: c.seq, fn: fn})
+}
+
+// scheduleAt arms fn to fire at an absolute offset from run start.
+func (c *clock) scheduleAt(offset time.Duration, fn func()) {
+	at := epoch.Add(offset)
+	if at.Before(c.now) {
+		at = c.now
+	}
+	c.seq++
+	heap.Push(&c.timers, &timer{at: at, seq: c.seq, fn: fn})
+}
+
+// step pops and fires the earliest timer at or before the deadline,
+// advancing virtual now to its firing time. It reports whether a timer
+// fired.
+func (c *clock) step(deadline time.Time) bool {
+	if len(c.timers) == 0 {
+		return false
+	}
+	t := c.timers[0]
+	if t.at.After(deadline) {
+		return false
+	}
+	heap.Pop(&c.timers)
+	if t.at.After(c.now) {
+		c.now = t.at
+	}
+	t.fn()
+	return true
+}
+
+// timerHeap orders timers by (at, seq).
+type timerHeap []*timer
+
+func (h timerHeap) Len() int { return len(h) }
+func (h timerHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h timerHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *timerHeap) Push(x any)   { *h = append(*h, x.(*timer)) }
+func (h *timerHeap) Pop() any {
+	old := *h
+	n := len(old)
+	t := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return t
+}

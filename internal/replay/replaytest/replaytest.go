@@ -1,0 +1,124 @@
+// Package replaytest is the golden-trace conformance framework: one
+// call turns an example scene into a byte-exact regression test.
+//
+//	func TestGolden(t *testing.T) {
+//		replaytest.Golden(t, registry, scenario, "testdata/quickstart.trace.jsonl")
+//	}
+//
+// The scenario is executed twice on the deterministic engine (a
+// nondeterministic scene fails immediately), then the normalized trace
+// is compared byte-for-byte against the checked-in golden file.
+// Running the test with -update rewrites the fixture:
+//
+//	go test ./examples/quickstart -run TestGolden -update
+//
+// The flag lives here — not in package replay — so it is only
+// registered in test binaries that opt into golden testing.
+package replaytest
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/digi"
+	"repro/internal/replay"
+)
+
+var update = flag.Bool("update", false, "rewrite golden trace fixtures")
+
+// Golden records the scenario, checks determinism across two runs,
+// and compares the normalized trace against the golden fixture at
+// path (JSONL, one record per line). With -update the fixture is
+// rewritten instead. It returns the run result for extra assertions.
+func Golden(t *testing.T, registry *digi.Registry, sc *replay.Scenario, path string) *replay.Result {
+	t.Helper()
+	a, err := replay.Record(registry, sc)
+	if err != nil {
+		t.Fatalf("replaytest: record %s: %v", sc.Name, err)
+	}
+	b, err := replay.Record(registry, sc)
+	if err != nil {
+		t.Fatalf("replaytest: re-record %s: %v", sc.Name, err)
+	}
+	if a.Digest != b.Digest {
+		t.Fatalf("replaytest: scenario %s is nondeterministic:\n  run 1 %s\n  run 2 %s",
+			sc.Name, a.Digest, b.Digest)
+	}
+
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, r := range a.Records {
+		if err := enc.Encode(r); err != nil {
+			t.Fatalf("replaytest: encode: %v", err)
+		}
+	}
+	got := buf.Bytes()
+
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatalf("replaytest: %v", err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatalf("replaytest: %v", err)
+		}
+		t.Logf("replaytest: wrote %s (%d records, %s)", path, len(a.Records), a.Digest)
+		return a
+	}
+
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("replaytest: %v (run with -update to create the fixture)", err)
+	}
+	if !bytes.Equal(got, want) {
+		line, gotLine, wantLine := firstDiff(got, want)
+		t.Fatalf("replaytest: %s diverged from golden %s at record %d:\n  got  %s\n  want %s\n(run with -update to accept the new trace)",
+			sc.Name, path, line, gotLine, wantLine)
+	}
+	return a
+}
+
+// GoldenFile is Golden for a scenario stored on disk (the
+// scenario.yaml an example ships next to its setup).
+func GoldenFile(t *testing.T, registry *digi.Registry, scenarioPath, fixturePath string) *replay.Result {
+	t.Helper()
+	data, err := os.ReadFile(scenarioPath)
+	if err != nil {
+		t.Fatalf("replaytest: %v", err)
+	}
+	sc, err := replay.ParseScenario(data)
+	if err != nil {
+		t.Fatalf("replaytest: %v", err)
+	}
+	return Golden(t, registry, sc, fixturePath)
+}
+
+// firstDiff locates the first differing line of two JSONL buffers.
+func firstDiff(got, want []byte) (line int, g, w string) {
+	gl := bytes.Split(got, []byte("\n"))
+	wl := bytes.Split(want, []byte("\n"))
+	n := len(gl)
+	if len(wl) < n {
+		n = len(wl)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(gl[i], wl[i]) {
+			return i + 1, clip(gl[i]), clip(wl[i])
+		}
+	}
+	if len(gl) > len(wl) {
+		return len(wl) + 1, clip(gl[len(wl)]), "<end of golden>"
+	}
+	return len(gl) + 1, "<end of run>", clip(wl[len(gl)])
+}
+
+func clip(b []byte) string {
+	const max = 200
+	if len(b) > max {
+		return string(b[:max]) + "…"
+	}
+	return string(b)
+}

@@ -1,0 +1,289 @@
+package replay
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/chaos"
+	"repro/internal/yamlite"
+)
+
+// Digi is one row of a scenario's scene table: a mock or scene
+// instance, its meta config overrides, and the children to attach.
+type Digi struct {
+	Type   string
+	Name   string
+	Config map[string]any
+	Attach []string
+}
+
+// Edit is one scripted interaction: a merge patch applied to a model
+// at a virtual-time offset (the deterministic analogue of "dbox edit"
+// mid-run).
+type Edit struct {
+	At    time.Duration
+	Name  string
+	Patch map[string]any
+}
+
+// Node declares one simulated machine of the scenario's cluster.
+type Node struct {
+	Name     string
+	Capacity int
+	Zone     string
+}
+
+// Scenario is a declarative, self-contained description of one
+// deterministic scene run.
+type Scenario struct {
+	Name     string
+	Duration time.Duration
+	// Nodes defaults to one node {"laptop", 4096, "local"} — the
+	// testbed default.
+	Nodes  []Node
+	Digis  []Digi
+	Script []Edit
+	// Chaos, when set, runs the seeded fault plan against the scene on
+	// the virtual clock.
+	Chaos *chaos.Plan
+}
+
+// Validate checks structural validity: a name, a positive duration,
+// uniquely named digis with types, edits targeting declared digis
+// inside the run window, and (when present) a valid chaos plan that
+// finishes before the run does.
+func (sc *Scenario) Validate() error {
+	var errs []string
+	bad := func(format string, args ...any) { errs = append(errs, fmt.Sprintf(format, args...)) }
+	if sc.Name == "" {
+		bad("missing scenario name")
+	}
+	if sc.Duration <= 0 {
+		bad("duration_ms must be positive")
+	}
+	if len(sc.Digis) == 0 {
+		bad("no digis declared")
+	}
+	names := map[string]bool{}
+	for i, d := range sc.Digis {
+		if d.Type == "" || d.Name == "" {
+			bad("digi %d: missing type or name", i)
+			continue
+		}
+		if names[d.Name] {
+			bad("digi %d: duplicate name %q", i, d.Name)
+		}
+		names[d.Name] = true
+	}
+	for i, d := range sc.Digis {
+		for _, child := range d.Attach {
+			if !names[child] {
+				bad("digi %d (%s): attach target %q not declared", i, d.Name, child)
+			}
+		}
+	}
+	for i, e := range sc.Script {
+		if e.Name == "" || len(e.Patch) == 0 {
+			bad("script step %d: missing edit target or patch", i)
+			continue
+		}
+		if !names[e.Name] {
+			bad("script step %d: edit target %q not declared", i, e.Name)
+		}
+		if e.At < 0 || e.At > sc.Duration {
+			bad("script step %d: at_ms outside the run window", i)
+		}
+	}
+	if sc.Chaos != nil {
+		if err := sc.Chaos.Validate(); err != nil {
+			bad("%v", err)
+		} else if end := sc.Chaos.End(); end > sc.Duration {
+			bad("chaos plan ends at %v, after the %v run window", end, sc.Duration)
+		}
+	}
+	if len(errs) > 0 {
+		return fmt.Errorf("replay: invalid scenario %q:\n  %s", sc.Name, strings.Join(errs, "\n  "))
+	}
+	return nil
+}
+
+// ParseScenario decodes a YAML scenario document:
+//
+//	scenario: quickstart
+//	duration_ms: 1000
+//	digis:
+//	  - type: Occupancy
+//	    name: O1
+//	    config: {interval_ms: 50, seed: 7}
+//	  - type: Room
+//	    name: MeetingRoom
+//	    config: {managed: false}
+//	    attach: [O1]
+//	script:
+//	  - at_ms: 300
+//	    edit: MeetingRoom
+//	    patch: {human_presence: true}
+//	chaos:
+//	  plan: drill
+//	  seed: 11
+//	  events: [...]
+func ParseScenario(data []byte) (*Scenario, error) {
+	v, err := yamlite.Decode(data)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	sc, err := ScenarioFromValue(v)
+	if err != nil {
+		return nil, err
+	}
+	if err := sc.Validate(); err != nil {
+		return nil, err
+	}
+	return sc, nil
+}
+
+// ScenarioFromValue builds a Scenario from a generic decoded value (a
+// YAML document or a JSON control-API body). It does not Validate.
+func ScenarioFromValue(v any) (*Scenario, error) {
+	m, ok := v.(map[string]any)
+	if !ok {
+		return nil, fmt.Errorf("replay: scenario must be a mapping, got %T", v)
+	}
+	sc := &Scenario{}
+	sc.Name = str(m["scenario"])
+	if sc.Name == "" {
+		sc.Name = str(m["name"])
+	}
+	sc.Duration = time.Duration(asInt(m["duration_ms"])) * time.Millisecond
+	if ns, ok := m["nodes"].([]any); ok {
+		for i, raw := range ns {
+			nm, ok := raw.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("replay: node %d must be a mapping, got %T", i, raw)
+			}
+			sc.Nodes = append(sc.Nodes, Node{
+				Name:     str(nm["name"]),
+				Capacity: int(asInt(nm["capacity"])),
+				Zone:     str(nm["zone"]),
+			})
+		}
+	}
+	ds, ok := m["digis"].([]any)
+	if !ok && m["digis"] != nil {
+		return nil, fmt.Errorf("replay: digis must be a sequence, got %T", m["digis"])
+	}
+	for i, raw := range ds {
+		dm, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("replay: digi %d must be a mapping, got %T", i, raw)
+		}
+		d := Digi{Type: str(dm["type"]), Name: str(dm["name"])}
+		if cfg, ok := dm["config"].(map[string]any); ok {
+			d.Config = cfg
+		}
+		if att, ok := dm["attach"].([]any); ok {
+			for _, c := range att {
+				d.Attach = append(d.Attach, str(c))
+			}
+		}
+		sc.Digis = append(sc.Digis, d)
+	}
+	if steps, ok := m["script"].([]any); ok {
+		for i, raw := range steps {
+			em, ok := raw.(map[string]any)
+			if !ok {
+				return nil, fmt.Errorf("replay: script step %d must be a mapping, got %T", i, raw)
+			}
+			e := Edit{
+				At:   time.Duration(asInt(em["at_ms"])) * time.Millisecond,
+				Name: str(em["edit"]),
+			}
+			if p, ok := em["patch"].(map[string]any); ok {
+				e.Patch = p
+			}
+			sc.Script = append(sc.Script, e)
+		}
+	}
+	if cv, ok := m["chaos"]; ok && cv != nil {
+		p, err := chaos.PlanFromValue(cv)
+		if err != nil {
+			return nil, err
+		}
+		sc.Chaos = p
+	}
+	return sc, nil
+}
+
+// Value renders the scenario as a generic value suitable for
+// yamlite/JSON encoding — the inverse of ScenarioFromValue.
+func (sc *Scenario) Value() any {
+	m := map[string]any{
+		"scenario":    sc.Name,
+		"duration_ms": int64(sc.Duration / time.Millisecond),
+	}
+	if len(sc.Nodes) > 0 {
+		var ns []any
+		for _, n := range sc.Nodes {
+			ns = append(ns, map[string]any{
+				"name": n.Name, "capacity": int64(n.Capacity), "zone": n.Zone,
+			})
+		}
+		m["nodes"] = ns
+	}
+	var ds []any
+	for _, d := range sc.Digis {
+		dm := map[string]any{"type": d.Type, "name": d.Name}
+		if len(d.Config) > 0 {
+			dm["config"] = d.Config
+		}
+		if len(d.Attach) > 0 {
+			var att []any
+			for _, c := range d.Attach {
+				att = append(att, c)
+			}
+			dm["attach"] = att
+		}
+		ds = append(ds, dm)
+	}
+	if ds != nil {
+		m["digis"] = ds
+	}
+	if len(sc.Script) > 0 {
+		var steps []any
+		for _, e := range sc.Script {
+			steps = append(steps, map[string]any{
+				"at_ms": int64(e.At / time.Millisecond),
+				"edit":  e.Name,
+				"patch": e.Patch,
+			})
+		}
+		m["script"] = steps
+	}
+	if sc.Chaos != nil {
+		m["chaos"] = sc.Chaos.Value()
+	}
+	return m
+}
+
+// Marshal encodes the scenario as a standalone YAML document.
+func (sc *Scenario) Marshal() ([]byte, error) {
+	return yamlite.Encode(sc.Value())
+}
+
+func str(v any) string {
+	s, _ := v.(string)
+	return s
+}
+
+func asInt(v any) int64 {
+	switch n := v.(type) {
+	case int64:
+		return n
+	case int:
+		return int64(n)
+	case float64:
+		return int64(n)
+	}
+	return 0
+}

@@ -41,6 +41,11 @@ const (
 	// obs tracer so replayed traces carry timing evidence. Spans are
 	// observational — the replayer skips them.
 	KindSpan Kind = "span"
+	// KindMark is a harness marker written by the record/replay engine:
+	// run boundaries, scripted scenario edits, deterministic pod
+	// lifecycle. Marks carry no scene semantics but are part of the
+	// canonical replay log, so the conformance digest covers them.
+	KindMark Kind = "mark"
 )
 
 // Record is one log entry. The wire form is a single JSON object per
@@ -134,6 +139,11 @@ func (l *Log) Violation(name, property, detail string) {
 // fault sequence can be compared across runs and replayed.
 func (l *Log) Fault(name, fault, detail string, fields map[string]any) {
 	l.Append(Record{Kind: KindFault, Name: name, Fault: fault, Detail: detail, Fields: fields})
+}
+
+// Mark logs a harness marker (record/replay engine boundaries).
+func (l *Log) Mark(name, detail string, fields map[string]any) {
+	l.Append(Record{Kind: KindMark, Name: name, Detail: detail, Fields: fields})
 }
 
 // Span logs a completed publish→deliver span. name is the publishing

@@ -78,6 +78,11 @@ func init() {
 		Doc: "the header chaos plan targets a digi or topic not in the setup",
 		Run: ruleChaosTarget,
 	})
+	RegisterRule(Rule{
+		ID: "V014", Name: "unseeded-nondeterminism", Severity: Error,
+		Doc: "probabilistic behavior without an explicit seed breaks record/replay",
+		Run: ruleUnseededNondeterminism,
+	})
 }
 
 // modelNames indexes the setup's models by name, skipping documents
@@ -564,6 +569,56 @@ func ruleChaosTarget(ctx *Context) []Diagnostic {
 		}
 		if !matched {
 			emit("chaos plan topic %q matches no publish topic or subscription in the setup", f)
+		}
+	}
+	return out
+}
+
+// ruleUnseededNondeterminism is the replay-conformance gate: every
+// source of randomness in the setup must pin an explicit seed, or a
+// recorded run cannot be reproduced byte-identically. A model whose
+// config samples a fractional probability must set meta.seed (the
+// name-derived fallback silently changes when the digi is renamed),
+// and a chaos plan with rate- or jitter-based faults must declare a
+// nonzero plan seed.
+func ruleUnseededNondeterminism(ctx *Context) []Diagnostic {
+	var out []Diagnostic
+	for i, m := range ctx.Setup.Models {
+		meta, err := m.Meta()
+		if err != nil {
+			continue // V012 reports broken meta
+		}
+		if _, seeded := meta.Config["seed"]; seeded {
+			continue
+		}
+		keys := make([]string, 0, len(meta.Config))
+		for k := range meta.Config {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if !strings.HasSuffix(k, "_prob") {
+				continue
+			}
+			v, ok := configFloat(meta.Config, k)
+			if !ok || v <= 0 || v >= 1 {
+				continue // 0 and 1 are deterministic outcomes; out of range is V011's
+			}
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: meta.Name,
+				Message: fmt.Sprintf("meta.%s %v samples randomly but no meta.seed is set; recordings will not replay after a rename", k, v),
+			})
+		}
+	}
+	plan := ctx.Setup.Chaos
+	if plan != nil && plan.Seed == 0 {
+		for _, ev := range plan.Events {
+			if (ev.Rate > 0 && ev.Rate < 1) || ev.Jitter > 0 {
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: 0,
+					Message: fmt.Sprintf("chaos plan %q injects probabilistic faults (%s at %v) but declares no seed; the fault walk will not replay deterministically", plan.Name, ev.Fault, ev.At),
+				})
+			}
 		}
 	}
 	return out

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/chaos"
 	"repro/internal/iac"
@@ -263,6 +264,7 @@ func TestConfigBounds(t *testing.T) {
 	good := setup(mkdoc("Occupancy", "o1", map[string]any{
 		"meta.interval_ms":  int64(20),
 		"meta.trigger_prob": 0.5,
+		"meta.seed":         int64(9), // V014 demands a seed beside a fractional prob
 		"meta.temp_min":     18.0,
 		"meta.temp_max":     26.0,
 	}))
@@ -329,7 +331,7 @@ func TestChaosTarget(t *testing.T) {
 	// Dangling digi, unmatched topic, and invalid filter syntax each
 	// get their own diagnostic.
 	bad := setup(mkdoc("Lamp", "l1", nil))
-	bad.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+	bad.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
 		{Fault: chaos.FaultStuck, Digi: "ghost"},
 		{Fault: chaos.FaultDrop, Topic: "nowhere/#", Rate: 0.5},
 		{Fault: chaos.FaultDrop, Topic: "bad/+wild", Rate: 1},
@@ -352,4 +354,47 @@ func TestChaosTarget(t *testing.T) {
 
 	// No plan: nothing to check.
 	exactIDs(t, vet.RunSetup(setup(mkdoc("Lamp", "l1", nil)), nil))
+}
+
+func TestUnseededNondeterminism(t *testing.T) {
+	// A fractional probability without meta.seed is rejected.
+	unseeded := setup(mkdoc("Occupancy", "o1", map[string]any{"meta.trigger_prob": 0.3}))
+	diags := vet.RunSetup(unseeded, nil)
+	exactIDs(t, diags, "V014")
+	if !strings.Contains(vet.Text(diags), "trigger_prob") {
+		t.Errorf("diagnostic does not name the config key: %s", vet.Text(diags))
+	}
+
+	// An explicit seed clears it; so do the deterministic edges 0 and 1.
+	for _, cfg := range []map[string]any{
+		{"meta.trigger_prob": 0.3, "meta.seed": int64(4)},
+		{"meta.trigger_prob": 0.0},
+		{"meta.trigger_prob": 1.0},
+	} {
+		exactIDs(t, vet.RunSetup(setup(mkdoc("Occupancy", "o1", cfg)), nil))
+	}
+
+	// A chaos plan with rate- or jitter-based faults needs a plan seed.
+	rnd := setup(mkdoc("Lamp", "l1", nil))
+	rnd.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+		{Fault: chaos.FaultDrop, Topic: "digibox/l1/status", Rate: 0.5},
+	}}
+	exactIDs(t, vet.RunSetup(rnd, nil), "V014")
+	rnd.Chaos.Seed = 11
+	exactIDs(t, vet.RunSetup(rnd, nil))
+
+	jitter := setup(mkdoc("Lamp", "l1", nil))
+	jitter.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+		{Fault: chaos.FaultDelay, Topic: "digibox/l1/status",
+			Delay: 5 * time.Millisecond, Jitter: 5 * time.Millisecond},
+	}}
+	exactIDs(t, vet.RunSetup(jitter, nil), "V014")
+
+	// Deterministic faults need no seed: rate 1 always fires.
+	det := setup(mkdoc("Lamp", "l1", nil))
+	det.Chaos = &chaos.Plan{Name: "p", Events: []chaos.Event{
+		{Fault: chaos.FaultDrop, Topic: "digibox/l1/status", Rate: 1},
+		{Fault: chaos.FaultDropout, Digi: "l1"},
+	}}
+	exactIDs(t, vet.RunSetup(det, nil))
 }

@@ -53,6 +53,8 @@ func TestRegisteredRuleSuite(t *testing.T) {
 		"V010": "subscription-overlap",
 		"V011": "config-bounds",
 		"V012": "bad-meta",
+		"V013": "chaos-target",
+		"V014": "unseeded-nondeterminism",
 	}
 	byID := map[string]vet.Rule{}
 	for i, r := range rules {

@@ -1,0 +1,61 @@
+package yamlite
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// FuzzDecode throws arbitrary documents at the parser. Properties:
+// the parser never panics (malformed input yields a SyntaxError), and
+// the package's documented round-trip contract holds — Encode accepts
+// every value Decode produces, and decoding the encoding yields the
+// same value.
+func FuzzDecode(f *testing.F) {
+	seeds := []string{
+		"",
+		"a: 1\nb: two\n",
+		"digis:\n  - type: Occupancy\n    name: O1\n    config: {interval_ms: 50, seed: 7}\n",
+		"list: [1, 2.5, true, null, \"q\"]\n",
+		"nested:\n  deep:\n    - a\n    - b: {c: d}\n",
+		"'single': \"double\"\n",
+		"# comment\n---\nsecond: doc\n",
+		"seq:\n- no indent\n- items\n",
+		"flow: {a: [1, {b: 2}], c: }\n",
+		"scalar only",
+		"key:\n  - 1\n  -\n",
+		"\t: tab\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		docs, err := DecodeAll(data)
+		if err != nil {
+			var syn *SyntaxError
+			if !errors.As(err, &syn) {
+				t.Fatalf("non-SyntaxError failure: %v", err)
+			}
+			return
+		}
+		out, err := EncodeAll(docs)
+		if err != nil {
+			t.Fatalf("EncodeAll rejects a DecodeAll result: %v\nvalue: %#v", err, docs)
+		}
+		redocs, err := DecodeAll(out)
+		if err != nil {
+			t.Fatalf("re-decode failed: %v\nencoded:\n%s", err, out)
+		}
+		if len(docs) == 0 {
+			// An all-blank stream encodes to nothing; done.
+			if len(redocs) != 0 {
+				t.Fatalf("empty stream re-decoded to %#v", redocs)
+			}
+			return
+		}
+		if !reflect.DeepEqual(docs, redocs) {
+			t.Fatalf("round trip changed the value:\n  in  %#v\n  out %#v\nencoded:\n%s", docs, redocs, out)
+		}
+	})
+}

@@ -328,6 +328,10 @@ func splitKey(s string) (key, rest string) {
 	for i := 0; i < len(s); i++ {
 		c := s[i]
 		switch c {
+		case '\\':
+			if inD {
+				i++ // an escaped character cannot close the string
+			}
 		case '\'':
 			if !inD {
 				inS = !inS
@@ -450,15 +454,61 @@ func unescapeDouble(s string, lnum int) (string, error) {
 			b.WriteByte('\t')
 		case 'r':
 			b.WriteByte('\r')
+		case 'a':
+			b.WriteByte('\a')
+		case 'b':
+			b.WriteByte('\b')
+		case 'f':
+			b.WriteByte('\f')
+		case 'v':
+			b.WriteByte('\v')
 		case '"':
 			b.WriteByte('"')
 		case '\\':
 			b.WriteByte('\\')
+		// The hex and unicode forms the encoder's strconv.Quote
+		// rendering produces for non-printable content.
+		case 'x':
+			v, err := hexEscape(s, i+1, 2, lnum)
+			if err != nil {
+				return "", err
+			}
+			b.WriteByte(byte(v))
+			i += 2
+		case 'u':
+			v, err := hexEscape(s, i+1, 4, lnum)
+			if err != nil {
+				return "", err
+			}
+			b.WriteRune(rune(v))
+			i += 4
+		case 'U':
+			v, err := hexEscape(s, i+1, 8, lnum)
+			if err != nil {
+				return "", err
+			}
+			if v > 0x10FFFF {
+				return "", errf(lnum, "escape \\U%08x is not a rune", v)
+			}
+			b.WriteRune(rune(v))
+			i += 8
 		default:
 			return "", errf(lnum, "unsupported escape \\%c", s[i])
 		}
 	}
 	return b.String(), nil
+}
+
+// hexEscape reads the n hex digits of a \x, \u, or \U escape.
+func hexEscape(s string, start, n, lnum int) (uint64, error) {
+	if start+n > len(s) {
+		return 0, errf(lnum, "truncated hex escape in %q", s)
+	}
+	v, err := strconv.ParseUint(s[start:start+n], 16, 64)
+	if err != nil {
+		return 0, errf(lnum, "bad hex escape %q", s[start:start+n])
+	}
+	return v, nil
 }
 
 // parseFlowSeq parses "[a, b, [c]]".
@@ -522,6 +572,10 @@ func splitFlow(s string, open, close byte, lnum int) ([]string, error) {
 	for i := 0; i < len(body); i++ {
 		c := body[i]
 		switch c {
+		case '\\':
+			if inD {
+				i++ // an escaped character cannot close the string
+			}
 		case '\'':
 			if !inD {
 				inS = !inS
