@@ -29,6 +29,7 @@
 //	record SCENARIO.yaml      record a scenario deterministically
 //	replay [-verify] ARCHIVE  re-execute a replay archive (byte-exact)
 //	chaos run PLAN.yaml       apply a fault-injection plan
+//	swarm [flags]             run a sharded-broker load session (BENCH_swarm.json)
 //	top [-n iters] [-i secs]  live per-digi throughput/latency table
 //	metrics                   dump Prometheus text exposition
 //	ls                        list running mocks and scenes
@@ -87,6 +88,8 @@ commands (Table 1):
   replay [-verify] [-remote] ARCHIVE.zip
   trace save FILE | trace push NAME
   chaos run PLAN.yaml
+  swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
+        [-mock] [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
   top [-n iters] [-i secs] | metrics
   ls | status
 `)
@@ -302,6 +305,8 @@ func dispatch(cli *ctl.Client, args []string) error {
 			return fmt.Errorf("usage: dbox chaos run PLAN.yaml")
 		}
 		return chaosRunCmd(cli, rest[1])
+	case "swarm":
+		return swarmCmd(cli, rest)
 	case "top":
 		return topCmd(cli, rest)
 	case "metrics":

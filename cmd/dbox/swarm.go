@@ -1,0 +1,170 @@
+package main
+
+// dbox swarm: the CLI surface of the swarm scale-out layer. Like
+// "dbox record", it runs locally by default — building its own
+// listener-less testbed with -nodes kube nodes — while -remote sends
+// the run through a daemon's control API instead.
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/ctl"
+	"repro/internal/swarm"
+)
+
+// swarmCmd implements:
+//
+//	dbox swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
+//	           [-duration D] [-period P] [-workers N] [-subs N]
+//	           [-seed N] [-qos 0|1] [-payload B] [-nodes N] [-mock]
+//	           [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
+//
+// The command fails (non-zero exit) on any QoS 1 loss, and on a p99
+// publish→deliver latency above -max-p99 when one is set — the same
+// gate CI's swarm-gate job applies.
+func swarmCmd(cli *ctl.Client, rest []string) error {
+	fs := flag.NewFlagSet("swarm", flag.ContinueOnError)
+	devices := fs.Int("devices", 0, "simulated device count")
+	rate := fs.Float64("rate", 0, "open-loop target msgs/s")
+	shards := fs.Int("shards", 0, "broker shards (0 = derive from device count)")
+	profile := fs.String("profile", "", "load profile: closed or open")
+	duration := fs.Duration("duration", 0, "run length")
+	period := fs.Duration("period", 0, "closed-loop per-device publish period")
+	workers := fs.Int("workers", 0, "generator workers (one kube pod each)")
+	subs := fs.Int("subs", 0, "wildcard consumer subscriptions")
+	seed := fs.Int64("seed", 0, "load-generator seed")
+	qos := fs.Int("qos", 1, "publish QoS (0 or 1)")
+	payload := fs.Int("payload", 0, "synthetic payload size in bytes")
+	nodes := fs.Int("nodes", 3, "local-mode kube nodes to spread workers over")
+	mock := fs.Bool("mock", false, "drive digi swarm-mock fleets instead of synthetic payloads")
+	maxP99 := fs.Float64("max-p99", 0, "fail when p99 publish→deliver latency exceeds this many ms")
+	out := fs.String("o", "", "write the JSON report (BENCH_swarm.json) to this file")
+	remote := fs.Bool("remote", false, "run on the daemon instead of locally")
+	if err := fs.Parse(rest); err != nil {
+		return err
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("usage: dbox swarm [flags] (see dbox swarm -h)")
+	}
+
+	var rep *swarm.Report
+	var err error
+	if *remote {
+		req := ctl.SwarmRequest{
+			Profile:     *profile,
+			Devices:     *devices,
+			Rate:        *rate,
+			PeriodSec:   period.Seconds(),
+			DurationSec: duration.Seconds(),
+			Workers:     *workers,
+			Seed:        *seed,
+			QoS:         *qos,
+			Payload:     *payload,
+			Subscribers: *subs,
+			Shards:      *shards,
+			Mock:        *mock,
+		}
+		run := *cli
+		wait := *duration
+		if wait <= 0 {
+			wait = 10 * time.Second // the spec default
+		}
+		run.HTTP = &http.Client{Timeout: wait + 120*time.Second}
+		rep, err = run.Swarm(req)
+	} else {
+		rep, err = swarmLocal(swarmLocalSpec(*profile, *devices, *rate, *period,
+			*duration, *workers, *subs, *seed, *qos, *payload, *shards, *mock), *nodes)
+	}
+	if err != nil {
+		return err
+	}
+
+	printSwarmReport(rep)
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			return err
+		}
+		fmt.Printf("report saved to %s\n", *out)
+	}
+	return rep.Gate(*maxP99)
+}
+
+func swarmLocalSpec(profile string, devices int, rate float64, period, duration time.Duration,
+	workers, subs int, seed int64, qos, payload, shards int, mock bool) core.SwarmSpec {
+	return core.SwarmSpec{
+		Load: swarm.LoadSpec{
+			Profile:  swarm.Profile(profile),
+			Devices:  devices,
+			Rate:     rate,
+			Period:   period,
+			Duration: duration,
+			Workers:  workers,
+			Subs:     subs,
+			Seed:     seed,
+			QoS:      byte(qos),
+			Payload:  payload,
+		},
+		Shards: shards,
+		Mock:   mock,
+	}
+}
+
+// swarmLocal builds a listener-less multi-node testbed and runs the
+// session in-process — no daemon required.
+func swarmLocal(spec core.SwarmSpec, nodes int) (*swarm.Report, error) {
+	if nodes <= 0 {
+		nodes = 1
+	}
+	var nodeSpecs []core.NodeSpec
+	for i := 0; i < nodes; i++ {
+		nodeSpecs = append(nodeSpecs, core.NodeSpec{
+			Name:     fmt.Sprintf("swarm-node-%d", i),
+			Capacity: 64,
+			Zone:     "local",
+		})
+	}
+	tb, err := core.New(core.Options{
+		Nodes:      nodeSpecs,
+		BrokerAddr: "none",
+		RESTAddr:   "none",
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Start(); err != nil {
+		return nil, err
+	}
+	defer tb.Stop()
+	return tb.RunSwarm(context.Background(), spec)
+}
+
+func printSwarmReport(rep *swarm.Report) {
+	pacing := fmt.Sprintf("rate %.0f msg/s", rep.RateTarget)
+	if rep.Profile == string(swarm.ProfileClosed) {
+		pacing = fmt.Sprintf("period %.3fs", rep.PeriodSec)
+	}
+	fmt.Printf("swarm %s: %d devices, %d shards, %d workers, %d subs, qos %d, %s, %.1fs\n",
+		rep.Profile, rep.Devices, rep.Shards, rep.Workers, rep.Subscribers,
+		rep.QoS, pacing, rep.DurationSec)
+	fmt.Printf("published %d (%.0f msg/s), delivered %d/%d (%.0f msg/s), lost %d, dropped %d, bridge forwards %d\n",
+		rep.Published, rep.PublishRate, rep.Delivered, rep.Expected,
+		rep.DeliveryRate, rep.Lost, rep.Dropped, rep.BridgeForwards)
+	fmt.Printf("latency p50 %.3f ms, p99 %.3f ms (%d samples)\n",
+		rep.P50Ms, rep.P99Ms, rep.LatencySamples)
+	if len(rep.Placements) > 0 {
+		pods := make([]string, 0, len(rep.Placements))
+		for pod := range rep.Placements {
+			pods = append(pods, pod)
+		}
+		sort.Strings(pods)
+		for _, pod := range pods {
+			fmt.Printf("  %s -> %s\n", pod, rep.Placements[pod])
+		}
+	}
+}

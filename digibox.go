@@ -41,6 +41,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/property"
 	"repro/internal/scene"
+	"repro/internal/swarm"
 	"repro/internal/trace"
 )
 
@@ -61,6 +62,13 @@ type ZoneDelay = core.ZoneDelay
 
 // Stats is a testbed state snapshot.
 type Stats = core.Stats
+
+// SwarmSpec configures a Testbed.RunSwarm scale-test session.
+type SwarmSpec = core.SwarmSpec
+
+// SwarmReport is the machine-readable result of a swarm run (the
+// BENCH_swarm.json payload).
+type SwarmReport = swarm.Report
 
 // Kind defines a mock or scene type (schema + Loop/Sim handlers).
 type Kind = digi.Kind

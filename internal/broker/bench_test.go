@@ -185,6 +185,61 @@ func BenchmarkMetricsOverhead(b *testing.B) {
 	})
 }
 
+// BenchmarkFanout measures high-fanout delivery: one in-process
+// publisher, many wire subscribers all matching the same wildcard
+// filter, so each publish multiplies into fanout socket writes. This
+// is the hot path the sized buffered writer with flush-on-idle
+// optimises — without it every outbound packet is one conn.Write
+// syscall.
+func BenchmarkFanout(b *testing.B) {
+	for _, fanout := range []int{8, 32, 64} {
+		b.Run(fmt.Sprintf("subs=%d", fanout), func(b *testing.B) {
+			benchFanout(b, fanout)
+		})
+	}
+}
+
+func benchFanout(b *testing.B, fanout int) {
+	br := NewBroker(nil)
+	if err := br.ListenAndServe("127.0.0.1:0"); err != nil {
+		b.Fatal(err)
+	}
+	defer br.Close()
+
+	var received int64
+	clients := make([]*Client, 0, fanout)
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+	for i := 0; i < fanout; i++ {
+		c, err := Dial(br.Addr(), &ClientOptions{ClientID: fmt.Sprintf("fan-sub-%d", i)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients = append(clients, c)
+		if err := c.Subscribe("fan/#", 0, func(Message) {
+			atomic.AddInt64(&received, 1)
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	payload := []byte(`{"seq":1,"v":0.42}`)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := br.Publish("fan/load", payload, false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// QoS 0 permits drops under back-pressure, so drain until the
+	// delivery count stalls rather than insisting on b.N×fanout.
+	drainUntilStall(&received, int64(b.N)*int64(fanout))
+	b.StopTimer()
+	b.ReportMetric(float64(atomic.LoadInt64(&received))/b.Elapsed().Seconds(), "deliveries/s")
+}
+
 // BenchmarkAblationInProcessVsWire quantifies the design choice of
 // letting co-located mocks publish through the broker in-process (the
 // digi runtime's fast path) versus over the MQTT wire: both paths end

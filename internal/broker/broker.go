@@ -1,6 +1,7 @@
 package broker
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"io"
@@ -15,13 +16,13 @@ import (
 
 // Stats is a snapshot of broker counters.
 type Stats struct {
-	Connections   int   // currently connected sessions
-	Subscriptions int   // live subscriptions across all sessions
-	Retained      int   // retained messages held
-	PublishesIn   int64 // PUBLISH packets received
-	MessagesOut   int64 // PUBLISH packets delivered to subscribers
-	Dropped       int64 // messages dropped on slow/full sessions
-	FaultDrops    int64 // messages dropped by injected fault rules/partitions
+	Connections   int   `json:"connections"`   // currently connected sessions
+	Subscriptions int   `json:"subscriptions"` // live subscriptions across all sessions
+	Retained      int   `json:"retained"`      // retained messages held
+	PublishesIn   int64 `json:"publishes_in"`  // PUBLISH packets received
+	MessagesOut   int64 `json:"messages_out"`  // PUBLISH packets delivered to subscribers
+	Dropped       int64 `json:"dropped"`       // messages dropped on slow/full sessions
+	FaultDrops    int64 `json:"fault_drops"`   // messages dropped by injected fault rules/partitions
 }
 
 // Options configures a Broker.
@@ -49,6 +50,19 @@ type Options struct {
 	// message and closes one leg per subscriber delivery, feeding
 	// end-to-end latency histograms. Usually shared testbed-wide.
 	Tracer *obs.Tracer
+	// SubscribeHook, when set, observes every subscription change on
+	// this broker: wire SUBSCRIBE/UNSUBSCRIBE, in-process
+	// subscribe/unsubscribe, and session teardown (one call per filter
+	// the departing client held). add is true on subscribe. The swarm
+	// bridge uses it to maintain its cross-shard wildcard index. Called
+	// outside the trie lock; must not block.
+	SubscribeHook func(clientID, filter string, add bool)
+	// RouteHook, when set, observes every PUBLISH entering route(),
+	// before subscription matching (so it fires even when this broker
+	// has no local subscriber). The swarm bridge uses it to forward
+	// publishes to sibling shards. Must not block; re-entrant publishes
+	// into other brokers are allowed, into this broker are not.
+	RouteHook func(from, topic string, payload []byte, qos byte, retain bool)
 }
 
 func (o *Options) withDefaults() Options {
@@ -64,6 +78,8 @@ func (o *Options) withDefaults() Options {
 		out.ConnHook = o.ConnHook
 		out.Obs = o.Obs
 		out.Tracer = o.Tracer
+		out.SubscribeHook = o.SubscribeHook
+		out.RouteHook = o.RouteHook
 	}
 	return out
 }
@@ -317,7 +333,12 @@ func (b *Broker) serveConn(conn net.Conn) {
 			delete(b.sessions, s.clientID)
 		}
 		b.mu.Unlock()
-		b.subs.removeClient(s.clientID)
+		removed := b.subs.removeClient(s.clientID)
+		if hook := b.opts.SubscribeHook; hook != nil {
+			for _, f := range removed {
+				hook(s.clientID, f, false)
+			}
+		}
 		s.terminate()
 		atomic.AddInt64(&b.disconnects, 1)
 	}()
@@ -343,22 +364,62 @@ func (s *session) terminate() {
 	})
 }
 
+// writeBufSize sizes each session's outbound buffered writer: large
+// enough to coalesce a burst of status publishes into one syscall,
+// small enough that per-session memory stays negligible at 10k+
+// sessions.
+const writeBufSize = 4096
+
 func (s *session) writeLoop() {
+	// Buffered flush-on-idle: drain every packet already queued,
+	// writing each into the buffer, and only flush when the queue goes
+	// empty. Under high fanout this turns one syscall per packet into
+	// one syscall per burst; under light load the queue is empty after
+	// each packet so latency is unchanged. Spans are ended after the
+	// flush that actually commits their bytes to the socket, keeping
+	// e2e latency honest.
+	bw := bufio.NewWriterSize(s.conn, writeBufSize)
+	spans := make([]obs.SpanID, 0, 16)
+	write := func(pkt *Packet) bool {
+		data, err := pkt.Encode()
+		if err != nil {
+			s.broker.logf("mqtt: encode to %s: %v", s.clientID, err)
+			return true
+		}
+		if _, err := bw.Write(data); err != nil {
+			s.terminate()
+			return false
+		}
+		if pkt.span != 0 {
+			spans = append(spans, pkt.span)
+		}
+		return true
+	}
 	for {
 		select {
 		case pkt := <-s.outbound:
-			data, err := pkt.Encode()
-			if err != nil {
-				s.broker.logf("mqtt: encode to %s: %v", s.clientID, err)
-				continue
+			if !write(pkt) {
+				return
 			}
-			if _, err := s.conn.Write(data); err != nil {
+		drain:
+			for {
+				select {
+				case pkt := <-s.outbound:
+					if !write(pkt) {
+						return
+					}
+				default:
+					break drain
+				}
+			}
+			if err := bw.Flush(); err != nil {
 				s.terminate()
 				return
 			}
-			if pkt.span != 0 {
-				s.broker.tracer.End(pkt.span)
+			for _, id := range spans {
+				s.broker.tracer.End(id)
 			}
+			spans = spans[:0]
 		case <-s.closedCh:
 			return
 		}
@@ -420,13 +481,20 @@ func (s *session) readLoop() {
 					qos:      q,
 					deliver:  s.send,
 				})
+				if hook := s.broker.opts.SubscribeHook; hook != nil {
+					hook(s.clientID, f, true)
+				}
 			}
 			s.send(&Packet{Type: SUBACK, PacketID: pkt.PacketID, QoSs: granted})
 			// Retained messages are delivered after the SUBACK.
 			s.broker.deliverRetained(pkt.Filters, s)
 		case UNSUBSCRIBE:
 			for _, f := range pkt.Filters {
-				s.broker.subs.unsubscribe(s.clientID, f)
+				if s.broker.subs.unsubscribe(s.clientID, f) {
+					if hook := s.broker.opts.SubscribeHook; hook != nil {
+						hook(s.clientID, f, false)
+					}
+				}
 			}
 			s.send(&Packet{Type: UNSUBACK, PacketID: pkt.PacketID})
 		case PINGREQ:
@@ -453,6 +521,12 @@ func isTimeout(err error) bool {
 // PublishFrom name; "" for anonymous in-process publishes) and scopes
 // injected fault rules and partition checks.
 func (b *Broker) route(from string, pkt *Packet) {
+	if hook := b.opts.RouteHook; hook != nil {
+		// Before the retained-store update and match short-circuit, so
+		// the bridge sees every publish — including ones this shard has
+		// no local subscriber for.
+		hook(from, pkt.Topic, pkt.Payload, pkt.QoS, pkt.Retain)
+	}
 	if pkt.Retain {
 		key := pkt.Topic
 		if len(pkt.Payload) == 0 {
@@ -613,10 +687,97 @@ func (b *Broker) Publish(topic string, payload []byte, retain bool) error {
 // rules the same way wire clients do. The digi runtime passes the
 // publishing digi's name.
 func (b *Broker) PublishFrom(from, topic string, payload []byte, retain bool) error {
+	return b.PublishQoS(from, topic, payload, 0, retain)
+}
+
+// PublishQoS is PublishFrom with an explicit QoS: subscribers receive
+// the message at min(qos, subscription qos), exactly as if a wire
+// client had published it. The swarm load generator and bridge use
+// QoS 1 so deliveries are never shed under back-pressure and loss
+// accounting stays exact.
+func (b *Broker) PublishQoS(from, topic string, payload []byte, qos byte, retain bool) error {
 	if err := ValidateTopicName(topic); err != nil {
 		return err
 	}
+	if qos > 1 {
+		qos = 1 // QoS 2 not supported; downgrade like SUBSCRIBE does
+	}
 	atomic.AddInt64(&b.publishesIn, 1)
-	b.route(from, &Packet{Type: PUBLISH, Topic: topic, Payload: payload, Retain: retain})
+	b.route(from, &Packet{Type: PUBLISH, Topic: topic, Payload: payload, QoS: qos, Retain: retain})
 	return nil
+}
+
+// SubscribeInProcess registers a subscription delivered by direct
+// function call instead of an MQTT session: fn runs synchronously on
+// the publisher's goroutine (or the fault-delay timer's). This is the
+// fast path the swarm pool and its loss accounting ride — no socket,
+// no outbound queue, so a QoS 1 delivery cannot be shed. Matching
+// retained messages are delivered (with Retained set) before
+// SubscribeInProcess returns, mirroring wire SUBACK semantics.
+// Subsequent calls with the same clientID and filter replace fn.
+func (b *Broker) SubscribeInProcess(clientID, filter string, qos byte, fn func(Message)) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if qos > 1 {
+		qos = 1
+	}
+	b.subs.subscribe(&subscription{
+		clientID: clientID,
+		filter:   filter,
+		qos:      qos,
+		deliver: func(pkt *Packet) {
+			fn(Message{
+				Topic:    pkt.Topic,
+				Payload:  pkt.Payload,
+				QoS:      pkt.QoS,
+				Retained: pkt.Retain,
+				Dup:      pkt.Dup,
+			})
+			if pkt.span != 0 {
+				b.tracer.End(pkt.span)
+			}
+		},
+	})
+	if hook := b.opts.SubscribeHook; hook != nil {
+		hook(clientID, filter, true)
+	}
+	for _, m := range b.RetainedMatching(filter) {
+		fn(m)
+	}
+	return nil
+}
+
+// UnsubscribeInProcess removes a subscription registered with
+// SubscribeInProcess. It reports whether the subscription existed.
+func (b *Broker) UnsubscribeInProcess(clientID, filter string) bool {
+	ok := b.subs.unsubscribe(clientID, filter)
+	if ok {
+		if hook := b.opts.SubscribeHook; hook != nil {
+			hook(clientID, filter, false)
+		}
+	}
+	return ok
+}
+
+// RetainedMatching returns the retained messages whose topics match
+// filter, with Retained set. The swarm pool uses it to sweep sibling
+// shards when a wildcard subscription lands, so pool-level retained
+// semantics match a single broker's.
+func (b *Broker) RetainedMatching(filter string) []Message {
+	var out []Message
+	b.retained.Range(func(key, value any) bool {
+		topic := key.(string)
+		stored := value.(*Packet)
+		if MatchTopic(filter, topic) {
+			out = append(out, Message{
+				Topic:    topic,
+				Payload:  stored.Payload,
+				QoS:      stored.QoS,
+				Retained: true,
+			})
+		}
+		return true
+	})
+	return out
 }

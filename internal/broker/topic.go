@@ -196,17 +196,23 @@ func unsubscribeAt(node *trieNode, levels []string, clientID string) bool {
 }
 
 // removeClient drops every subscription held by a client (on clean
-// disconnect).
-func (t *subTrie) removeClient(clientID string) {
+// disconnect) and returns the removed filters so callers can fire
+// unsubscribe hooks for each.
+func (t *subTrie) removeClient(clientID string) []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	pruneClient(t.root, clientID)
+	var removed []string
+	pruneClient(t.root, clientID, &removed)
+	return removed
 }
 
-func pruneClient(node *trieNode, clientID string) {
-	delete(node.subs, clientID)
+func pruneClient(node *trieNode, clientID string, removed *[]string) {
+	if sub, ok := node.subs[clientID]; ok {
+		*removed = append(*removed, sub.filter)
+		delete(node.subs, clientID)
+	}
 	for lv, child := range node.children {
-		pruneClient(child, clientID)
+		pruneClient(child, clientID, removed)
 		if len(child.children) == 0 && len(child.subs) == 0 {
 			delete(node.children, lv)
 		}

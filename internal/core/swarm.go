@@ -1,0 +1,183 @@
+package core
+
+// Swarm scale testing: Testbed.RunSwarm shards the message plane
+// across a swarm.Pool, spreads one generator pod per load worker over
+// the cluster's nodes, and settles the run into a machine-readable
+// swarm.Report — the engine behind `dbox swarm` and POST /ctl/swarm.
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/digi"
+	"repro/internal/kube"
+	"repro/internal/swarm"
+)
+
+// SwarmSpec configures one RunSwarm execution.
+type SwarmSpec struct {
+	// Load is the generator spec; zero fields are defaulted
+	// (swarm.LoadSpec.WithDefaults).
+	Load swarm.LoadSpec
+	// Shards is the broker shard count; 0 derives it from the device
+	// count (swarm.RequiredShards).
+	Shards int
+	// Mock publishes stateful digi swarm-mock payloads (deterministic
+	// per-device random walks) instead of the generator's synthetic
+	// padded JSON.
+	Mock bool
+}
+
+// swarmWorkerImage is the kube image name of a swarm generator worker.
+const swarmWorkerImage = "swarm-worker"
+
+// swarmPodName is the pod name of generator worker w.
+func swarmPodName(w int) string {
+	return fmt.Sprintf("swarm-worker-%d", w)
+}
+
+// RunSwarm runs one swarm load session against a dedicated shard pool:
+// it builds the pool on the testbed's metrics registry and span tracer,
+// schedules one generator-worker pod per load worker with the spread
+// placement strategy (so workers land one per node before any node
+// doubles up), waits for every worker to finish, and returns the
+// settled report with pod→node placements. Runs are serialized — a
+// second RunSwarm blocks until the first finishes. The testbed must be
+// started.
+func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report, error) {
+	tb.swarmMu.Lock()
+	defer tb.swarmMu.Unlock()
+
+	tb.mu.Lock()
+	live := tb.started && !tb.stopped
+	tb.mu.Unlock()
+	if !live {
+		return nil, fmt.Errorf("core: swarm needs a started testbed")
+	}
+
+	load := spec.Load.WithDefaults()
+	if err := load.Validate(); err != nil {
+		return nil, err
+	}
+	shards := spec.Shards
+	if shards <= 0 {
+		shards = swarm.RequiredShards(load.Devices)
+	}
+
+	pool := swarm.NewPool(swarm.PoolOptions{
+		Shards: shards,
+		Obs:    tb.Obs,
+		Tracer: tb.Tracer,
+	})
+	defer pool.Close()
+
+	// Mock mode publishes through the digi swarm fleet so payloads are
+	// the runtime's deterministic random walks; either way the pool is
+	// the message plane.
+	var fire func(device int, seq uint64)
+	if spec.Mock {
+		fleet, err := tb.Runtime.NewSwarmFleet(digi.SwarmFleetOptions{
+			Devices: load.Devices,
+			Seed:    load.Seed,
+			Prefix:  load.Prefix,
+			QoS:     load.QoS,
+			Publish: pool.Publish,
+		})
+		if err != nil {
+			return nil, err
+		}
+		fire = fleet.Fire
+	}
+	sess, err := swarm.NewSession(pool, load, tb.Obs, fire)
+	if err != nil {
+		return nil, err
+	}
+
+	// One pod per generator worker. The factory is re-registered per
+	// run (runs are serialized) so each run's pods drive its session.
+	tb.Cluster.RegisterImage(swarmWorkerImage, func(env map[string]any) (kube.Workload, error) {
+		w, ok := env["worker"].(int)
+		if !ok {
+			return nil, fmt.Errorf("core: swarm worker pod missing worker index")
+		}
+		return kube.WorkloadFunc(func(ctx context.Context) error {
+			return sess.RunWorker(ctx, w)
+		}), nil
+	})
+	podNames := make([]string, sess.Workers())
+	for w := range podNames {
+		podNames[w] = swarmPodName(w)
+		err := tb.Cluster.CreatePod(&kube.Pod{
+			Name:   podNames[w],
+			Labels: map[string]string{"app": "swarm"},
+			Spec: kube.PodSpec{
+				Image:         swarmWorkerImage,
+				Env:           map[string]any{"worker": w},
+				RestartPolicy: kube.RestartNever,
+				Strategy:      kube.StrategySpread,
+			},
+		})
+		if err != nil {
+			tb.deleteSwarmPods(podNames[:w])
+			return nil, err
+		}
+	}
+	defer tb.deleteSwarmPods(podNames)
+
+	placements, err := tb.waitSwarmPods(ctx, podNames, load.Duration+tb.opts.ReadyTimeout)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := sess.Finish(tb.opts.ReadyTimeout)
+	rep.Placements = placements
+	return rep, nil
+}
+
+// waitSwarmPods polls until every pod succeeded, returning pod→node
+// placements. Workers only return errors on programming mistakes, so a
+// Failed pod is surfaced verbatim.
+func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout time.Duration) (map[string]string, error) {
+	placements := map[string]string{}
+	deadline := time.Now().Add(timeout)
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		done := 0
+		for _, name := range podNames {
+			p, err := tb.Cluster.GetPod(name)
+			if err != nil {
+				return nil, err
+			}
+			switch p.Status.Phase {
+			case kube.PodSucceeded:
+				placements[name] = p.Status.NodeName
+				done++
+			case kube.PodFailed:
+				return nil, fmt.Errorf("core: swarm pod %s failed: %s", name, p.Status.Message)
+			}
+		}
+		if done == len(podNames) {
+			return placements, nil
+		}
+		if time.Now().After(deadline) {
+			var waiting []string
+			for _, name := range podNames {
+				if _, ok := placements[name]; !ok {
+					waiting = append(waiting, name)
+				}
+			}
+			return nil, fmt.Errorf("core: swarm timed out waiting for pods %s", strings.Join(waiting, ", "))
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func (tb *Testbed) deleteSwarmPods(podNames []string) {
+	for _, name := range podNames {
+		tb.Cluster.DeletePod(name)
+	}
+}

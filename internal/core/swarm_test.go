@@ -1,0 +1,126 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/swarm"
+)
+
+// swarmTestbed builds a started multi-node testbed with no listeners:
+// swarm runs entirely on the in-process message plane.
+func swarmTestbed(t *testing.T, nodes ...NodeSpec) *Testbed {
+	t.Helper()
+	tb, err := New(Options{
+		Nodes:      nodes,
+		BrokerAddr: "none",
+		RESTAddr:   "none",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	return tb
+}
+
+// TestRunSwarmSpreadsWorkersAndLosesNothing is the end-to-end wiring
+// test: a short open-loop run across 3 nodes must place one worker pod
+// per node (spread strategy), deliver every QoS 1 publish to every
+// subscriber, and clean its pods up afterwards.
+func TestRunSwarmSpreadsWorkersAndLosesNothing(t *testing.T) {
+	tb := swarmTestbed(t,
+		NodeSpec{Name: "n0", Capacity: 8, Zone: "local"},
+		NodeSpec{Name: "n1", Capacity: 8, Zone: "local"},
+		NodeSpec{Name: "n2", Capacity: 8, Zone: "local"},
+	)
+	rep, err := tb.RunSwarm(context.Background(), SwarmSpec{
+		Shards: 2,
+		Load: swarm.LoadSpec{
+			Profile:  swarm.ProfileOpen,
+			Devices:  50,
+			Rate:     2000,
+			Duration: 300 * time.Millisecond,
+			Workers:  3,
+			QoS:      1,
+			Subs:     2,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published == 0 {
+		t.Fatal("no messages published")
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d of %d expected deliveries", rep.Lost, rep.Expected)
+	}
+	if rep.Delivered != rep.Published*2 {
+		t.Fatalf("delivered %d, want %d", rep.Delivered, rep.Published*2)
+	}
+	if rep.Shards != 2 || len(rep.PerShard) != 2 {
+		t.Fatalf("shards = %d (%d per-shard entries), want 2", rep.Shards, len(rep.PerShard))
+	}
+	if len(rep.Placements) != 3 {
+		t.Fatalf("placements = %v, want 3 pods", rep.Placements)
+	}
+	nodes := map[string]int{}
+	for _, node := range rep.Placements {
+		nodes[node]++
+	}
+	for node, n := range nodes {
+		if n != 1 {
+			t.Errorf("node %s got %d workers, want 1 (spread): %v", node, n, rep.Placements)
+		}
+	}
+	for _, p := range tb.Cluster.ListPods() {
+		if p.Labels["app"] == "swarm" {
+			t.Errorf("swarm pod %s not cleaned up", p.Name)
+		}
+	}
+}
+
+// TestRunSwarmMockFleet drives the digi swarm-mock fleet through the
+// pool: closed-loop, every device publishes at least once, zero loss.
+func TestRunSwarmMockFleet(t *testing.T) {
+	tb := swarmTestbed(t, NodeSpec{Name: "laptop", Capacity: 16, Zone: "local"})
+	rep, err := tb.RunSwarm(context.Background(), SwarmSpec{
+		Mock: true,
+		Load: swarm.LoadSpec{
+			Profile:  swarm.ProfileClosed,
+			Devices:  40,
+			Period:   50 * time.Millisecond,
+			Duration: 200 * time.Millisecond,
+			Workers:  2,
+			QoS:      1,
+			Subs:     1,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published < 40 {
+		t.Fatalf("published %d, want at least one full fleet cycle (40)", rep.Published)
+	}
+	if err := rep.Gate(0); err != nil {
+		t.Fatal(err)
+	}
+	// Shards defaulted from the device count: 40 devices fit one shard.
+	if rep.Shards != 1 {
+		t.Fatalf("shards = %d, want 1", rep.Shards)
+	}
+}
+
+// TestRunSwarmNeedsStartedTestbed pins the lifecycle guard.
+func TestRunSwarmNeedsStartedTestbed(t *testing.T) {
+	tb, err := New(Options{BrokerAddr: "none", RESTAddr: "none"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.RunSwarm(context.Background(), SwarmSpec{}); err == nil {
+		t.Fatal("RunSwarm on an unstarted testbed succeeded")
+	}
+}

@@ -122,6 +122,9 @@ type Testbed struct {
 	mu      sync.Mutex
 	started bool
 	stopped bool
+	// swarmMu serializes RunSwarm sessions: one load run owns the
+	// swarm-worker image and pod names at a time.
+	swarmMu sync.Mutex
 	// podNode caches digi -> node placements for delay lookups.
 	podNode sync.Map // name -> node name
 }

@@ -17,6 +17,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/model"
 	"repro/internal/replay"
+	"repro/internal/swarm"
 	"repro/internal/trace"
 	"repro/internal/vet"
 )
@@ -76,6 +77,46 @@ type VetRequest struct {
 // testbed. The response is the engine's chaos.Report.
 type ChaosRequest struct {
 	Plan any `json:"plan"`
+}
+
+// SwarmRequest is the body of POST /ctl/swarm: one swarm load run.
+// Durations travel as seconds so the request stays tool-friendly; zero
+// fields take the swarm defaults. The response is the swarm.Report.
+type SwarmRequest struct {
+	Profile     string  `json:"profile,omitempty"`
+	Devices     int     `json:"devices,omitempty"`
+	Rate        float64 `json:"rate,omitempty"`
+	PeriodSec   float64 `json:"period_sec,omitempty"`
+	DurationSec float64 `json:"duration_sec,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+	Seed        int64   `json:"seed,omitempty"`
+	QoS         int     `json:"qos,omitempty"`
+	Payload     int     `json:"payload,omitempty"`
+	Subscribers int     `json:"subscribers,omitempty"`
+	Prefix      string  `json:"prefix,omitempty"`
+	Shards      int     `json:"shards,omitempty"`
+	Mock        bool    `json:"mock,omitempty"`
+}
+
+// spec converts the wire request into the core spec.
+func (r SwarmRequest) spec() core.SwarmSpec {
+	return core.SwarmSpec{
+		Load: swarm.LoadSpec{
+			Profile:  swarm.Profile(r.Profile),
+			Devices:  r.Devices,
+			Rate:     r.Rate,
+			Period:   time.Duration(r.PeriodSec * float64(time.Second)),
+			Duration: time.Duration(r.DurationSec * float64(time.Second)),
+			Workers:  r.Workers,
+			Seed:     r.Seed,
+			QoS:      byte(r.QoS),
+			Payload:  r.Payload,
+			Subs:     r.Subscribers,
+			Prefix:   r.Prefix,
+		},
+		Shards: r.Shards,
+		Mock:   r.Mock,
+	}
 }
 
 // ShareRequest is the body of POST /ctl/push and /ctl/pull.
@@ -175,6 +216,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ctl/pull", s.handlePull)
 	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
 	mux.HandleFunc("POST /ctl/chaos", s.handleChaos)
+	mux.HandleFunc("POST /ctl/swarm", s.handleSwarm)
 	mux.HandleFunc("POST /ctl/record", s.handleRecord)
 	mux.HandleFunc("POST /ctl/replay", s.handleReplay)
 	mux.HandleFunc("POST /ctl/checktrace", s.handleCheckTrace)
@@ -434,6 +476,21 @@ func (s *Server) handleChaos(w http.ResponseWriter, r *http.Request) {
 	rep, err := s.TB.RunChaosPlan(r.Context(), plan)
 	if err != nil {
 		writeErr(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleSwarm runs a swarm load session to completion; like chaos, the
+// connection stays open for the run's duration (dbox swarm -remote).
+func (s *Server) handleSwarm(w http.ResponseWriter, r *http.Request) {
+	var req SwarmRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	rep, err := s.TB.RunSwarm(r.Context(), req.spec())
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
@@ -718,6 +775,17 @@ func (c *Client) Recreate(name, version string) error {
 func (c *Client) ChaosRun(p *chaos.Plan) (*chaos.Report, error) {
 	var rep chaos.Report
 	if err := c.post("/ctl/chaos", ChaosRequest{Plan: p.Value()}, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// Swarm issues dbox swarm -remote: run a swarm load session on the
+// daemon and return its report. Like ChaosRun, the HTTP timeout must
+// cover the run's duration; callers size Client.HTTP to the spec.
+func (c *Client) Swarm(req SwarmRequest) (*swarm.Report, error) {
+	var rep swarm.Report
+	if err := c.post("/ctl/swarm", req, &rep); err != nil {
 		return nil, err
 	}
 	return &rep, nil

@@ -1,0 +1,44 @@
+package ctl
+
+import (
+	"testing"
+)
+
+// TestSwarmOverHTTP drives a short closed-loop swarm run through the
+// control API and checks the report round-trips with exact accounting.
+func TestSwarmOverHTTP(t *testing.T) {
+	_, cli := startServer(t, "")
+	rep, err := cli.Swarm(SwarmRequest{
+		Profile:     "closed",
+		Devices:     30,
+		PeriodSec:   0.05,
+		DurationSec: 0.2,
+		Workers:     2,
+		QoS:         1,
+		Subscribers: 2,
+		Shards:      2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Published < 30 {
+		t.Fatalf("published %d, want at least one fleet cycle (30)", rep.Published)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d of %d expected deliveries", rep.Lost, rep.Expected)
+	}
+	if rep.Shards != 2 {
+		t.Fatalf("shards = %d, want 2", rep.Shards)
+	}
+	if len(rep.Placements) != 2 {
+		t.Fatalf("placements = %v, want both worker pods", rep.Placements)
+	}
+}
+
+// TestSwarmRejectsBadSpec pins error propagation over HTTP.
+func TestSwarmRejectsBadSpec(t *testing.T) {
+	_, cli := startServer(t, "")
+	if _, err := cli.Swarm(SwarmRequest{Profile: "sideways"}); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+}

@@ -1,0 +1,156 @@
+package digi
+
+import (
+	"fmt"
+	"strconv"
+	"sync/atomic"
+)
+
+// Swarm mock mode: event generation for fleets far past what the
+// reconciler path can carry. The normal runtime gives every digi its
+// own goroutine, store watcher, ticker, and trace-log writes — right
+// for tens of coordinated mocks, ruinous for 10k+. A SwarmFleet keeps
+// one compact struct per mock (name, rng, a random-walk value, a
+// sequence counter), no goroutines of its own, and no per-publish
+// trace records; pacing comes from the swarm load generator's shared
+// workers, which call Fire for each due device. The fleet's whole
+// footprint is the mock slice plus one metrics label child.
+
+// SwarmPublish is the fleet's publish function signature; the swarm
+// pool's Publish and the broker's PublishQoS both satisfy it.
+type SwarmPublish func(from, topic string, payload []byte, qos byte, retain bool) error
+
+// SwarmFleetOptions configures a mock fleet.
+type SwarmFleetOptions struct {
+	// Devices is the fleet size.
+	Devices int
+	// Seed derives each mock's rng (seed + device index), so payload
+	// streams are deterministic per device regardless of which worker
+	// fires it.
+	Seed int64
+	// Prefix is the topic prefix; "" means the runtime's TopicPrefix
+	// ("swarm" when that is empty too, keeping fleet traffic out of
+	// the digibox/# namespace by default).
+	Prefix string
+	// QoS applies to every fleet publish.
+	QoS byte
+	// Publish overrides the publish path; nil uses the runtime's
+	// in-process broker.
+	Publish SwarmPublish
+}
+
+// swarmMock is one simulated device: a bounded random walk standing in
+// for a sensor reading, the shape of the paper's occupancy/underdesk
+// mocks but with none of their model-store machinery.
+type swarmMock struct {
+	topic string
+	rng   splitmix64
+	value float64
+	seq   uint64
+}
+
+// splitmix64 is an 8-byte seeded PRNG. math/rand's default source
+// carries ~4.8 KiB of state per instance — 48 MB of rngs at 10k
+// mocks — which is exactly the kind of per-digi weight swarm mode
+// exists to avoid. Statistical quality is more than enough for a
+// payload random walk.
+type splitmix64 uint64
+
+func (s *splitmix64) next() uint64 {
+	*s += 0x9E3779B97F4A7C15
+	z := uint64(*s)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0, 1).
+func (s *splitmix64) float64() float64 {
+	return float64(s.next()>>11) / (1 << 53)
+}
+
+// swarmFrom is the publisher identity for all fleet traffic: one
+// constant, so the per-digi metric families get a single "swarm"
+// child instead of one per mock.
+const swarmFrom = "swarm"
+
+// SwarmFleet is a fleet of compact swarm mocks. Fire is safe for
+// concurrent use as long as no device index is fired by two workers
+// at once — the load generator's round-robin device ownership
+// guarantees that.
+type SwarmFleet struct {
+	mocks     []*swarmMock
+	qos       byte
+	publish   SwarmPublish
+	rt        *Runtime
+	published int64
+}
+
+// NewSwarmFleet builds a fleet bound to the runtime's publish path
+// and metrics. The runtime's reconciler is not involved: fleet mocks
+// have no model documents, no watchers, and no pods.
+func (rt *Runtime) NewSwarmFleet(opts SwarmFleetOptions) (*SwarmFleet, error) {
+	if opts.Devices <= 0 {
+		return nil, fmt.Errorf("digi: swarm fleet needs a positive device count, got %d", opts.Devices)
+	}
+	prefix := opts.Prefix
+	if prefix == "" {
+		prefix = "swarm"
+	}
+	pub := opts.Publish
+	if pub == nil {
+		if rt.Broker == nil {
+			return nil, fmt.Errorf("digi: swarm fleet needs Publish or a runtime broker")
+		}
+		pub = rt.Broker.PublishQoS
+	}
+	f := &SwarmFleet{
+		mocks:   make([]*swarmMock, opts.Devices),
+		qos:     opts.QoS,
+		publish: pub,
+		rt:      rt,
+	}
+	for i := range f.mocks {
+		m := &swarmMock{
+			topic: fmt.Sprintf("%s/dev-%d/status", prefix, i),
+			rng:   splitmix64(opts.Seed + int64(i)),
+		}
+		m.value = m.rng.float64()
+		f.mocks[i] = m
+	}
+	return f, nil
+}
+
+// Devices returns the fleet size.
+func (f *SwarmFleet) Devices() int { return len(f.mocks) }
+
+// Published returns the number of successful fleet publishes.
+func (f *SwarmFleet) Published() int64 { return atomic.LoadInt64(&f.published) }
+
+// Fire advances device's random walk one step and publishes its
+// status. The payload is a compact JSON document with the sequence
+// number and the walked value — enough to correlate, dedupe, and
+// eyeball, nothing that needs the model store.
+func (f *SwarmFleet) Fire(device int, _ uint64) {
+	m := f.mocks[device%len(f.mocks)]
+	m.value += (m.rng.float64() - 0.5) * 0.1
+	if m.value < 0 {
+		m.value = 0
+	}
+	if m.value > 1 {
+		m.value = 1
+	}
+	m.seq++
+	payload := []byte(`{"seq":` + strconv.FormatUint(m.seq, 10) +
+		`,"v":` + strconv.FormatFloat(m.value, 'f', 4, 64) + `}`)
+	// Non-retained: fleet traffic is load, not state to re-establish,
+	// and retained publishes would make the swarm bridge replicate
+	// every message to every shard.
+	if err := f.publish(swarmFrom, m.topic, payload, f.qos, false); err != nil {
+		return
+	}
+	atomic.AddInt64(&f.published, 1)
+	if met := f.rt.metrics.Load(); met != nil {
+		met.publishes.With(swarmFrom).Inc()
+	}
+}

@@ -1,0 +1,151 @@
+package digi
+
+import (
+	"encoding/json"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/broker"
+	"repro/internal/obs"
+)
+
+func TestSwarmFleetPublishesDeterministicWalks(t *testing.T) {
+	collect := func() [][]string {
+		rt := &Runtime{}
+		payloads := make([][]string, 3)
+		var mu sync.Mutex
+		fleet, err := rt.NewSwarmFleet(SwarmFleetOptions{
+			Devices: 3, Seed: 11, QoS: 1,
+			Publish: func(from, topic string, payload []byte, qos byte, retain bool) error {
+				if from != "swarm" {
+					t.Errorf("from = %q, want swarm", from)
+				}
+				if qos != 1 || retain {
+					t.Errorf("qos=%d retain=%v, want 1 false", qos, retain)
+				}
+				dev, ok := parseSwarmTopic(topic)
+				if !ok {
+					t.Errorf("unexpected topic %q", topic)
+					return nil
+				}
+				mu.Lock()
+				payloads[dev] = append(payloads[dev], string(payload))
+				mu.Unlock()
+				return nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for step := 0; step < 5; step++ {
+			for d := 0; d < 3; d++ {
+				fleet.Fire(d, 0)
+			}
+		}
+		if fleet.Published() != 15 {
+			t.Fatalf("published = %d, want 15", fleet.Published())
+		}
+		return payloads
+	}
+	a, b := collect(), collect()
+	for d := range a {
+		if len(a[d]) != 5 {
+			t.Fatalf("device %d published %d times", d, len(a[d]))
+		}
+		for i := range a[d] {
+			if a[d][i] != b[d][i] {
+				t.Fatalf("device %d step %d diverged: %s vs %s", d, i, a[d][i], b[d][i])
+			}
+			var doc struct {
+				Seq int     `json:"seq"`
+				V   float64 `json:"v"`
+			}
+			if err := json.Unmarshal([]byte(a[d][i]), &doc); err != nil {
+				t.Fatalf("payload %q: %v", a[d][i], err)
+			}
+			if doc.Seq != i+1 || doc.V < 0 || doc.V > 1 {
+				t.Fatalf("payload %q out of spec at step %d", a[d][i], i)
+			}
+		}
+	}
+}
+
+// parseSwarmTopic extracts N from "swarm/dev-N/status".
+func parseSwarmTopic(topic string) (int, bool) {
+	const pre, suf = "swarm/dev-", "/status"
+	if !strings.HasPrefix(topic, pre) || !strings.HasSuffix(topic, suf) {
+		return 0, false
+	}
+	n, err := strconv.Atoi(topic[len(pre) : len(topic)-len(suf)])
+	return n, err == nil
+}
+
+// TestSwarmFleetDefaultsToRuntimeBroker wires a fleet through a real
+// runtime broker and checks delivery plus the single metrics child.
+func TestSwarmFleetDefaultsToRuntimeBroker(t *testing.T) {
+	reg := obs.NewRegistry()
+	br := broker.NewBroker(nil)
+	defer br.Close()
+	rt := &Runtime{Broker: br}
+	rt.BindObs(reg)
+	fleet, err := rt.NewSwarmFleet(SwarmFleetOptions{Devices: 4, Seed: 1, QoS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	if err := br.SubscribeInProcess("app", "swarm/+/status", 1, func(broker.Message) {
+		got++
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for d := 0; d < 4; d++ {
+		fleet.Fire(d, 0)
+	}
+	if got != 4 {
+		t.Fatalf("delivered %d, want 4", got)
+	}
+	if v := reg.Values()["digibox_digi_publishes_total"]; v != 4 {
+		t.Fatalf("digibox_digi_publishes_total = %v, want 4", v)
+	}
+}
+
+// TestSwarmFleetFootprint pins the design point of the mock mode: a
+// 10k-device fleet must not spawn any goroutines and must stay within
+// a small per-mock memory budget — the reconciler path (goroutine +
+// watcher + ticker per digi) would fail both.
+func TestSwarmFleetFootprint(t *testing.T) {
+	rt := &Runtime{}
+	before := runtime.NumGoroutine()
+	var ms runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	heapBefore := ms.HeapAlloc
+
+	fleet, err := rt.NewSwarmFleet(SwarmFleetOptions{
+		Devices: 10_000, Seed: 1,
+		Publish: func(string, string, []byte, byte, bool) error { return nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runtime.NumGoroutine(); got > before+1 {
+		t.Fatalf("fleet spawned goroutines: %d -> %d", before, got)
+	}
+	runtime.GC()
+	runtime.ReadMemStats(&ms)
+	perMock := float64(ms.HeapAlloc-heapBefore) / float64(fleet.Devices())
+	// Each mock is a topic string, an 8-byte rng, and two words.
+	// Budget 512 B to stay far from flakiness while still catching an
+	// accidental reintroduction of per-mock reconciler state (the
+	// math/rand source alone was ~4.8 KiB/mock).
+	if perMock > 512 {
+		t.Fatalf("fleet footprint %.0f B/mock exceeds budget", perMock)
+	}
+	fleet.Fire(9_999, 0)
+	if fleet.Published() != 1 {
+		t.Fatal("fire on last device failed")
+	}
+}

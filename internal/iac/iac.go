@@ -29,6 +29,17 @@ type Setup struct {
 	// Chaos is the optional scene-scoped fault plan (header "chaos"
 	// section). Vet rule V013 checks its targets against the setup.
 	Chaos *chaos.Plan
+	// Swarm is the optional scale-out declaration (header "swarm"
+	// section). Vet rule V015 checks it against the setup's device
+	// fleet size.
+	Swarm *SwarmConfig
+}
+
+// SwarmConfig is the header "swarm" section: how the setup's message
+// plane should be provisioned when it is deployed at scale.
+type SwarmConfig struct {
+	// Shards is the broker shard count the setup deploys with.
+	Shards int
 }
 
 // Marshal renders the setup. The first document is the header; every
@@ -51,6 +62,9 @@ func Marshal(s *Setup) ([]byte, error) {
 	}
 	if s.Chaos != nil {
 		header["chaos"] = s.Chaos.Value()
+	}
+	if s.Swarm != nil {
+		header["swarm"] = map[string]any{"shards": int64(s.Swarm.Shards)}
 	}
 	docs := []any{header}
 	for _, m := range s.Models {
@@ -108,6 +122,24 @@ func Parse(data []byte) (*Setup, error) {
 		}
 		s.Chaos = plan
 	}
+	if raw, ok := header["swarm"]; ok {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("iac: swarm section must be a mapping")
+		}
+		cfg := &SwarmConfig{}
+		switch v := m["shards"].(type) {
+		case int64:
+			cfg.Shards = int(v)
+		case int:
+			cfg.Shards = v
+		case float64:
+			cfg.Shards = int(v)
+		default:
+			return nil, fmt.Errorf("iac: swarm section needs a numeric shards count")
+		}
+		s.Swarm = cfg
+	}
 	for i, d := range docs[1:] {
 		m, ok := d.(map[string]any)
 		if !ok {
@@ -149,6 +181,9 @@ func Validate(s *Setup) error {
 		if err := s.Chaos.Validate(); err != nil {
 			return fmt.Errorf("iac: %w", err)
 		}
+	}
+	if s.Swarm != nil && s.Swarm.Shards < 1 {
+		return fmt.Errorf("iac: swarm.shards must be at least 1, got %d", s.Swarm.Shards)
 	}
 	return checkAcyclic(names)
 }

@@ -171,3 +171,39 @@ func TestSetupWithoutKindsSkipsKindCheck(t *testing.T) {
 		t.Errorf("err = %v", err)
 	}
 }
+
+func TestSwarmSectionRoundTrip(t *testing.T) {
+	s := smartBuildingSetup()
+	s.Swarm = &SwarmConfig{Shards: 4}
+	data, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if back.Swarm == nil || back.Swarm.Shards != 4 {
+		t.Fatalf("swarm section = %+v, want shards 4", back.Swarm)
+	}
+
+	// No section stays absent.
+	plain, err := Marshal(smartBuildingSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Unmarshal(plain); err != nil || back.Swarm != nil {
+		t.Fatalf("swarm = %+v, err %v; want absent", back.Swarm, err)
+	}
+}
+
+func TestSwarmSectionValidates(t *testing.T) {
+	s := smartBuildingSetup()
+	s.Swarm = &SwarmConfig{Shards: 0}
+	if _, err := Marshal(s); err == nil || !strings.Contains(err.Error(), "swarm.shards") {
+		t.Fatalf("zero shards accepted: %v", err)
+	}
+	if _, err := Parse([]byte("setup: t\nswarm:\n  shards: nope\n")); err == nil {
+		t.Fatal("non-numeric shards accepted")
+	}
+}

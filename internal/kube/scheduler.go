@@ -148,6 +148,42 @@ func PickNode(nodes []*Node, selector map[string]string, assigned map[string]int
 	return best.Name, true
 }
 
+// PickNodeSpread is the spread placement policy as a pure function:
+// among ready nodes with free capacity that satisfy the selector, pick
+// the one with the fewest committed pods; ties break by node name, so
+// the choice is deterministic regardless of input order. Swarm
+// placement uses it to put one generator pod per node before doubling
+// up anywhere.
+func PickNodeSpread(nodes []*Node, selector map[string]string, assigned map[string]int) (string, bool) {
+	var best *Node
+	bestCount := 0
+	for _, n := range nodes {
+		if !n.Status.Ready || !selectorMatches(selector, n.Labels) {
+			continue
+		}
+		if n.Spec.Capacity-assigned[n.Name] <= 0 {
+			continue
+		}
+		count := assigned[n.Name]
+		if best == nil || count < bestCount || (count == bestCount && n.Name < best.Name) {
+			best = n
+			bestCount = count
+		}
+	}
+	if best == nil {
+		return "", false
+	}
+	return best.Name, true
+}
+
+// pickFor dispatches on the pod's placement strategy.
+func pickFor(pod *Pod, nodes []*Node, assigned map[string]int) (string, bool) {
+	if pod.Spec.Strategy == StrategySpread {
+		return PickNodeSpread(nodes, pod.Spec.NodeSelector, assigned)
+	}
+	return PickNode(nodes, pod.Spec.NodeSelector, assigned)
+}
+
 // schedule picks a node for the named pod and binds it.
 func (s *scheduler) schedule(name string) {
 	pod, err := s.api.getPod(name)
@@ -156,7 +192,7 @@ func (s *scheduler) schedule(name string) {
 	}
 	nodes := s.api.listNodes()
 	s.mu.Lock()
-	target, ok := PickNode(nodes, pod.Spec.NodeSelector, s.assigned)
+	target, ok := pickFor(pod, nodes, s.assigned)
 	if !ok {
 		s.mu.Unlock()
 		return // stays Pending; retried on the next state change

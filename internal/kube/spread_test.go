@@ -1,0 +1,122 @@
+package kube
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+func spreadNodes(specs ...[2]any) []*Node {
+	var out []*Node
+	for _, s := range specs {
+		out = append(out, &Node{
+			Name:   s[0].(string),
+			Spec:   NodeSpec{Capacity: s[1].(int)},
+			Status: NodeStatus{Ready: true},
+		})
+	}
+	return out
+}
+
+// TestPickNodeSpreadLeastLoaded pins the policy: fewest committed pods
+// wins even when another node has more free capacity.
+func TestPickNodeSpreadLeastLoaded(t *testing.T) {
+	nodes := spreadNodes([2]any{"big", 100}, [2]any{"small", 4})
+	assigned := map[string]int{"big": 3, "small": 1}
+	// PickNode (capacity policy) would choose big (97 free vs 3 free);
+	// spread chooses small (1 committed vs 3).
+	if got, _ := PickNode(nodes, nil, assigned); got != "big" {
+		t.Fatalf("PickNode = %q, want big", got)
+	}
+	if got, ok := PickNodeSpread(nodes, nil, assigned); !ok || got != "small" {
+		t.Fatalf("PickNodeSpread = %q, want small", got)
+	}
+}
+
+// TestPickNodeSpreadTieBreakDeterminism shuffles the node list and
+// requires the same winner every time: ties on pod count break by
+// node name, not input order.
+func TestPickNodeSpreadTieBreakDeterminism(t *testing.T) {
+	base := spreadNodes(
+		[2]any{"node-c", 10}, [2]any{"node-a", 10},
+		[2]any{"node-b", 10}, [2]any{"node-d", 10},
+	)
+	assigned := map[string]int{"node-a": 2, "node-b": 1, "node-c": 1, "node-d": 1}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50; i++ {
+		shuffled := append([]*Node(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, ok := PickNodeSpread(shuffled, nil, assigned)
+		if !ok || got != "node-b" {
+			t.Fatalf("iteration %d: PickNodeSpread = %q (ok=%v), want node-b", i, got, ok)
+		}
+	}
+	// All-equal tie: lexicographically smallest name wins.
+	empty := map[string]int{}
+	for i := 0; i < 50; i++ {
+		shuffled := append([]*Node(nil), base...)
+		rng.Shuffle(len(shuffled), func(i, j int) {
+			shuffled[i], shuffled[j] = shuffled[j], shuffled[i]
+		})
+		got, ok := PickNodeSpread(shuffled, nil, empty)
+		if !ok || got != "node-a" {
+			t.Fatalf("iteration %d: PickNodeSpread = %q (ok=%v), want node-a", i, got, ok)
+		}
+	}
+}
+
+// TestPickNodeSpreadFiltersAndCapacity: not-ready nodes, selector
+// mismatches, and full nodes are skipped; no fit reports false.
+func TestPickNodeSpreadFiltersAndCapacity(t *testing.T) {
+	nodes := spreadNodes([2]any{"a", 1}, [2]any{"b", 1}, [2]any{"c", 1})
+	nodes[0].Status.Ready = false
+	nodes[1].Labels = map[string]string{"zone": "edge"}
+	assigned := map[string]int{"c": 1} // full
+	if got, ok := PickNodeSpread(nodes, map[string]string{"zone": "edge"}, assigned); !ok || got != "b" {
+		t.Fatalf("selector pick = %q (ok=%v), want b", got, ok)
+	}
+	if _, ok := PickNodeSpread(nodes, map[string]string{"zone": "nowhere"}, assigned); ok {
+		t.Fatal("impossible selector matched")
+	}
+	if _, ok := PickNodeSpread(nodes[2:], nil, assigned); ok {
+		t.Fatal("full node accepted")
+	}
+}
+
+// TestSchedulerSpreadStrategy runs the strategy through the live
+// scheduler: spread pods land one per node before any node takes a
+// second, even with skewed capacities that would make the default
+// policy pile onto the big node.
+func TestSchedulerSpreadStrategy(t *testing.T) {
+	c := NewCluster()
+	c.AddNode("wide", 100, "local")
+	c.AddNode("mid", 50, "local")
+	c.AddNode("thin", 10, "local")
+	c.Start()
+	t.Cleanup(c.Stop)
+	c.RegisterImage("digi/block", blockingImage(nil, nil))
+
+	const n = 9
+	for i := 0; i < n; i++ {
+		err := c.CreatePod(&Pod{
+			Name: fmt.Sprintf("spread-%d", i),
+			Spec: PodSpec{Image: "digi/block", Strategy: StrategySpread},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.WaitAllRunning(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, p := range c.ListPods() {
+		counts[p.Status.NodeName]++
+	}
+	if counts["wide"] != n/3 || counts["mid"] != n/3 || counts["thin"] != n/3 {
+		t.Errorf("placement = %v, want even %d/%d/%d split", counts, n/3, n/3, n/3)
+	}
+}

@@ -59,7 +59,16 @@ type PodSpec struct {
 	// whose labels include every entry.
 	NodeSelector  map[string]string
 	RestartPolicy RestartPolicy
+	// Strategy selects the placement policy: "" (default) is
+	// most-free-capacity (PickNode), StrategySpread is least-loaded by
+	// committed pod count (PickNodeSpread) — what swarm uses to fan
+	// its generator pods across every node.
+	Strategy string
 }
+
+// StrategySpread selects PickNodeSpread placement: the ready node with
+// the fewest committed pods, ties broken by name.
+const StrategySpread = "spread"
 
 // PodStatus is maintained by the scheduler and node agents.
 type PodStatus struct {

@@ -1,0 +1,129 @@
+package swarm
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/broker"
+)
+
+// bridgePrefix marks a publish as already bridge-forwarded. A shard's
+// RouteHook sees the prefixed publisher identity and stops — forwarding
+// is single-hop by construction, so no loop detection is needed.
+const bridgePrefix = "swarm!"
+
+// bridge keeps cross-shard delivery semantics identical to a single
+// broker. It maintains, per filter, the set of shards holding a live
+// subscription (fed by each shard's SubscribeHook) and forwards every
+// publish entering one shard to the other shards that need it:
+//
+//   - shards with a matching subscription — exact-map lookup for
+//     concrete filters, a MatchTopic scan over the (small) wildcard
+//     set otherwise;
+//   - every shard, when the publish is retained — each shard's
+//     retained store is a full replica, so wire or in-process
+//     subscribers on any shard observe single-broker retained
+//     behaviour.
+//
+// Per-client delivery stays single-broker-equivalent because all of a
+// client's subscriptions live on one shard (the pool anchors by client
+// id; a wire client is connected to exactly one shard), so exactly one
+// broker applies MQTT's per-client overlapping-filter dedup for it.
+type bridge struct {
+	shards []*broker.Broker
+
+	mu       sync.RWMutex
+	concrete map[string]map[int]int // exact filter -> shard -> refcount
+	wild     map[string]map[int]int // wildcard filter -> shard -> refcount
+
+	forwards int64 // publishes forwarded shard-to-shard
+}
+
+func newBridge() *bridge {
+	return &bridge{
+		concrete: map[string]map[int]int{},
+		wild:     map[string]map[int]int{},
+	}
+}
+
+// subHook returns the SubscribeHook for shard i.
+func (br *bridge) subHook(i int) func(clientID, filter string, add bool) {
+	return func(_, filter string, add bool) {
+		idx := br.concrete
+		if strings.ContainsAny(filter, "+#") {
+			idx = br.wild
+		}
+		br.mu.Lock()
+		defer br.mu.Unlock()
+		shards := idx[filter]
+		if add {
+			if shards == nil {
+				shards = map[int]int{}
+				idx[filter] = shards
+			}
+			shards[i]++
+			return
+		}
+		if shards == nil {
+			return
+		}
+		if shards[i]--; shards[i] <= 0 {
+			delete(shards, i)
+		}
+		if len(shards) == 0 {
+			delete(idx, filter)
+		}
+	}
+}
+
+// routeHook returns the RouteHook for shard i: decide which sibling
+// shards need this publish and forward it with the bridge-prefixed
+// publisher identity.
+func (br *bridge) routeHook(i int) func(from, topic string, payload []byte, qos byte, retain bool) {
+	return func(from, topic string, payload []byte, qos byte, retain bool) {
+		if strings.HasPrefix(from, bridgePrefix) {
+			return // already forwarded once; single hop only
+		}
+		var targets []int
+		if retain {
+			// Replicate retained state everywhere.
+			for t := range br.shards {
+				if t != i {
+					targets = append(targets, t)
+				}
+			}
+		} else {
+			seen := map[int]bool{i: true}
+			br.mu.RLock()
+			for t := range br.concrete[topic] {
+				if !seen[t] {
+					seen[t] = true
+					targets = append(targets, t)
+				}
+			}
+			for filter, shards := range br.wild {
+				if !broker.MatchTopic(filter, topic) {
+					continue
+				}
+				for t := range shards {
+					if !seen[t] {
+						seen[t] = true
+						targets = append(targets, t)
+					}
+				}
+			}
+			br.mu.RUnlock()
+		}
+		for _, t := range targets {
+			atomic.AddInt64(&br.forwards, 1)
+			// Validation already passed on the receiving shard; errors
+			// here would only repeat it.
+			br.shards[t].PublishQoS(bridgePrefix+from, topic, payload, qos, retain)
+		}
+	}
+}
+
+func (br *bridge) forwardCount() int64 {
+	return atomic.LoadInt64(&br.forwards)
+}

@@ -1,0 +1,238 @@
+package swarm
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync/atomic"
+	"time"
+)
+
+// Profile selects the load-generation discipline.
+type Profile string
+
+const (
+	// ProfileClosed is closed-loop load: N devices each publishing once
+	// per period, the classic "device fleet" shape. Offered load is
+	// Devices/Period msgs/s; a slow system stretches the cycle instead
+	// of queueing unboundedly.
+	ProfileClosed Profile = "closed"
+	// ProfileOpen is open-loop load: a target message rate with Poisson
+	// arrivals, seeded for determinism. Offered load is independent of
+	// the system's speed — the profile that exposes saturation.
+	ProfileOpen Profile = "open"
+)
+
+// openQuantum batches open-loop arrivals: each worker draws all
+// arrivals falling inside a 5 ms window, fires them as a burst, and
+// sleeps to the window boundary. 5 ms keeps timer pressure at 200
+// wakeups/s/worker while staying far below the latency floors being
+// measured.
+const openQuantum = 5 * time.Millisecond
+
+// LoadSpec describes one swarm load run.
+type LoadSpec struct {
+	Profile  Profile       `json:"profile"`
+	Devices  int           `json:"devices"`
+	Rate     float64       `json:"rate"`     // open-loop target msgs/s
+	Period   time.Duration `json:"period"`   // closed-loop per-device period
+	Duration time.Duration `json:"duration"` // total run length
+	Workers  int           `json:"workers"`  // generator workers (one pod each)
+	Seed     int64         `json:"seed"`
+	QoS      byte          `json:"qos"`
+	Payload  int           `json:"payload"`     // payload size in bytes
+	Subs     int           `json:"subscribers"` // wildcard consumers
+	Prefix   string        `json:"prefix"`      // topic prefix, default "swarm"
+}
+
+// WithDefaults fills unset fields with usable values and returns the
+// result.
+func (s LoadSpec) WithDefaults() LoadSpec {
+	if s.Profile == "" {
+		s.Profile = ProfileClosed
+	}
+	if s.Devices <= 0 {
+		s.Devices = 100
+	}
+	if s.Rate <= 0 {
+		s.Rate = 1000
+	}
+	if s.Period <= 0 {
+		s.Period = time.Second
+	}
+	if s.Duration <= 0 {
+		s.Duration = 10 * time.Second
+	}
+	if s.Workers <= 0 {
+		s.Workers = 4
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.QoS > 1 {
+		s.QoS = 1
+	}
+	if s.Payload <= 0 {
+		s.Payload = 64
+	}
+	if s.Subs <= 0 {
+		s.Subs = 2
+	}
+	if s.Prefix == "" {
+		s.Prefix = "swarm"
+	}
+	return s
+}
+
+// Validate rejects specs the generator cannot honour.
+func (s LoadSpec) Validate() error {
+	switch s.Profile {
+	case ProfileClosed, ProfileOpen:
+	default:
+		return fmt.Errorf("swarm: unknown profile %q (want %q or %q)", s.Profile, ProfileClosed, ProfileOpen)
+	}
+	if s.Devices <= 0 {
+		return fmt.Errorf("swarm: devices must be positive")
+	}
+	if s.Profile == ProfileOpen && s.Rate <= 0 {
+		return fmt.Errorf("swarm: open profile needs a positive rate")
+	}
+	if s.Profile == ProfileClosed && s.Period <= 0 {
+		return fmt.Errorf("swarm: closed profile needs a positive period")
+	}
+	return nil
+}
+
+// DeviceTopic returns the status topic for device i under prefix —
+// "swarm/dev-7/status" style, a three-level topic so the obs topic
+// class collapses every device to one histogram child.
+func DeviceTopic(prefix string, i int) string {
+	return fmt.Sprintf("%s/dev-%d/status", prefix, i)
+}
+
+// Generator paces fire callbacks according to a LoadSpec. Create with
+// NewGenerator, then run each worker (RunWorker) until its context
+// ends — typically one worker per kube pod so placement is exercised.
+type Generator struct {
+	spec  LoadSpec
+	fire  func(device int, seq uint64)
+	count int64
+}
+
+// NewGenerator builds a generator over a defaulted, validated spec.
+// fire is called for every generated message with the device index and
+// a per-worker sequence number; it must be safe for concurrent use.
+func NewGenerator(spec LoadSpec, fire func(device int, seq uint64)) (*Generator, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &Generator{spec: spec, fire: fire}, nil
+}
+
+// Spec returns the defaulted spec the generator runs.
+func (g *Generator) Spec() LoadSpec { return g.spec }
+
+// Workers returns how many workers RunWorker expects (0..Workers-1).
+func (g *Generator) Workers() int { return g.spec.Workers }
+
+// Published returns the number of fire calls made so far.
+func (g *Generator) Published() int64 { return atomic.LoadInt64(&g.count) }
+
+// RunWorker drives worker w until the spec's duration elapses or ctx
+// is cancelled. Deterministic per (seed, worker): the sequence of
+// devices and inter-arrival draws depends only on those, never on
+// scheduling.
+func (g *Generator) RunWorker(ctx context.Context, w int) error {
+	if w < 0 || w >= g.spec.Workers {
+		return fmt.Errorf("swarm: worker %d out of range [0,%d)", w, g.spec.Workers)
+	}
+	deadline := time.Now().Add(g.spec.Duration)
+	ctx, cancel := context.WithDeadline(ctx, deadline)
+	defer cancel()
+	if g.spec.Profile == ProfileOpen {
+		return g.runOpen(ctx, w)
+	}
+	return g.runClosed(ctx, w)
+}
+
+// runClosed cycles this worker's device slice once per period. Workers
+// own devices round-robin (device d belongs to worker d mod W), and
+// each worker staggers its start across the first period so the fleet
+// doesn't publish in one synchronized burst.
+func (g *Generator) runClosed(ctx context.Context, w int) error {
+	var owned []int
+	for d := w; d < g.spec.Devices; d += g.spec.Workers {
+		owned = append(owned, d)
+	}
+	if len(owned) == 0 {
+		return nil
+	}
+	stagger := g.spec.Period * time.Duration(w) / time.Duration(g.spec.Workers)
+	select {
+	case <-time.After(stagger):
+	case <-ctx.Done():
+		return nil
+	}
+	ticker := time.NewTicker(g.spec.Period)
+	defer ticker.Stop()
+	var seq uint64
+	cycle := func() {
+		for _, d := range owned {
+			g.fire(d, seq)
+			atomic.AddInt64(&g.count, 1)
+			seq++
+		}
+	}
+	cycle()
+	for {
+		select {
+		case <-ticker.C:
+			cycle()
+		case <-ctx.Done():
+			return nil
+		}
+	}
+}
+
+// runOpen generates a Poisson arrival process at Rate/Workers msgs/s:
+// exponential inter-arrival draws from a per-worker seeded source,
+// batched per quantum. The draw sequence (devices and gaps) is fully
+// deterministic for a (seed, worker) pair; wall-clock jitter shifts
+// when a burst fires, never what it contains.
+func (g *Generator) runOpen(ctx context.Context, w int) error {
+	rng := rand.New(rand.NewSource(g.spec.Seed + int64(w)*0x9E3779B9))
+	rate := g.spec.Rate / float64(g.spec.Workers)
+	start := time.Now()
+	next := rng.ExpFloat64() / rate // seconds from start of the next arrival
+	var seq uint64
+	for {
+		elapsed := time.Since(start).Seconds()
+		qEnd := elapsed + openQuantum.Seconds()
+		for next <= qEnd {
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
+			g.fire(rng.Intn(g.spec.Devices), seq)
+			atomic.AddInt64(&g.count, 1)
+			seq++
+			next += rng.ExpFloat64() / rate
+		}
+		sleep := time.Duration((qEnd - time.Since(start).Seconds()) * float64(time.Second))
+		if sleep > 0 {
+			select {
+			case <-time.After(sleep):
+			case <-ctx.Done():
+				return nil
+			}
+		} else {
+			select {
+			case <-ctx.Done():
+				return nil
+			default:
+			}
+		}
+	}
+}

@@ -1,0 +1,178 @@
+package swarm
+
+import (
+	"fmt"
+
+	"repro/internal/broker"
+	"repro/internal/obs"
+)
+
+// SingleBrokerDeviceGuidance is the device count past which one broker
+// shard is considered saturated and a scene should declare
+// `swarm: {shards: N}` (vet rule V015 enforces this). It is guidance,
+// not a hard limit: the number comes from the fan-out benchmarks —
+// past ~1000 publishing devices a single shard's route path becomes
+// the bottleneck before the load generator does.
+const SingleBrokerDeviceGuidance = 1000
+
+// PoolOptions configures a shard pool.
+type PoolOptions struct {
+	// Shards is the number of broker shards; 0 means 1.
+	Shards int
+	// Obs, when set, receives the pool's aggregated metric families
+	// (digibox_swarm_*). Individual shards are registered without Obs —
+	// their counters are aggregated at gather time instead, so one
+	// registry serves any shard count.
+	Obs *obs.Registry
+	// Tracer is shared by every shard, so publish→deliver spans and
+	// e2e latency histograms cover the pool exactly as they would a
+	// single broker.
+	Tracer *obs.Tracer
+	// Logf receives shard debug logs.
+	Logf func(format string, args ...any)
+}
+
+// Pool is a sharded MQTT message plane: publishes and subscriptions
+// are placed on shards by consistent topic/client hashing, and the
+// inter-broker bridge keeps delivery semantics identical to a single
+// broker (see bridge). The zero pool is not usable; create with
+// NewPool and release with Close.
+type Pool struct {
+	opts   PoolOptions
+	shards []*broker.Broker
+	ring   *ring
+	bridge *bridge
+}
+
+// NewPool creates the shard brokers and wires the bridge between them.
+func NewPool(opts PoolOptions) *Pool {
+	if opts.Shards <= 0 {
+		opts.Shards = 1
+	}
+	p := &Pool{
+		opts:   opts,
+		ring:   newRing(opts.Shards),
+		bridge: newBridge(),
+	}
+	for i := 0; i < opts.Shards; i++ {
+		p.shards = append(p.shards, broker.NewBroker(&broker.Options{
+			Logf:          opts.Logf,
+			Tracer:        opts.Tracer,
+			SubscribeHook: p.bridge.subHook(i),
+			RouteHook:     p.bridge.routeHook(i),
+		}))
+	}
+	p.bridge.shards = p.shards
+	if opts.Obs != nil {
+		p.bindMetrics(opts.Obs)
+	}
+	return p
+}
+
+// bindMetrics registers pool-level families that aggregate over every
+// shard at gather time. CounterFunc re-registration replaces the
+// gather func, so a fresh pool re-binding to a long-lived registry
+// (one swarm run after another) works.
+func (p *Pool) bindMetrics(r *obs.Registry) {
+	sum := func(pick func(broker.Stats) int64) func() float64 {
+		return func() float64 {
+			var total int64
+			for _, sh := range p.shards {
+				total += pick(sh.Stats())
+			}
+			return float64(total)
+		}
+	}
+	r.GaugeFunc("digibox_swarm_shards", "broker shards in the swarm pool",
+		func() float64 { return float64(len(p.shards)) })
+	r.CounterFunc("digibox_swarm_publishes_total",
+		"publishes received across all shards (bridge forwards included)",
+		sum(func(s broker.Stats) int64 { return s.PublishesIn }))
+	r.CounterFunc("digibox_swarm_deliveries_total",
+		"messages delivered to subscribers across all shards",
+		sum(func(s broker.Stats) int64 { return s.MessagesOut }))
+	r.CounterFunc("digibox_swarm_dropped_total",
+		"QoS 0 messages shed on slow sessions across all shards",
+		sum(func(s broker.Stats) int64 { return s.Dropped }))
+	r.CounterFunc("digibox_swarm_bridge_forwards_total",
+		"publishes forwarded shard-to-shard by the bridge",
+		func() float64 { return float64(p.bridge.forwardCount()) })
+}
+
+// NumShards returns the shard count.
+func (p *Pool) NumShards() int { return len(p.shards) }
+
+// Shard returns shard i (for tests and for serving wire clients via
+// Broker.ListenAndServe).
+func (p *Pool) Shard(i int) *broker.Broker { return p.shards[i] }
+
+// ShardFor returns the shard index a key (topic or client id) is
+// placed on.
+func (p *Pool) ShardFor(key string) int { return p.ring.shardFor(key) }
+
+// Publish routes a message into the pool via its topic's home shard.
+// The bridge forwards it to any other shard with a matching
+// subscription, so callers never need to know where subscribers live.
+func (p *Pool) Publish(from, topic string, payload []byte, qos byte, retain bool) error {
+	return p.shards[p.ring.shardFor(topic)].PublishQoS(from, topic, payload, qos, retain)
+}
+
+// Subscribe registers an in-process subscription, anchored on the
+// shard the client id hashes to. Anchoring by client — not by filter —
+// keeps every subscription of one client on one broker, which is what
+// preserves MQTT's per-client overlapping-filter dedup across the
+// pool.
+func (p *Pool) Subscribe(clientID, filter string, qos byte, fn func(broker.Message)) error {
+	return p.shards[p.ring.shardFor(clientID)].SubscribeInProcess(clientID, filter, qos, fn)
+}
+
+// Unsubscribe removes a subscription registered with Subscribe.
+func (p *Pool) Unsubscribe(clientID, filter string) bool {
+	return p.shards[p.ring.shardFor(clientID)].UnsubscribeInProcess(clientID, filter)
+}
+
+// Stats aggregates shard counters. BridgeForwards is the number of
+// shard-to-shard forwarded publishes — the pool's scaling overhead.
+type Stats struct {
+	Shards         []broker.Stats `json:"shards"`
+	PublishesIn    int64          `json:"publishes_in"`
+	MessagesOut    int64          `json:"messages_out"`
+	Dropped        int64          `json:"dropped"`
+	BridgeForwards int64          `json:"bridge_forwards"`
+}
+
+// Stats snapshots every shard plus the aggregate.
+func (p *Pool) Stats() Stats {
+	out := Stats{BridgeForwards: p.bridge.forwardCount()}
+	for _, sh := range p.shards {
+		s := sh.Stats()
+		out.Shards = append(out.Shards, s)
+		out.PublishesIn += s.PublishesIn
+		out.MessagesOut += s.MessagesOut
+		out.Dropped += s.Dropped
+	}
+	return out
+}
+
+// Close shuts every shard down.
+func (p *Pool) Close() {
+	for _, sh := range p.shards {
+		sh.Close()
+	}
+}
+
+// RequiredShards returns the shard count guidance for a device count:
+// ceil(devices / SingleBrokerDeviceGuidance), minimum 1. vet rule V015
+// and `dbox swarm` both use it so the hint and the tool agree.
+func RequiredShards(devices int) int {
+	if devices <= SingleBrokerDeviceGuidance {
+		return 1
+	}
+	return (devices + SingleBrokerDeviceGuidance - 1) / SingleBrokerDeviceGuidance
+}
+
+// String implements fmt.Stringer for quick logging.
+func (s Stats) String() string {
+	return fmt.Sprintf("shards=%d in=%d out=%d dropped=%d forwards=%d",
+		len(s.Shards), s.PublishesIn, s.MessagesOut, s.Dropped, s.BridgeForwards)
+}

@@ -1,0 +1,76 @@
+package swarm
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/broker"
+)
+
+// Report is the machine-readable result of one swarm run — the
+// BENCH_swarm.json payload. Counters are exact (atomics, not
+// samples); latency quantiles come from the obs span tracer and carry
+// their sample count so readers can judge confidence.
+type Report struct {
+	// Configuration the run actually used (after defaulting).
+	Profile     string  `json:"profile"`
+	Devices     int     `json:"devices"`
+	Shards      int     `json:"shards"`
+	Workers     int     `json:"workers"`
+	Subscribers int     `json:"subscribers"`
+	QoS         int     `json:"qos"`
+	Seed        int64   `json:"seed"`
+	RateTarget  float64 `json:"rate_target,omitempty"` // open-loop target msgs/s
+	PeriodSec   float64 `json:"period_sec,omitempty"`  // closed-loop per-device period
+	DurationSec float64 `json:"duration_sec"`          // measured wall-clock run length
+	PayloadSize int     `json:"payload_size"`
+
+	// Exact message accounting. Expected = Published × Subscribers
+	// (every consumer holds a wildcard matching every device topic);
+	// Lost must be 0 at QoS 1.
+	Published int64 `json:"published"`
+	Expected  int64 `json:"expected"`
+	Delivered int64 `json:"delivered"`
+	Lost      int64 `json:"lost"`
+	// Dropped counts QoS 0 messages shed on slow wire sessions — the
+	// back-pressure signal, distinct from QoS 1 loss.
+	Dropped        int64 `json:"dropped"`
+	BridgeForwards int64 `json:"bridge_forwards"`
+
+	PublishRate  float64 `json:"publish_rate"`  // achieved publishes/s
+	DeliveryRate float64 `json:"delivery_rate"` // achieved deliveries/s
+
+	// Publish→deliver latency from sampled obs spans (1-in-8 by
+	// default) over the swarm topic class.
+	LatencySamples uint64  `json:"latency_samples"`
+	P50Ms          float64 `json:"p50_ms"`
+	P99Ms          float64 `json:"p99_ms"`
+
+	PerShard []broker.Stats `json:"per_shard"`
+	// Placements maps generator pod name → kube node, recorded when
+	// the run went through Testbed.RunSwarm's spread scheduling.
+	Placements map[string]string `json:"placements,omitempty"`
+}
+
+// Gate checks the report against the swarm-gate CI criteria: zero
+// QoS 1 loss, and (when maxP99Ms > 0) a p99 publish→deliver latency
+// at or under the floor. It returns nil when the run passes.
+func (r *Report) Gate(maxP99Ms float64) error {
+	if r.Lost > 0 {
+		return fmt.Errorf("swarm: %d of %d expected deliveries lost at QoS %d", r.Lost, r.Expected, r.QoS)
+	}
+	if maxP99Ms > 0 && r.P99Ms > maxP99Ms {
+		return fmt.Errorf("swarm: p99 latency %.2f ms over the %.2f ms floor", r.P99Ms, maxP99Ms)
+	}
+	return nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

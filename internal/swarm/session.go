@@ -1,0 +1,163 @@
+package swarm
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/obs"
+)
+
+// loadFrom is the publisher identity every generated message carries.
+// A constant — not the device name — so the tracer's per-digi latency
+// family gets one "swarm-load" child instead of 10k device children.
+const loadFrom = "swarm-load"
+
+// Session is one swarm load run against a pool: it anchors the
+// consuming subscribers, paces the generator, and settles the exact
+// message accounting into a Report. Create with NewSession, drive
+// every worker with RunWorker (concurrently, one per pod or
+// goroutine), then call Finish.
+type Session struct {
+	pool *Pool
+	spec LoadSpec
+	gen  *Generator
+	reg  *obs.Registry
+
+	delivered int64
+	started   time.Time
+	payload   []byte
+}
+
+// NewSession defaults and validates spec, subscribes the consumers,
+// and prepares the generator. fire overrides how a generated message
+// is published; nil means the built-in synthetic publisher (seq+device
+// JSON padded to the payload size, QoS from the spec, via the pool).
+// The digi swarm-mock fleet passes its own fire to publish stateful
+// mock payloads instead.
+func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire func(device int, seq uint64)) (*Session, error) {
+	spec = spec.WithDefaults()
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Session{pool: pool, spec: spec, reg: reg}
+	s.payload = make([]byte, spec.Payload)
+	for i := range s.payload {
+		s.payload[i] = 'x'
+	}
+	if fire == nil {
+		fire = s.firePool
+	}
+	gen, err := NewGenerator(spec, fire)
+	if err != nil {
+		return nil, err
+	}
+	s.gen = gen
+	// Consumers: each holds one wildcard filter matching every device
+	// topic, anchored on the shard its client id hashes to — so with
+	// multiple subscribers the bridge's cross-shard path is exercised
+	// by construction.
+	filter := spec.Prefix + "/+/status"
+	for k := 0; k < spec.Subs; k++ {
+		id := fmt.Sprintf("swarm-sub-%d", k)
+		if err := pool.Subscribe(id, filter, spec.QoS, func(broker.Message) {
+			atomic.AddInt64(&s.delivered, 1)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	s.started = time.Now()
+	return s, nil
+}
+
+// firePool is the synthetic publisher: JSON carrying the sequence
+// number and device index, padded to the configured payload size.
+func (s *Session) firePool(device int, seq uint64) {
+	head := fmt.Sprintf(`{"seq":%d,"dev":%d,"pad":"`, seq, device)
+	payload := make([]byte, 0, s.spec.Payload+2)
+	payload = append(payload, head...)
+	if pad := s.spec.Payload - len(head) - 2; pad > 0 {
+		payload = append(payload, s.payload[:pad]...)
+	}
+	payload = append(payload, '"', '}')
+	// Non-retained: load traffic must not trigger the bridge's
+	// retained full-replication path.
+	s.pool.Publish(loadFrom, DeviceTopic(s.spec.Prefix, device), payload, s.spec.QoS, false)
+}
+
+// Spec returns the defaulted spec this session runs.
+func (s *Session) Spec() LoadSpec { return s.spec }
+
+// Workers returns the worker count; RunWorker accepts 0..Workers-1.
+func (s *Session) Workers() int { return s.gen.Workers() }
+
+// RunWorker drives one generator worker to completion.
+func (s *Session) RunWorker(ctx context.Context, w int) error {
+	return s.gen.RunWorker(ctx, w)
+}
+
+// Delivered returns consumer-side deliveries so far.
+func (s *Session) Delivered() int64 { return atomic.LoadInt64(&s.delivered) }
+
+// Finish waits (bounded by quiesce) for in-flight deliveries to
+// settle, detaches the consumers, and assembles the report. Expected
+// deliveries are Published × Subscribers: every consumer's wildcard
+// matches every device topic, and in-process QoS 1 delivery has no
+// shedding path, so any shortfall is real loss.
+func (s *Session) Finish(quiesce time.Duration) *Report {
+	published := s.gen.Published()
+	expected := published * int64(s.spec.Subs)
+	deadline := time.Now().Add(quiesce)
+	for time.Now().Before(deadline) && atomic.LoadInt64(&s.delivered) < expected {
+		time.Sleep(5 * time.Millisecond)
+	}
+	elapsed := time.Since(s.started).Seconds()
+	filter := s.spec.Prefix + "/+/status"
+	for k := 0; k < s.spec.Subs; k++ {
+		s.pool.Unsubscribe(fmt.Sprintf("swarm-sub-%d", k), filter)
+	}
+
+	delivered := atomic.LoadInt64(&s.delivered)
+	stats := s.pool.Stats()
+	rep := &Report{
+		Profile:        string(s.spec.Profile),
+		Devices:        s.spec.Devices,
+		Shards:         s.pool.NumShards(),
+		Workers:        s.spec.Workers,
+		Subscribers:    s.spec.Subs,
+		QoS:            int(s.spec.QoS),
+		Seed:           s.spec.Seed,
+		DurationSec:    elapsed,
+		PayloadSize:    s.spec.Payload,
+		Published:      published,
+		Expected:       expected,
+		Delivered:      delivered,
+		Lost:           expected - delivered,
+		Dropped:        stats.Dropped,
+		BridgeForwards: stats.BridgeForwards,
+		PerShard:       stats.Shards,
+	}
+	if s.spec.Profile == ProfileOpen {
+		rep.RateTarget = s.spec.Rate
+	} else {
+		rep.PeriodSec = s.spec.Period.Seconds()
+	}
+	if elapsed > 0 {
+		rep.PublishRate = float64(published) / elapsed
+		rep.DeliveryRate = float64(delivered) / elapsed
+	}
+	if s.reg != nil {
+		// The tracer registered this family; re-registration is
+		// idempotent (same kind + label schema), so this reads the
+		// same histograms the spans fed.
+		h := s.reg.HistogramVec("digibox_e2e_topic_latency_seconds",
+			"end-to-end publish→deliver MQTT latency by topic class", nil, "class").
+			With(obs.TopicClass(DeviceTopic(s.spec.Prefix, 0)))
+		rep.LatencySamples = h.Count()
+		rep.P50Ms = h.Quantile(0.5) * 1000
+		rep.P99Ms = h.Quantile(0.99) * 1000
+	}
+	return rep
+}

@@ -1,0 +1,247 @@
+package swarm
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/obs"
+)
+
+func TestRingPlacement(t *testing.T) {
+	r := newRing(4)
+	// Deterministic: same key, same shard, every time.
+	for _, key := range []string{"swarm/dev-1/status", "app-a", "x"} {
+		first := r.shardFor(key)
+		for i := 0; i < 10; i++ {
+			if got := r.shardFor(key); got != first {
+				t.Fatalf("shardFor(%q) flapped: %d then %d", key, first, got)
+			}
+		}
+	}
+	// Roughly uniform: over 10k device topics each of 4 shards should
+	// hold a non-trivial share (loose bounds; vnodes keep skew low).
+	counts := make([]int, 4)
+	for i := 0; i < 10000; i++ {
+		counts[r.shardFor(DeviceTopic("swarm", i))]++
+	}
+	for s, c := range counts {
+		if c < 1000 || c > 5000 {
+			t.Fatalf("shard %d holds %d of 10000 keys — ring badly skewed: %v", s, c, counts)
+		}
+	}
+}
+
+func TestLoadSpecValidate(t *testing.T) {
+	bogus := LoadSpec{Profile: "bogus"}.WithDefaults()
+	if err := bogus.Validate(); err == nil {
+		t.Fatal("bogus profile accepted")
+	}
+	defaulted := LoadSpec{}.WithDefaults()
+	if err := defaulted.Validate(); err != nil {
+		t.Fatalf("defaulted spec rejected: %v", err)
+	}
+}
+
+// TestOpenLoopDeterminism runs the same seeded open-loop worker twice
+// and asserts the generated (device, seq) stream is identical up to
+// the shorter run — wall-clock timing may cut the runs at different
+// points, but the draw sequence is pinned by the seed.
+func TestOpenLoopDeterminism(t *testing.T) {
+	run := func() [][]int {
+		spec := LoadSpec{
+			Profile: ProfileOpen, Devices: 50, Rate: 4000,
+			Duration: 150 * time.Millisecond, Workers: 3, Seed: 42,
+		}
+		perWorker := make([][]int, 3)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		for w := 0; w < 3; w++ {
+			w := w
+			g, err := NewGenerator(spec, func(device int, seq uint64) {
+				mu.Lock()
+				perWorker[w] = append(perWorker[w], device)
+				mu.Unlock()
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := g.RunWorker(context.Background(), w); err != nil {
+					t.Error(err)
+				}
+			}()
+		}
+		wg.Wait()
+		return perWorker
+	}
+	a, b := run(), run()
+	for w := 0; w < 3; w++ {
+		n := len(a[w])
+		if len(b[w]) < n {
+			n = len(b[w])
+		}
+		if n == 0 {
+			t.Fatalf("worker %d generated nothing", w)
+		}
+		for i := 0; i < n; i++ {
+			if a[w][i] != b[w][i] {
+				t.Fatalf("worker %d diverged at %d: %d vs %d", w, i, a[w][i], b[w][i])
+			}
+		}
+	}
+}
+
+// TestClosedLoopCoverage checks the closed profile owns every device
+// exactly once across workers and cycles each at the period.
+func TestClosedLoopCoverage(t *testing.T) {
+	var mu sync.Mutex
+	seen := map[int]int{}
+	spec := LoadSpec{
+		Profile: ProfileClosed, Devices: 23, Period: 40 * time.Millisecond,
+		Duration: 140 * time.Millisecond, Workers: 4, Seed: 1,
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < spec.Workers; w++ {
+		g, err := NewGenerator(spec, func(device int, _ uint64) {
+			mu.Lock()
+			seen[device]++
+			mu.Unlock()
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			g.RunWorker(context.Background(), w)
+		}()
+	}
+	wg.Wait()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(seen) != spec.Devices {
+		t.Fatalf("covered %d of %d devices", len(seen), spec.Devices)
+	}
+	for d, n := range seen {
+		// ~3 full cycles fit in the duration; require at least 2 to
+		// tolerate scheduling slop, and cap at 5 to catch runaway
+		// pacing.
+		if n < 2 || n > 5 {
+			t.Fatalf("device %d fired %d times in %v at period %v", d, n, spec.Duration, spec.Period)
+		}
+	}
+}
+
+// TestSessionClosedLoop runs a small end-to-end closed-loop session
+// over a 3-shard pool and requires exact QoS 1 accounting: zero loss,
+// delivered == published × subscribers.
+func TestSessionClosedLoop(t *testing.T) {
+	testSessionProfile(t, LoadSpec{
+		Profile: ProfileClosed, Devices: 40, Period: 30 * time.Millisecond,
+		Duration: 200 * time.Millisecond, Workers: 4, QoS: 1, Subs: 3, Seed: 7,
+	})
+}
+
+// TestSessionOpenLoop does the same for the open-loop Poisson profile.
+func TestSessionOpenLoop(t *testing.T) {
+	testSessionProfile(t, LoadSpec{
+		Profile: ProfileOpen, Devices: 40, Rate: 3000,
+		Duration: 200 * time.Millisecond, Workers: 4, QoS: 1, Subs: 3, Seed: 7,
+	})
+}
+
+func testSessionProfile(t *testing.T, spec LoadSpec) {
+	t.Helper()
+	reg := obs.NewRegistry()
+	tracer := obs.NewTracer(reg)
+	tracer.SetSampleInterval(1) // every message, so quantiles have samples
+	pool := NewPool(PoolOptions{Shards: 3, Obs: reg, Tracer: tracer})
+	defer pool.Close()
+	sess, err := NewSession(pool, spec, reg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < sess.Workers(); w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := sess.RunWorker(context.Background(), w); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	rep := sess.Finish(5 * time.Second)
+	if rep.Published == 0 {
+		t.Fatal("nothing published")
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost %d of %d expected deliveries: %+v", rep.Lost, rep.Expected, rep)
+	}
+	if rep.Delivered != rep.Published*int64(spec.Subs) {
+		t.Fatalf("delivered %d, want %d", rep.Delivered, rep.Published*int64(spec.Subs))
+	}
+	if err := rep.Gate(10_000); err != nil {
+		t.Fatalf("gate failed: %v", err)
+	}
+	if rep.LatencySamples == 0 || rep.P99Ms <= 0 {
+		t.Fatalf("no latency samples in report: %+v", rep)
+	}
+	if rep.Shards != 3 || len(rep.PerShard) != 3 {
+		t.Fatalf("per-shard stats missing: %+v", rep)
+	}
+	// With 3 shards and wildcard consumers spread by client hash, the
+	// bridge must have forwarded something.
+	if rep.BridgeForwards == 0 {
+		t.Fatal("bridge forwarded nothing — pool degenerated to one shard")
+	}
+	// Round-trip the JSON artifact.
+	path := t.TempDir() + "/BENCH_swarm.json"
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRequiredShards pins the guidance function V015 and dbox share.
+func TestRequiredShards(t *testing.T) {
+	cases := map[int]int{1: 1, 999: 1, 1000: 1, 1001: 2, 2000: 2, 2001: 3, 10000: 10}
+	for devices, want := range cases {
+		if got := RequiredShards(devices); got != want {
+			t.Fatalf("RequiredShards(%d) = %d, want %d", devices, got, want)
+		}
+	}
+}
+
+// TestPoolMetricsFamilies checks the pool registers its aggregate
+// families and they gather live values.
+func TestPoolMetricsFamilies(t *testing.T) {
+	reg := obs.NewRegistry()
+	pool := NewPool(PoolOptions{Shards: 2, Obs: reg})
+	defer pool.Close()
+	done := make(chan struct{})
+	if err := pool.Subscribe("m", "m/+/x", 0, func(broker.Message) { close(done) }); err != nil {
+		t.Fatal(err)
+	}
+	if err := pool.Publish("p", "m/1/x", []byte("v"), 0, false); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	vals := reg.Values()
+	if vals["digibox_swarm_shards"] != 2 {
+		t.Fatalf("digibox_swarm_shards = %v", vals["digibox_swarm_shards"])
+	}
+	if vals["digibox_swarm_publishes_total"] < 1 {
+		t.Fatalf("digibox_swarm_publishes_total = %v", vals["digibox_swarm_publishes_total"])
+	}
+	if vals["digibox_swarm_deliveries_total"] < 1 {
+		t.Fatalf("digibox_swarm_deliveries_total = %v", vals["digibox_swarm_deliveries_total"])
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/model"
+	"repro/internal/swarm"
 )
 
 // The shipped analyzer suite. V000 (parse-error) is emitted by RunData
@@ -82,6 +83,11 @@ func init() {
 		ID: "V014", Name: "unseeded-nondeterminism", Severity: Error,
 		Doc: "probabilistic behavior without an explicit seed breaks record/replay",
 		Run: ruleUnseededNondeterminism,
+	})
+	RegisterRule(Rule{
+		ID: "V015", Name: "swarm-underprovisioned", Severity: Warning,
+		Doc: "the device fleet exceeds single-broker guidance without enough swarm.shards",
+		Run: ruleSwarmShards,
 	})
 }
 
@@ -622,6 +628,49 @@ func ruleUnseededNondeterminism(ctx *Context) []Diagnostic {
 		}
 	}
 	return out
+}
+
+// ruleSwarmShards estimates the setup's device fleet size — one device
+// per non-scene model, scaled by a meta config "replicas" count when
+// one is declared — and warns when it exceeds the single-broker
+// guidance without a header swarm section provisioning enough shards.
+// The hint names the exact count so the fix is mechanical.
+func ruleSwarmShards(ctx *Context) []Diagnostic {
+	devices := 0
+	for _, m := range ctx.Setup.Models {
+		meta, err := m.Meta()
+		if err != nil {
+			continue // V012 reports broken meta
+		}
+		if isScene(ctx, m) {
+			continue
+		}
+		n := 1
+		if v, ok := configFloat(meta.Config, "replicas"); ok && v > 1 {
+			n = int(v)
+		}
+		devices += n
+	}
+	if devices <= swarm.SingleBrokerDeviceGuidance {
+		return nil
+	}
+	need := swarm.RequiredShards(devices)
+	have := 0
+	if ctx.Setup.Swarm != nil {
+		have = ctx.Setup.Swarm.Shards
+	}
+	if have >= need {
+		return nil
+	}
+	var msg string
+	if have == 0 {
+		msg = fmt.Sprintf("setup declares %d devices, past the single-broker guidance of %d, but no swarm section; add a header `swarm` section with `shards: %d`",
+			devices, swarm.SingleBrokerDeviceGuidance, need)
+	} else {
+		msg = fmt.Sprintf("setup declares %d devices but swarm.shards is %d; raise it to %d (one shard per %d devices)",
+			devices, have, need, swarm.SingleBrokerDeviceGuidance)
+	}
+	return []Diagnostic{{Severity: Warning, Doc: 0, Message: msg}}
 }
 
 // configFloat reads a numeric meta config value.

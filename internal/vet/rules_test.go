@@ -398,3 +398,43 @@ func TestUnseededNondeterminism(t *testing.T) {
 	}}
 	exactIDs(t, vet.RunSetup(det, nil))
 }
+
+func TestSwarmShards(t *testing.T) {
+	fleet := func(replicas int64) *iac.Setup {
+		return setup(mkdoc("Occupancy", "fleet", map[string]any{
+			"meta.replicas": replicas,
+		}))
+	}
+
+	// 1500 devices, no swarm section: warn with the shard hint.
+	big := fleet(1500)
+	diags := vet.RunSetup(big, nil)
+	exactIDs(t, diags, "V015")
+	if vet.HasErrors(diags) {
+		t.Error("underprovisioned swarm should be a warning, not an error")
+	}
+	if !strings.Contains(diags[0].Message, "shards: 2") {
+		t.Errorf("hint missing required shard count: %s", diags[0].Message)
+	}
+
+	// Declaring too few shards still warns; enough shards is clean.
+	under := fleet(2500)
+	under.Swarm = &iac.SwarmConfig{Shards: 2}
+	exactIDs(t, vet.RunSetup(under, nil), "V015")
+
+	enough := fleet(2500)
+	enough.Swarm = &iac.SwarmConfig{Shards: 3}
+	exactIDs(t, vet.RunSetup(enough, nil))
+
+	// At or under the guidance no section is needed, and scenes do not
+	// count as devices.
+	exactIDs(t, vet.RunSetup(fleet(1000), nil))
+	scenes := setup(
+		mkdoc("Room", "room", map[string]any{
+			"meta.attach":   []any{"o1"},
+			"meta.replicas": int64(5000), // a scene's replicas are not devices
+		}),
+		mkdoc("Occupancy", "o1", nil),
+	)
+	exactIDs(t, vet.RunSetup(scenes, nil))
+}

@@ -55,6 +55,7 @@ func TestRegisteredRuleSuite(t *testing.T) {
 		"V012": "bad-meta",
 		"V013": "chaos-target",
 		"V014": "unseeded-nondeterminism",
+		"V015": "swarm-underprovisioned",
 	}
 	byID := map[string]vet.Rule{}
 	for i, r := range rules {
