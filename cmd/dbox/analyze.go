@@ -1,0 +1,96 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// analyzeCmd runs the in-house multichecker (internal/analysis) over
+// the repo: dbox analyze [-json] [./... | ./dir | ./dir/...]. It needs
+// no daemon — the subject is the source tree, not a running testbed.
+// Exit status is non-zero when any finding survives suppression, so CI
+// can gate on it directly.
+func analyzeCmd(rest []string) error {
+	jsonOut := false
+	var patterns []string
+	for _, a := range rest {
+		switch {
+		case a == "-json":
+			jsonOut = true
+		case a == "-h" || a == "--help":
+			fmt.Println("usage: dbox analyze [-json] [packages]")
+			for _, an := range analysis.All() {
+				fmt.Printf("  %-12s %s\n", an.Name, an.Doc)
+			}
+			return nil
+		default:
+			patterns = append(patterns, a)
+		}
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		return err
+	}
+	findings, err := analysis.Run(root, patterns, analysis.All())
+	if err != nil {
+		return err
+	}
+
+	if jsonOut {
+		type analyzerInfo struct {
+			Name string `json:"name"`
+			Doc  string `json:"doc"`
+		}
+		report := struct {
+			Count     int                `json:"count"`
+			Analyzers []analyzerInfo     `json:"analyzers"`
+			Findings  []analysis.Finding `json:"findings"`
+		}{Count: len(findings), Findings: findings}
+		for _, an := range analysis.All() {
+			report.Analyzers = append(report.Analyzers, analyzerInfo{an.Name, an.Doc})
+		}
+		if report.Findings == nil {
+			report.Findings = []analysis.Finding{}
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
+			return err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
+	}
+	if n := len(findings); n > 0 {
+		return fmt.Errorf("analyze: %d finding(s)", n)
+	}
+	if !jsonOut {
+		fmt.Println("analyze: clean")
+	}
+	return nil
+}
+
+// findModuleRoot walks up from the working directory to the nearest
+// go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("analyze: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}

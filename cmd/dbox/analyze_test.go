@@ -1,0 +1,66 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and
+// returns what it wrote.
+func captureStdout(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	os.Stdout = w
+	defer func() { os.Stdout = old }()
+	runErr := fn()
+	w.Close()
+	var sb strings.Builder
+	buf := make([]byte, 4096)
+	for {
+		n, err := r.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	return sb.String(), runErr
+}
+
+func TestAnalyzeCleanRepo(t *testing.T) {
+	out, err := captureStdout(t, func() error { return analyzeCmd(nil) })
+	if err != nil {
+		t.Fatalf("analyze: %v\n%s", err, out)
+	}
+	if !strings.Contains(out, "analyze: clean") {
+		t.Fatalf("output = %q, want clean banner", out)
+	}
+}
+
+func TestAnalyzeJSONReport(t *testing.T) {
+	out, err := captureStdout(t, func() error { return analyzeCmd([]string{"-json", "./internal/broker"}) })
+	if err != nil {
+		t.Fatalf("analyze -json: %v\n%s", err, out)
+	}
+	var report struct {
+		Count     int                     `json:"count"`
+		Analyzers []struct{ Name string } `json:"analyzers"`
+		Findings  []analysis.Finding      `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(out), &report); err != nil {
+		t.Fatalf("bad JSON: %v\n%s", err, out)
+	}
+	if report.Count != 0 || len(report.Findings) != 0 {
+		t.Fatalf("findings in broker: %+v", report.Findings)
+	}
+	if len(report.Analyzers) != len(analysis.All()) {
+		t.Fatalf("catalogue lists %d analyzers, want %d", len(report.Analyzers), len(analysis.All()))
+	}
+}

@@ -83,6 +83,7 @@ commands (Table 1):
   attach [-d] CHILD PARENT   edit NAME PATH=VALUE ...
   commit [-k|-f] NAME        push NAME | pull NAME
   vet [-json] [--all | NAME|FILE]
+  analyze [-json] [packages]
   recreate NAME [VERSION]    replay NAME [SPEED]
   record [-o OUT.zip] [-remote] SCENARIO.yaml
   replay [-verify] [-remote] ARCHIVE.zip
@@ -206,6 +207,8 @@ func dispatch(cli *ctl.Client, args []string) error {
 		return nil
 	case "vet":
 		return vetCmd(cli, rest)
+	case "analyze":
+		return analyzeCmd(rest)
 	case "push":
 		if len(rest) != 1 {
 			return fmt.Errorf("usage: dbox push NAME")

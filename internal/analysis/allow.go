@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression directive:
+//
+//	//dbox:allow <analyzer> -- <reason>
+//
+// A directive suppresses findings of the named analyzer on its own
+// line (trailing comment) or on the line immediately below (standalone
+// comment above the offending statement). The reason is mandatory —
+// the directive documents why the rule does not apply, and the runner
+// flags reasonless, unknown-analyzer, and unused directives so escape
+// hatches cannot rot silently.
+const allowPrefix = "//dbox:allow"
+
+// directiveAnalyzer is the reserved analyzer name under which the
+// runner reports problems with the directives themselves. Findings
+// from it are never suppressible.
+const directiveAnalyzer = "allow"
+
+type directive struct {
+	analyzer string
+	reason   string
+	file     string
+	line     int
+	col      int
+	used     bool
+	// bad records a syntax problem ("" when well-formed); bad
+	// directives never suppress anything.
+	bad string
+}
+
+// collectDirectives extracts every dbox:allow directive from a file's
+// comments, including malformed ones.
+func collectDirectives(fset *token.FileSet, f *File) []*directive {
+	var out []*directive
+	for _, group := range f.AST.Comments {
+		for _, c := range group.List {
+			text, ok := strings.CutPrefix(c.Text, allowPrefix)
+			if !ok {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			d := &directive{file: f.Path, line: pos.Line, col: pos.Column}
+			out = append(out, d)
+			if text != "" && !strings.HasPrefix(text, " ") {
+				// e.g. //dbox:allowed — not a directive for us.
+				out = out[:len(out)-1]
+				continue
+			}
+			name, reason, found := strings.Cut(strings.TrimSpace(text), "--")
+			d.analyzer = strings.TrimSpace(name)
+			d.reason = strings.TrimSpace(reason)
+			switch {
+			case d.analyzer == "":
+				d.bad = "dbox:allow directive names no analyzer (want //dbox:allow <analyzer> -- <reason>)"
+			case !found || d.reason == "":
+				d.bad = "dbox:allow directive needs a reason: //dbox:allow " + d.analyzer + " -- <why>"
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether finding f is covered by a well-formed
+// directive, marking the directive used.
+func suppressed(directives []*directive, f Finding) bool {
+	hit := false
+	for _, d := range directives {
+		if d.bad != "" || d.analyzer != f.Analyzer || d.file != f.File {
+			continue
+		}
+		if d.line == f.Line || d.line == f.Line-1 {
+			d.used = true
+			hit = true
+		}
+	}
+	return hit
+}

@@ -1,0 +1,73 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis"
+	"repro/internal/analysis/analyzertest"
+)
+
+func fixture(parts ...string) string {
+	return filepath.Join(append([]string{"testdata"}, parts...)...)
+}
+
+func TestWallclockRuntimePackage(t *testing.T) {
+	analyzertest.Run(t, analysis.Wallclock, fixture("wallclock", "runtime"), "repro/internal/broker")
+}
+
+func TestWallclockExemptPackage(t *testing.T) {
+	analyzertest.Run(t, analysis.Wallclock, fixture("wallclock", "exempt"), "repro/internal/yamlite")
+}
+
+func TestErrwrapDecoder(t *testing.T) {
+	analyzertest.Run(t, analysis.Errwrap, fixture("errwrap", "broker"), "repro/internal/broker")
+}
+
+func TestErrwrapExemptPackage(t *testing.T) {
+	analyzertest.Run(t, analysis.Errwrap, fixture("errwrap", "exempt"), "repro/internal/rest")
+}
+
+func TestMetricname(t *testing.T) {
+	analyzertest.Run(t, analysis.Metricname, fixture("metricname"), "repro/internal/obs")
+}
+
+func TestSleepytest(t *testing.T) {
+	analyzertest.Run(t, analysis.Sleepytest, fixture("sleepytest"), "repro/internal/broker")
+}
+
+func TestAllowDirectiveHygiene(t *testing.T) {
+	analyzertest.Run(t, analysis.Sleepytest, fixture("allow"), "repro/internal/broker")
+}
+
+// TestRepoIsClean is the self-gate: the multichecker over the whole
+// repo must report nothing. This is the same bar CI's analyze job
+// enforces via `dbox analyze ./...`.
+func TestRepoIsClean(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Run(root, nil, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}
+
+func TestRunPatternScoping(t *testing.T) {
+	root, err := filepath.Abs(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A subtree pattern must load without error and stay clean too.
+	findings, err := analysis.Run(root, []string{"./internal/broker"}, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 0 {
+		t.Errorf("broker-only run: %v", findings)
+	}
+}

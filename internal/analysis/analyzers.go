@@ -1,0 +1,6 @@
+package analysis
+
+// All returns every analyzer in the multichecker, in catalogue order.
+func All() []*Analyzer {
+	return []*Analyzer{Wallclock, Errwrap, Metricname, Sleepytest}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+)
+
+// errwrapScope maps a package to the name of its malformed-input
+// helper: every parse/decode error must be built either by that helper
+// or by fmt.Errorf with a %w verb, so errors.Is(err, ErrMalformed)
+// holds all the way up. This is the bug class the wire-format fuzzers
+// keep finding: a bare errors.New deep in a decoder that callers (and
+// the fuzz harness's error-taxonomy check) cannot classify.
+var errwrapScope = map[string]string{
+	"repro/internal/broker":  "malformed",
+	"repro/internal/yamlite": "errf",
+}
+
+// errwrapFuncPattern selects the decode-side functions the rule
+// applies to. Encoding and runtime paths construct domain errors that
+// have nothing to do with malformed input.
+var errwrapFuncPattern = regexp.MustCompile(`^(Read|read|Decode|decode|Parse|parse|Unmarshal|unmarshal)`)
+
+// Errwrap flags parse/decode errors that do not wrap the package's
+// malformed-input sentinel.
+var Errwrap = &Analyzer{
+	Name: "errwrap",
+	Doc:  "wire-decoder and yamlite parse errors must wrap ErrMalformed (via the package helper or fmt.Errorf %w)",
+	Run:  runErrwrap,
+}
+
+func runErrwrap(p *Pass) {
+	helper, ok := errwrapScope[p.Pkg]
+	if !ok {
+		return
+	}
+	for _, f := range p.Files {
+		if f.IsTest {
+			continue
+		}
+		for _, decl := range f.AST.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil || !errwrapFuncPattern.MatchString(fn.Name.Name) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				switch {
+				case isPkgCall(call, "errors", "New"):
+					p.Reportf(call.Pos(),
+						"%s builds a parse error with errors.New; use %s(...) so it wraps ErrMalformed",
+						fn.Name.Name, helper)
+				case isPkgCall(call, "fmt", "Errorf") && !errorfWraps(call):
+					p.Reportf(call.Pos(),
+						"%s builds a parse error with fmt.Errorf but no %%w; use %s(...) or wrap ErrMalformed",
+						fn.Name.Name, helper)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// errorfWraps reports whether a fmt.Errorf call's literal format
+// string contains a %w verb. Non-literal formats are assumed
+// compliant — the analyzer is syntactic and cannot chase them.
+func errorfWraps(call *ast.CallExpr) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return true
+	}
+	return strings.Contains(lit.Value, "%w")
+}

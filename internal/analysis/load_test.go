@@ -1,0 +1,92 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestMatchPattern(t *testing.T) {
+	cases := []struct {
+		pattern, rel string
+		want         bool
+	}{
+		{"./...", "internal/broker", true},
+		{"./...", ".", true},
+		{"...", "cmd/dbox", true},
+		{"./internal/...", "internal/broker", true},
+		{"./internal/...", "internal", true},
+		{"./internal/...", "cmd/dbox", false},
+		{"./internal/broker", "internal/broker", true},
+		{"./internal/broker", "internal/brokerette", false},
+		{"./internal/broker", "internal/broker/sub", false},
+		{"internal/broker", "internal/broker", true},
+	}
+	for _, c := range cases {
+		if got := matchPattern(c.pattern, c.rel); got != c.want {
+			t.Errorf("matchPattern(%q, %q) = %v, want %v", c.pattern, c.rel, got, c.want)
+		}
+	}
+}
+
+func parseOne(t *testing.T, src string) (*token.FileSet, *File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "fix.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, &File{Path: "fix.go", AST: f}
+}
+
+func TestCollectDirectives(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//dbox:allow wallclock -- deadline math needs the kernel clock
+var a int
+
+//dbox:allow errwrap
+var b int
+
+//dbox:allowance is not a directive
+var c int
+`)
+	ds := collectDirectives(fset, f)
+	if len(ds) != 2 {
+		t.Fatalf("got %d directives, want 2: %+v", len(ds), ds)
+	}
+	if ds[0].analyzer != "wallclock" || ds[0].reason == "" || ds[0].bad != "" {
+		t.Errorf("first directive: %+v", ds[0])
+	}
+	if ds[1].analyzer != "errwrap" || ds[1].bad == "" {
+		t.Errorf("reasonless directive not flagged: %+v", ds[1])
+	}
+}
+
+func TestSuppressedCoversSameAndNextLine(t *testing.T) {
+	fset, f := parseOne(t, `package p
+
+//dbox:allow wallclock -- covers the next line
+var a int
+`)
+	ds := collectDirectives(fset, f)
+	if len(ds) != 1 {
+		t.Fatalf("directives: %+v", ds)
+	}
+	next := Finding{Analyzer: "wallclock", File: "fix.go", Line: 4}
+	if !suppressed(ds, next) {
+		t.Error("next-line finding not suppressed")
+	}
+	same := Finding{Analyzer: "wallclock", File: "fix.go", Line: 3}
+	if !suppressed(ds, same) {
+		t.Error("same-line finding not suppressed")
+	}
+	far := Finding{Analyzer: "wallclock", File: "fix.go", Line: 9}
+	if suppressed(ds, far) {
+		t.Error("distant finding suppressed")
+	}
+	other := Finding{Analyzer: "sleepytest", File: "fix.go", Line: 4}
+	if suppressed(ds, other) {
+		t.Error("other analyzer's finding suppressed")
+	}
+}

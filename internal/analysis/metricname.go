@@ -1,0 +1,288 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// metricMethods are the obs.Registry constructors, mapped to the
+// metric kind they create. The analyzer is syntactic: any call whose
+// selector matches one of these names with a string first argument is
+// treated as a registration.
+var metricMethods = map[string]string{
+	"Counter":      "counter",
+	"CounterFunc":  "counter",
+	"CounterVec":   "counter",
+	"Gauge":        "gauge",
+	"GaugeFunc":    "gauge",
+	"GaugeVec":     "gauge",
+	"Histogram":    "histogram",
+	"HistogramVec": "histogram",
+}
+
+// metricNamePattern is the repo convention: Prometheus-conformant,
+// snake_case, digibox_-prefixed (checked separately for a sharper
+// message).
+var metricNamePattern = regexp.MustCompile(`^[a-z][a-z0-9_]*$`)
+
+// Metricname enforces the metric naming conventions the Grafana
+// dashboards and CI metric gates key on: digibox_ prefix, snake_case,
+// counters end in _total, histograms in _seconds, and every family
+// name is registered at exactly one site — shared families must go
+// through a named constant (the obs.FaultsRecoveredName pattern) so
+// the schema lives in one place.
+var Metricname = &Analyzer{
+	Name:   "metricname",
+	Doc:    "obs registry names must be digibox_-prefixed snake_case with kind-correct suffixes, each registered at one site (or via a shared named constant)",
+	Run:    runMetricname,
+	Finish: finishMetricname,
+}
+
+// metricSite records one registration call site.
+type metricSite struct {
+	pkg  string
+	file string
+	line int
+	col  int
+	kind string // counter | gauge | histogram
+	// name is the resolved family name ("" when the argument is a
+	// dynamic expression the analyzer cannot resolve).
+	name string
+	// constKey identifies the named constant the site referenced
+	// ("pkg/path.ConstName"); "" for string literals.
+	constKey string
+}
+
+const (
+	stateSites  = "sites"  // []*metricSite
+	stateConsts = "consts" // map[string]string: "pkg/path.Name" -> value
+)
+
+func runMetricname(p *Pass) {
+	sites, _ := p.State[stateSites].([]*metricSite)
+	consts, _ := p.State[stateConsts].(map[string]string)
+	if consts == nil {
+		consts = map[string]string{}
+	}
+
+	for _, f := range p.Files {
+		if f.IsTest {
+			continue
+		}
+		collectStringConsts(p.Pkg, f.AST, consts)
+	}
+	for _, f := range p.Files {
+		if f.IsTest {
+			continue
+		}
+		imports := importMap(f.AST)
+		file := f
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := metricMethods[sel.Sel.Name]
+			if !ok {
+				return true
+			}
+			// Skip pkg.Func calls (e.g. fmt.Histogram would be absurd,
+			// but more to the point obs_test-style helpers): a
+			// registration is a method on a registry value, and a
+			// package-qualified selector is not one.
+			if x, ok := sel.X.(*ast.Ident); ok && imports[x.Name] != "" {
+				return true
+			}
+			site := &metricSite{pkg: p.Pkg, kind: kind}
+			pos := p.Fset.Position(call.Args[0].Pos())
+			site.file, site.line, site.col = file.Path, pos.Line, pos.Column
+
+			switch arg := call.Args[0].(type) {
+			case *ast.BasicLit:
+				if arg.Kind != token.STRING {
+					return true
+				}
+				if v, err := strconv.Unquote(arg.Value); err == nil {
+					site.name = v
+				}
+			case *ast.Ident:
+				site.constKey = p.Pkg + "." + arg.Name
+			case *ast.SelectorExpr:
+				x, ok := arg.X.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				path := imports[x.Name]
+				if path == "" {
+					return true
+				}
+				site.constKey = path + "." + arg.Sel.Name
+			default:
+				// Dynamic name (parameter, concatenation): the
+				// registry's own forwarding helpers land here; nothing
+				// to check syntactically.
+				return true
+			}
+			sites = append(sites, site)
+			return true
+		})
+	}
+
+	p.State[stateSites] = sites
+	p.State[stateConsts] = consts
+}
+
+func finishMetricname(state map[string]any, report func(Finding)) {
+	sites, _ := state[stateSites].([]*metricSite)
+	consts, _ := state[stateConsts].(map[string]string)
+
+	byName := map[string][]*metricSite{}
+	for _, s := range sites {
+		if s.constKey != "" {
+			if v, ok := consts[s.constKey]; ok {
+				s.name = v
+			}
+		}
+		if s.name == "" {
+			// Unresolvable constant (package outside the analyzed set);
+			// group by identity so duplicates through it still collapse.
+			byName[s.constKey] = append(byName[s.constKey], s)
+			continue
+		}
+		if msg := checkMetricName(s.kind, s.name); msg != "" {
+			report(metricFinding(s, msg))
+		}
+		byName[s.name] = append(byName[s.name], s)
+	}
+
+	names := make([]string, 0, len(byName))
+	for n := range byName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		group := byName[n]
+		if len(group) < 2 || sharedConst(group) {
+			continue
+		}
+		sort.Slice(group, func(i, j int) bool {
+			if group[i].file != group[j].file {
+				return group[i].file < group[j].file
+			}
+			return group[i].line < group[j].line
+		})
+		first := group[0]
+		for _, s := range group[1:] {
+			report(metricFinding(s,
+				"metric "+strconv.Quote(n)+" already registered at "+
+					first.file+":"+strconv.Itoa(first.line)+
+					"; share one named constant (see obs.FaultsRecoveredName)"))
+		}
+	}
+}
+
+// sharedConst reports whether every site in the group references the
+// same named constant — the sanctioned way to share a family.
+func sharedConst(group []*metricSite) bool {
+	key := group[0].constKey
+	if key == "" {
+		return false
+	}
+	for _, s := range group[1:] {
+		if s.constKey != key {
+			return false
+		}
+	}
+	return true
+}
+
+func checkMetricName(kind, name string) string {
+	if !metricNamePattern.MatchString(name) {
+		return "metric " + strconv.Quote(name) + " is not snake_case ([a-z0-9_], starting with a letter)"
+	}
+	if !strings.HasPrefix(name, "digibox_") {
+		return "metric " + strconv.Quote(name) + " lacks the digibox_ prefix"
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(name, "_total") {
+			return "counter " + strconv.Quote(name) + " must end in _total"
+		}
+	case "histogram":
+		if !strings.HasSuffix(name, "_seconds") {
+			return "histogram " + strconv.Quote(name) + " must end in _seconds (durations only; pick the base unit)"
+		}
+	case "gauge":
+		if strings.HasSuffix(name, "_total") || strings.HasSuffix(name, "_seconds") {
+			return "gauge " + strconv.Quote(name) + " must not carry a counter/histogram suffix"
+		}
+	}
+	return ""
+}
+
+func metricFinding(s *metricSite, msg string) Finding {
+	return Finding{
+		Analyzer: "metricname",
+		File:     s.file,
+		Line:     s.line,
+		Col:      s.col,
+		Message:  msg,
+	}
+}
+
+// collectStringConsts records every package-level string constant with
+// a literal value as "pkg.Name" -> value.
+func collectStringConsts(pkg string, f *ast.File, out map[string]string) {
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok || len(vs.Names) != len(vs.Values) {
+				continue
+			}
+			for i, name := range vs.Names {
+				lit, ok := vs.Values[i].(*ast.BasicLit)
+				if !ok || lit.Kind != token.STRING {
+					continue
+				}
+				if v, err := strconv.Unquote(lit.Value); err == nil {
+					out[pkg+"."+name.Name] = v
+				}
+			}
+		}
+	}
+}
+
+// importMap maps local import names to import paths for one file.
+func importMap(f *ast.File) map[string]string {
+	out := map[string]string{}
+	for _, imp := range f.Imports {
+		path, err := strconv.Unquote(imp.Path.Value)
+		if err != nil {
+			continue
+		}
+		name := path
+		if i := strings.LastIndexByte(path, '/'); i >= 0 {
+			name = path[i+1:]
+		}
+		if imp.Name != nil {
+			name = imp.Name.Name
+		}
+		if name == "_" || name == "." {
+			continue
+		}
+		out[name] = path
+	}
+	return out
+}

@@ -1,0 +1,61 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// Sleepytest flags bare time.Sleep waits in _test.go files. A
+// straight-line sleep encodes a guess about scheduling latency: too
+// short and the test flakes under load, too long and the suite crawls.
+// Poll a condition with a deadline instead (the repo's waitCond/holds
+// helpers). Sleeps inside a for loop are exempt — they are the
+// backoff of exactly such a poll loop.
+var Sleepytest = &Analyzer{
+	Name: "sleepytest",
+	Doc:  "tests must not wait with bare time.Sleep; poll with waitCond/holds-style deadlines",
+	Run:  runSleepytest,
+}
+
+func runSleepytest(p *Pass) {
+	for _, f := range p.Files {
+		if !f.IsTest {
+			continue
+		}
+		timeName := timeImportName(f.AST)
+		if timeName == "" {
+			continue
+		}
+		var loops []posRange
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			switch n.(type) {
+			case *ast.ForStmt, *ast.RangeStmt:
+				loops = append(loops, posRange{n.Pos(), n.End()})
+			}
+			return true
+		})
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isPkgCall(call, timeName, "Sleep") {
+				return true
+			}
+			if inAnyRange(loops, call.Pos()) {
+				return true
+			}
+			p.Reportf(call.Pos(),
+				"bare time.Sleep in test; poll the condition with a waitCond/holds-style deadline loop")
+			return true
+		})
+	}
+}
+
+type posRange struct{ from, to token.Pos }
+
+func inAnyRange(ranges []posRange, pos token.Pos) bool {
+	for _, r := range ranges {
+		if r.from <= pos && pos < r.to {
+			return true
+		}
+	}
+	return false
+}

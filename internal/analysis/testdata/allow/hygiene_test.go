@@ -1,0 +1,26 @@
+// Fixture: the escape hatch itself is linted — reasonless, unknown,
+// and unused directives are findings (analyzer "allow"), so
+// suppressions cannot rot silently. Run with the sleepytest analyzer.
+package hygiene
+
+import "time"
+
+func TestUsedDirective() {
+	//dbox:allow sleepytest -- the sleep is the workload under test
+	time.Sleep(time.Millisecond)
+}
+
+func TestUnusedDirective() {
+	//dbox:allow sleepytest -- nothing below sleeps // want `unused dbox:allow`
+	_ = time.Now()
+}
+
+func TestReasonlessDirective() {
+	//dbox:allow sleepytest // want `needs a reason`
+	time.Sleep(time.Millisecond) // want `bare time\.Sleep`
+}
+
+func TestUnknownAnalyzer() {
+	//dbox:allow nosuchcheck -- no such rule exists // want `unknown analyzer`
+	_ = time.Now()
+}

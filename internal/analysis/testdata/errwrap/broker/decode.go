@@ -1,0 +1,40 @@
+// Fixture: loaded as repro/internal/broker, where decode-side
+// functions must build errors through malformed() (or fmt.Errorf %w)
+// so errors.Is(err, ErrMalformed) classifies every parse failure.
+package broker
+
+import (
+	"errors"
+	"fmt"
+)
+
+var ErrMalformed = errors.New("mqtt: malformed packet")
+
+func malformed(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrMalformed, fmt.Sprintf(format, args...))
+}
+
+func decodeHeader(b []byte) error {
+	if len(b) == 0 {
+		return errors.New("empty header") // want `errors\.New`
+	}
+	if b[0] == 0xff {
+		return fmt.Errorf("reserved type %#x", b[0]) // want `fmt\.Errorf but no %w`
+	}
+	if b[0] == 0x01 {
+		return malformed("bad flags %#x", b[0])
+	}
+	return fmt.Errorf("%w: trailing garbage", ErrMalformed)
+}
+
+func readLength(b []byte) (int, error) {
+	//dbox:allow errwrap -- io.EOF pass-through, not malformed input
+	return 0, errors.New("short read")
+}
+
+// Encode-side and runtime errors are out of the rule's scope: the
+// function-name filter only covers Read/read/Decode/decode/Parse/
+// parse/Unmarshal/unmarshal.
+func Encode(v any) error {
+	return errors.New("cannot encode")
+}

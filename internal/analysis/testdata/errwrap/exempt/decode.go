@@ -1,0 +1,9 @@
+// Fixture: loaded as repro/internal/rest — not a wire decoder, so
+// errwrap does not apply even to parse-named functions.
+package exempt
+
+import "errors"
+
+func parseQuery(s string) error {
+	return errors.New("bad query")
+}

@@ -1,0 +1,32 @@
+// Fixture: obs.Registry-style registrations and the naming
+// conventions the metric gates key on.
+package metrics
+
+const sharedName = "digibox_shared_family_total"
+
+func register(r registry) {
+	r.Counter("digibox_good_total", "ok")
+	r.Histogram("digibox_lat_seconds", "ok", nil)
+	r.Gauge("digibox_depth", "ok")
+
+	r.Counter("digibox_bad", "missing suffix")       // want `must end in _total`
+	r.Histogram("digibox_lat_ms", "wrong unit", nil) // want `must end in _seconds`
+	r.Gauge("digibox_queue_total", "gauge suffixed") // want `must not carry`
+	r.Counter("Digibox_case_total", "camel case")    // want `not snake_case`
+	r.Counter("mything_total", "foreign prefix")     // want `lacks the digibox_ prefix`
+
+	r.Counter("digibox_dup_total", "first site")
+	r.Counter("digibox_dup_total", "second site") // want `already registered`
+
+	// Sharing a family through one named constant is the sanctioned
+	// pattern — the schema lives in a single declaration.
+	r.Counter(sharedName, "tracer side")
+	r.Counter(sharedName, "report side")
+
+	r.Gauge("digibox_legacy_seconds", "grandfathered") //dbox:allow metricname -- pre-convention name baked into dashboards
+
+	// Dynamic names are invisible to a syntactic check.
+	r.Counter(dynamicName(), "computed")
+}
+
+func dynamicName() string { return "digibox_dynamic_total" }

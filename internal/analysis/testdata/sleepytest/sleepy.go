@@ -1,0 +1,9 @@
+// Fixture: non-test files are out of sleepytest's scope (wallclock
+// owns them in runtime packages).
+package sleepy
+
+import "time"
+
+func backoff() {
+	time.Sleep(time.Second)
+}

@@ -1,0 +1,25 @@
+// Fixture: bare sleeps in tests are flaky-or-slow by construction;
+// poll-loop backoff sleeps and allowed workload sleeps are not.
+package sleepy
+
+import "time"
+
+func TestBareSleep() {
+	time.Sleep(50 * time.Millisecond) // want `bare time\.Sleep`
+}
+
+func TestPollLoop() {
+	for i := 0; i < 100; i++ {
+		if ready() {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestAllowedSleep() {
+	//dbox:allow sleepytest -- the sleeping goroutine is the workload under test
+	time.Sleep(time.Millisecond)
+}
+
+func ready() bool { return false }

@@ -1,0 +1,11 @@
+// Fixture: loaded as a non-runtime package (repro/internal/yamlite),
+// where wall-clock access is fine — nothing here ever runs under the
+// replay engine.
+package leaf
+
+import "time"
+
+func stamp() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}

@@ -1,0 +1,8 @@
+// Fixture: an aliased time import must still be caught.
+package broker
+
+import stdtime "time"
+
+func aliased() {
+	stdtime.Sleep(stdtime.Second) // want `direct time\.Sleep`
+}

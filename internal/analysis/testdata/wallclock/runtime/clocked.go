@@ -1,0 +1,32 @@
+// Fixture: loaded by analyzertest as a runtime package
+// (repro/internal/broker), where direct wall-clock access is banned.
+package broker
+
+import "time"
+
+func hits() {
+	_ = time.Now()                   // want `direct time\.Now`
+	time.Sleep(time.Millisecond)     // want `direct time\.Sleep`
+	<-time.After(time.Second)        // want `direct time\.After`
+	_ = time.NewTicker(time.Second)  // want `direct time\.NewTicker`
+	_ = time.Since(time.Time{})      // want `direct time\.Since`
+	_ = time.AfterFunc(0, func() {}) // want `direct time\.AfterFunc`
+}
+
+// A bare function-value reference is as much of a determinism hole as
+// a call.
+var nowFunc = time.Now // want `direct time\.Now`
+
+func allowedTrailing(deadline time.Time) {
+	_ = time.Now() //dbox:allow wallclock -- net.Conn deadlines compare against the kernel's wall clock
+}
+
+func allowedStandalone() {
+	//dbox:allow wallclock -- context.WithDeadline compares against the wall clock
+	_ = time.Now()
+}
+
+// Pure time arithmetic and types never touch the wall clock.
+func pure(d time.Duration) time.Time {
+	return time.Unix(0, 0).Add(d * 3)
+}

@@ -1,0 +1,9 @@
+// Fixture: test files are exempt from wallclock (sleepytest owns
+// their failure mode), even inside runtime packages.
+package broker
+
+import "time"
+
+func TestUsesWallClock() {
+	_ = time.Now()
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"go/ast"
+)
+
+// wallclockPackages are the runtime packages whose behaviour must be
+// reproducible under the replay engine's virtual clock: any direct
+// wall-clock read here is a determinism hole. internal/clock itself is
+// the boundary (it owns the one legitimate time.Now), and leaf
+// tooling (cmd, examples, rest, ctl, vet, property, yamlite, model)
+// never runs under replay.
+var wallclockPackages = map[string]bool{
+	"repro/internal/broker": true,
+	"repro/internal/chaos":  true,
+	"repro/internal/core":   true,
+	"repro/internal/digi":   true,
+	"repro/internal/kube":   true,
+	"repro/internal/obs":    true,
+	"repro/internal/replay": true,
+	"repro/internal/swarm":  true,
+	"repro/internal/trace":  true,
+}
+
+// wallclockFuncs are the time-package entry points that read or wait
+// on the wall clock. Formatting/arithmetic helpers (time.Duration,
+// time.Unix, time.Date, ...) are pure and stay allowed.
+var wallclockFuncs = map[string]bool{
+	"Now":       true,
+	"Sleep":     true,
+	"Since":     true,
+	"Until":     true,
+	"After":     true,
+	"AfterFunc": true,
+	"Tick":      true,
+	"NewTimer":  true,
+	"NewTicker": true,
+}
+
+// Wallclock flags direct wall-clock access in runtime packages: calls
+// (and function-value references, e.g. `now: time.Now`) of time.Now,
+// time.Sleep, time.Since, time.Until, time.After, time.AfterFunc,
+// time.Tick, time.NewTimer, and time.NewTicker. Route them through an
+// injected clock.Clock instead so replay and time-compressed runs
+// observe identical timelines. Test files are exempt (sleepytest
+// handles their failure mode).
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "runtime packages must use the injected clock, not the time package, for reading or waiting on time",
+	Run:  runWallclock,
+}
+
+func runWallclock(p *Pass) {
+	if !wallclockPackages[p.Pkg] {
+		return
+	}
+	for _, f := range p.Files {
+		if f.IsTest {
+			continue
+		}
+		timeName := timeImportName(f.AST)
+		if timeName == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			ident, ok := sel.X.(*ast.Ident)
+			if !ok || ident.Name != timeName || !wallclockFuncs[sel.Sel.Name] {
+				return true
+			}
+			p.Reportf(sel.Pos(),
+				"direct time.%s in runtime package %s; use the injected clock.Clock so replay stays deterministic",
+				sel.Sel.Name, p.Pkg)
+			return true
+		})
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -63,6 +64,11 @@ type Options struct {
 	// publishes to sibling shards. Must not block; re-entrant publishes
 	// into other brokers are allowed, into this broker are not.
 	RouteHook func(from, topic string, payload []byte, qos byte, retain bool)
+	// Clock is the time source for fan-out timing and fault-injected
+	// delivery delays. Nil means the wall clock; the deterministic
+	// replay engine injects its virtual clock so chaos delay faults
+	// fire on virtual time.
+	Clock clock.Clock
 }
 
 func (o *Options) withDefaults() Options {
@@ -80,7 +86,9 @@ func (o *Options) withDefaults() Options {
 		out.Tracer = o.Tracer
 		out.SubscribeHook = o.SubscribeHook
 		out.RouteHook = o.RouteHook
+		out.Clock = o.Clock
 	}
+	out.Clock = clock.Or(out.Clock)
 	return out
 }
 
@@ -281,7 +289,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 	}
 	defer conn.Close()
 	// The first packet must be CONNECT, within a handshake deadline.
-	conn.SetReadDeadline(time.Now().Add(10 * time.Second))
+	conn.SetReadDeadline(time.Now().Add(10 * time.Second)) //dbox:allow wallclock -- net.Conn deadlines compare against the kernel's wall clock
 	pkt, err := ReadPacket(conn)
 	if err != nil {
 		if errors.Is(err, errBadVersion) {
@@ -446,7 +454,7 @@ func (s *session) send(pkt *Packet) {
 func (s *session) readLoop() {
 	for {
 		if s.keepAlive > 0 {
-			s.conn.SetReadDeadline(time.Now().Add(s.keepAlive))
+			s.conn.SetReadDeadline(time.Now().Add(s.keepAlive)) //dbox:allow wallclock -- net.Conn deadlines compare against the kernel's wall clock
 		} else {
 			s.conn.SetReadDeadline(time.Time{})
 		}
@@ -557,7 +565,7 @@ func (b *Broker) route(from string, pkt *Packet) {
 	measureFan := b.fanout != nil && (sid != 0 || b.tracer == nil)
 	var fanStart time.Time
 	if measureFan {
-		fanStart = time.Now()
+		fanStart = b.opts.Clock.Now()
 	}
 	// Overlapping filters: deliver once per client at the max QoS.
 	perClient := make(map[string]*subscription, len(matches))
@@ -587,7 +595,7 @@ func (b *Broker) route(from string, pkt *Packet) {
 			if act.delay > 0 {
 				deliver, pkt := sub.deliver, out
 				dup := act.dup
-				time.AfterFunc(act.delay, func() {
+				b.opts.Clock.AfterFunc(act.delay, func() {
 					atomic.AddInt64(&b.messagesOut, 1)
 					deliver(pkt)
 					if dup {
@@ -610,7 +618,7 @@ func (b *Broker) route(from string, pkt *Packet) {
 		sub.deliver(out)
 	}
 	if measureFan {
-		b.fanout.Observe(time.Since(fanStart).Seconds())
+		b.fanout.Observe(b.opts.Clock.Since(fanStart).Seconds())
 	}
 }
 

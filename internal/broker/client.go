@@ -3,11 +3,13 @@ package broker
 import (
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Message is a received application message.
@@ -59,6 +61,15 @@ type ClientOptions struct {
 	OnConnectionState func(connected bool, cause error)
 	// Dialer overrides the TCP dial (tests, chaos connection hooks).
 	Dialer func(addr string, timeout time.Duration) (net.Conn, error)
+	// Clock is the time source for keepalive pings, ack timeouts, and
+	// reconnect backoff. Nil means the wall clock (clock.System);
+	// deterministic harnesses inject a clock.Virtual.
+	Clock clock.Clock
+	// JitterSeed seeds the reconnect-backoff jitter so a session's
+	// reconnect timeline is a pure function of its seed (chaos replays
+	// reproduce identical backoff sequences). 0 derives a stable seed
+	// from the client ID.
+	JitterSeed int64
 }
 
 func (o *ClientOptions) withDefaults() ClientOptions {
@@ -102,7 +113,10 @@ func (o *ClientOptions) withDefaults() ClientOptions {
 		}
 		out.OnConnectionState = o.OnConnectionState
 		out.Dialer = o.Dialer
+		out.Clock = o.Clock
+		out.JitterSeed = o.JitterSeed
 	}
+	out.Clock = clock.Or(out.Clock)
 	return out
 }
 
@@ -139,9 +153,16 @@ type Client struct {
 	closeErr  error
 	lastErr   error // most recent connection-loss cause
 
+	clk    clock.Clock
+	jitter *clock.Jitter
+
 	done chan struct{}
 	wg   sync.WaitGroup
 }
+
+// clientSeq numbers anonymous clients; a process-local counter instead
+// of a wall-clock stamp keeps default client IDs deterministic.
+var clientSeq atomic.Uint64
 
 // Dial connects and completes the MQTT handshake. The initial dial is
 // not retried; AutoReconnect governs what happens after the first
@@ -149,13 +170,19 @@ type Client struct {
 func Dial(addr string, opts *ClientOptions) (*Client, error) {
 	o := opts.withDefaults()
 	if o.ClientID == "" {
-		o.ClientID = fmt.Sprintf("dbox-%d", time.Now().UnixNano())
+		o.ClientID = fmt.Sprintf("dbox-%d", clientSeq.Add(1))
+	}
+	seed := o.JitterSeed
+	if seed == 0 {
+		seed = clock.SeedString(o.ClientID)
 	}
 	c := &Client{
 		opts:    o,
 		addr:    addr,
 		subs:    map[string]clientSub{},
 		pending: map[uint16]chan *Packet{},
+		clk:     o.Clock,
+		jitter:  clock.NewJitter(seed),
 		done:    make(chan struct{}),
 	}
 	if o.OnConnectionState != nil {
@@ -199,7 +226,7 @@ func (c *Client) handshake() (net.Conn, error) {
 		conn.Close()
 		return nil, err
 	}
-	conn.SetDeadline(time.Now().Add(c.opts.ConnectTimeout))
+	conn.SetDeadline(time.Now().Add(c.opts.ConnectTimeout)) //dbox:allow wallclock -- net.Conn deadlines compare against the kernel's wall clock
 	if _, err := conn.Write(data); err != nil {
 		conn.Close()
 		return nil, err
@@ -308,11 +335,11 @@ func (c *Client) pingLoop(connDone chan struct{}) {
 	if interval < time.Second {
 		interval = time.Second
 	}
-	t := time.NewTicker(interval)
+	t := c.clk.NewTicker(interval)
 	defer t.Stop()
 	for {
 		select {
-		case <-t.C:
+		case <-t.C():
 			if err := c.write(&Packet{Type: PINGREQ}); err != nil {
 				return
 			}
@@ -374,12 +401,14 @@ func (c *Client) reconnectLoop() {
 	backoff := c.opts.ReconnectMin
 	for {
 		// Full jitter on top of the exponential term, so a fleet of
-		// clients kicked at once does not reconnect in lockstep.
-		wait := backoff + time.Duration(rand.Int63n(int64(backoff)/2+1))
+		// clients kicked at once does not reconnect in lockstep. The
+		// jitter source is seeded (per client, or from the session
+		// seed), so replays walk the same backoff sequence.
+		wait := backoff + time.Duration(c.jitter.Int63n(int64(backoff)/2+1))
 		select {
 		case <-c.done:
 			return
-		case <-time.After(wait):
+		case <-c.clk.After(wait):
 		}
 		conn, err := c.handshake()
 		if err != nil {
@@ -522,7 +551,7 @@ func (c *Client) await(id uint16, ch chan *Packet, want PacketType, keep bool) (
 			return nil, fmt.Errorf("mqtt: expected %v, got %v", want, pkt.Type)
 		}
 		return pkt, nil
-	case <-time.After(c.opts.AckTimeout):
+	case <-c.clk.After(c.opts.AckTimeout):
 		if !keep {
 			c.discardPending(id)
 		}

@@ -8,6 +8,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/obs"
 	"repro/internal/trace"
 )
@@ -69,7 +70,14 @@ type Engine struct {
 	// faults-recovered family (see obs.FaultsRecoveredName) under
 	// via="revert".
 	Obs *obs.Registry
+	// Clock is the time source for the real-time schedule walk and
+	// recovery-latency timing. Nil means the wall clock; the replay
+	// engine drives a Walker directly from its virtual clock instead.
+	Clock clock.Clock
 }
+
+// clk returns the engine's clock, defaulting to the wall clock.
+func (e *Engine) clk() clock.Clock { return clock.Or(e.Clock) }
 
 // engineMetrics is resolved once per Run from Engine.Obs.
 type engineMetrics struct {
@@ -175,11 +183,12 @@ func (e *Engine) Run(ctx context.Context, p *Plan) (*Report, error) {
 		return nil, err
 	}
 	w := e.NewWalker(p)
-	start := time.Now()
+	clk := e.clk()
+	start := clk.Now()
 	for _, st := range steps {
-		if wait := st.At - time.Since(start); wait > 0 {
+		if wait := st.At - clk.Since(start); wait > 0 {
 			select {
-			case <-time.After(wait):
+			case <-clk.After(wait):
 			case <-ctx.Done():
 				return w.Report(), ctx.Err()
 			}
@@ -235,7 +244,7 @@ func (w *Walker) Apply(st Step) {
 		if metrics != nil {
 			metrics.recovered.Inc()
 			if t0, ok := w.applied[st.RevertOf]; ok {
-				metrics.recovery.Observe(time.Since(t0).Seconds())
+				metrics.recovery.Observe(w.e.clk().Since(t0).Seconds())
 			}
 		}
 		line := revertSignature(st.Event)
@@ -251,7 +260,7 @@ func (w *Walker) Apply(st Step) {
 	if revert != nil {
 		w.reverts[st.Index] = revert
 		if metrics != nil {
-			w.applied[st.Index] = time.Now()
+			w.applied[st.Index] = w.e.clk().Now()
 		}
 	}
 	rep.Injected++

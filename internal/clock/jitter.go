@@ -1,0 +1,60 @@
+package clock
+
+import (
+	"hash/fnv"
+	"math/rand"
+	"sync"
+)
+
+// Jitter is a concurrency-safe seeded randomness source for the
+// runtime's timing decisions: reconnect-backoff spread, chaos delay
+// sampling, load-generator inter-arrival draws. Seeding it from the
+// session's seed (instead of the global math/rand source) makes those
+// timelines a pure function of the seed, so chaos replays reproduce
+// identical reconnect and jitter sequences.
+type Jitter struct {
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewJitter returns a jitter source seeded with seed.
+func NewJitter(seed int64) *Jitter {
+	return &Jitter{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Int63n returns a uniform int64 in [0, n). n must be positive.
+func (j *Jitter) Int63n(n int64) int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Int63n(n)
+}
+
+// Intn returns a uniform int in [0, n). n must be positive.
+func (j *Jitter) Intn(n int) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Intn(n)
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (j *Jitter) Float64() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.Float64()
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1.
+func (j *Jitter) ExpFloat64() float64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rng.ExpFloat64()
+}
+
+// SeedString derives a stable 63-bit seed from an identity string
+// (FNV-1a), so per-client jitter sources are deterministic functions
+// of the client ID when no explicit seed is configured.
+func SeedString(s string) int64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return int64(h.Sum64() &^ (1 << 63))
+}

@@ -141,7 +141,7 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 // Failed pod is surfaced verbatim.
 func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout time.Duration) (map[string]string, error) {
 	placements := map[string]string{}
-	deadline := time.Now().Add(timeout)
+	deadline := tb.clk.Now().Add(timeout)
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -163,7 +163,7 @@ func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout
 		if done == len(podNames) {
 			return placements, nil
 		}
-		if time.Now().After(deadline) {
+		if tb.clk.Now().After(deadline) {
 			var waiting []string
 			for _, name := range podNames {
 				if _, ok := placements[name]; !ok {
@@ -172,7 +172,7 @@ func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout
 			}
 			return nil, fmt.Errorf("core: swarm timed out waiting for pods %s", strings.Join(waiting, ", "))
 		}
-		time.Sleep(5 * time.Millisecond)
+		tb.clk.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/clock"
 	"repro/internal/digi"
 	"repro/internal/kube"
 	"repro/internal/model"
@@ -127,6 +128,11 @@ type Testbed struct {
 	swarmMu sync.Mutex
 	// podNode caches digi -> node placements for delay lookups.
 	podNode sync.Map // name -> node name
+
+	// clk drives the testbed's own poll loops (WaitConverged, test-case
+	// deadlines, swarm waits). Runtime components carry their own
+	// injected clocks.
+	clk clock.Clock
 }
 
 // New assembles a testbed; call Start to bring it up.
@@ -152,6 +158,7 @@ func New(opts Options) (*Testbed, error) {
 		Store:    model.NewStore(),
 		Log:      trace.NewLog(),
 		Registry: digi.NewRegistry(),
+		clk:      clock.System,
 	}
 	if !opts.DisableMetrics {
 		tb.Obs = obs.NewRegistry()

@@ -62,16 +62,16 @@ func (tb *Testbed) RunTestCase(tc TestCase) error {
 		}
 	}
 	state := property.StoreState(tb.Store)
-	deadline := time.Now().Add(within)
+	deadline := tb.clk.Now().Add(within)
 	for {
 		if tc.Expect.Eval(state) {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if tb.clk.Now().After(deadline) {
 			return fmt.Errorf("core: test case %q failed: %s",
 				tc.Name, describeFailure(tc.Expect, state))
 		}
-		time.Sleep(5 * time.Millisecond)
+		tb.clk.Sleep(5 * time.Millisecond)
 	}
 }
 

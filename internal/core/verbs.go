@@ -363,12 +363,12 @@ func setAttach(d model.Doc, att []string) {
 // WaitConverged polls until cond holds or the timeout elapses — a
 // helper for tests and examples synchronising on ensemble effects.
 func (tb *Testbed) WaitConverged(timeout time.Duration, cond func() bool) error {
-	deadline := time.Now().Add(timeout)
+	deadline := tb.clk.Now().Add(timeout)
 	for !cond() {
-		if time.Now().After(deadline) {
+		if tb.clk.Now().After(deadline) {
 			return fmt.Errorf("core: condition not reached within %v", timeout)
 		}
-		time.Sleep(5 * time.Millisecond)
+		tb.clk.Sleep(5 * time.Millisecond)
 	}
 	return nil
 }

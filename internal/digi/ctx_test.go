@@ -59,6 +59,7 @@ func TestCtxSleepCancellation(t *testing.T) {
 		t.Error("zero sleep should complete")
 	}
 	go func() {
+		//dbox:allow sleepytest -- the cancel must fire while Sleep blocks; there is no condition to poll
 		time.Sleep(20 * time.Millisecond)
 		cancel()
 	}()

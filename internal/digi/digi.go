@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/clock"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/trace"
@@ -139,6 +140,11 @@ type Runtime struct {
 	Broker *broker.Broker
 	// TopicPrefix prefixes publish topics; default "digibox".
 	TopicPrefix string
+	// Clock is the time source for reconciler tickers, handler sleeps,
+	// gap timing, and commit latency. Nil means the wall clock; the
+	// deterministic replay engine steps its own virtual clock instead
+	// of running reconcilers at all.
+	Clock clock.Clock
 
 	readyMu sync.Mutex
 	ready   map[string]chan struct{}
@@ -219,7 +225,7 @@ func (rt *Runtime) noteGap(cause error) {
 		return
 	}
 	rt.outage = true
-	rt.gapStart = time.Now()
+	rt.gapStart = rt.clk().Now()
 	rt.pubMu.Unlock()
 	if m := rt.metrics.Load(); m != nil {
 		m.gaps.Inc()
@@ -256,7 +262,7 @@ func (rt *Runtime) recoverFromGap() {
 	if m := rt.metrics.Load(); m != nil {
 		m.recovered.Inc()
 		if !gapStart.IsZero() {
-			m.gapDur.Observe(time.Since(gapStart).Seconds())
+			m.gapDur.Observe(rt.clk().Since(gapStart).Seconds())
 		}
 	}
 	rt.Log.Fault("runtime", "broker-recover",
@@ -321,10 +327,13 @@ func (rt *Runtime) WaitReady(name string, timeout time.Duration) error {
 	select {
 	case <-rt.readyCh(name):
 		return nil
-	case <-time.After(timeout):
+	case <-rt.clk().After(timeout):
 		return fmt.Errorf("digi: %s not ready after %v", name, timeout)
 	}
 }
+
+// clk returns the runtime's clock, defaulting to the wall clock.
+func (rt *Runtime) clk() clock.Clock { return clock.Or(rt.Clock) }
 
 func (rt *Runtime) topic(name string) string {
 	prefix := rt.TopicPrefix
@@ -424,7 +433,7 @@ func (c *Ctx) Sleep(d time.Duration) bool {
 		return true
 	}
 	select {
-	case <-time.After(d):
+	case <-c.rt.clk().After(d):
 		return true
 	case <-c.ctx.Done():
 		return false

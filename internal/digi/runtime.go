@@ -3,11 +3,9 @@ package digi
 import (
 	"context"
 	"fmt"
-	"sync"
-	"time"
-
 	"repro/internal/kube"
 	"repro/internal/model"
+	"sync"
 )
 
 // Workload builds the kube workload that runs one digi instance. The
@@ -69,7 +67,7 @@ func (rt *Runtime) run(ctx context.Context, name string) error {
 	})
 	defer w.Close()
 
-	ticker := time.NewTicker(s.Interval())
+	ticker := rt.clk().NewTicker(s.Interval())
 	defer ticker.Stop()
 
 	// The watcher is registered: no subsequent update can be missed.
@@ -88,7 +86,7 @@ func (rt *Runtime) run(ctx context.Context, name string) error {
 		select {
 		case <-ctx.Done():
 			return nil
-		case <-ticker.C:
+		case <-ticker.C():
 			s.Tick()
 		case u, ok := <-w.C:
 			if !ok {

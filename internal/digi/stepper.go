@@ -259,14 +259,14 @@ func (s *Stepper) commit(name string, changes []model.Change) (model.Update, boo
 	m := s.rt.metrics.Load()
 	var t0 time.Time
 	if m != nil {
-		t0 = time.Now()
+		t0 = s.rt.clk().Now()
 	}
 	u, err := s.rt.Store.Apply(name, func(d model.Doc) error {
 		d.ApplyChanges(changes)
 		return nil
 	})
 	if m != nil {
-		m.commits.Observe(time.Since(t0).Seconds())
+		m.commits.Observe(s.rt.clk().Since(t0).Seconds())
 	}
 	if err != nil {
 		return model.Update{}, false

@@ -138,7 +138,7 @@ func (na *nodeAgent) launch(pod *Pod) {
 
 	na.cluster.api.updatePod(pod.Name, func(p *Pod) bool {
 		p.Status.Phase = PodRunning
-		p.Status.StartAt = time.Now()
+		p.Status.StartAt = na.cluster.clock.Now()
 		p.Status.Message = "running on " + na.name
 		return true
 	})
@@ -218,7 +218,7 @@ func (na *nodeAgent) launch(pod *Pod) {
 			// in simulation while preserving the k8s behaviour shape.
 			backoff := time.Duration(1<<uint(min(restarts, 5))) * 25 * time.Millisecond
 			select {
-			case <-time.After(backoff):
+			case <-na.cluster.clock.After(backoff):
 			case <-ctx.Done():
 				na.adjustRunning(-1)
 				return

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Cluster is the public face of the orchestrator: an API server, a
@@ -16,7 +18,8 @@ import (
 //	defer c.Stop()
 //	c.CreatePod(&kube.Pod{Name: "l1", Spec: kube.PodSpec{Image: "digi/lamp"}})
 type Cluster struct {
-	api *apiServer
+	api   *apiServer
+	clock clock.Clock
 
 	mu      sync.Mutex
 	images  map[string]ImageFactory
@@ -32,12 +35,22 @@ type zonePair struct{ a, b string }
 
 // NewCluster returns an idle cluster with no nodes.
 func NewCluster() *Cluster {
-	return &Cluster{
+	c := &Cluster{
 		api:    newAPIServer(),
+		clock:  clock.System,
 		images: map[string]ImageFactory{},
 		agents: map[string]*nodeAgent{},
 		zones:  map[zonePair]time.Duration{},
 	}
+	c.api.now = c.clock.Now
+	return c
+}
+
+// SetClock replaces the cluster's time source (pod timestamps, crash
+// backoff, wait polling). Call before Start.
+func (c *Cluster) SetClock(clk clock.Clock) {
+	c.clock = clock.Or(clk)
+	c.api.now = c.clock.Now
 }
 
 // RegisterImage installs a workload factory under an image name.
@@ -319,11 +332,11 @@ func (pw *PodWatch) Close() { pw.w.Close() }
 // WaitPodPhase blocks until the pod reaches the phase or the timeout
 // elapses.
 func (c *Cluster) WaitPodPhase(name string, phase PodPhase, timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clock.Now().Add(timeout)
 	w := c.api.watchPods(func(ev PodEvent) bool { return ev.Pod.Name == name })
 	defer w.Close()
 	for {
-		remain := time.Until(deadline)
+		remain := deadline.Sub(c.clock.Now())
 		if remain <= 0 {
 			return fmt.Errorf("kube: timeout waiting for pod %q to reach %s", name, phase)
 		}
@@ -338,7 +351,7 @@ func (c *Cluster) WaitPodPhase(name string, phase PodPhase, timeout time.Duratio
 			if ev.Type == Deleted {
 				return fmt.Errorf("kube: pod %q deleted while waiting for %s", name, phase)
 			}
-		case <-time.After(remain):
+		case <-c.clock.After(remain):
 			return fmt.Errorf("kube: timeout waiting for pod %q to reach %s", name, phase)
 		}
 	}
@@ -347,7 +360,7 @@ func (c *Cluster) WaitPodPhase(name string, phase PodPhase, timeout time.Duratio
 // WaitAllRunning blocks until every pod currently in the store is
 // Running (or terminal-failure, which is reported as an error).
 func (c *Cluster) WaitAllRunning(timeout time.Duration) error {
-	deadline := time.Now().Add(timeout)
+	deadline := c.clock.Now().Add(timeout)
 	for {
 		allRunning := true
 		for _, p := range c.api.listPods() {
@@ -362,7 +375,7 @@ func (c *Cluster) WaitAllRunning(timeout time.Duration) error {
 		if allRunning {
 			return nil
 		}
-		if time.Now().After(deadline) {
+		if c.clock.Now().After(deadline) {
 			pending := 0
 			for _, p := range c.api.listPods() {
 				if p.Status.Phase != PodRunning {
@@ -371,7 +384,7 @@ func (c *Cluster) WaitAllRunning(timeout time.Duration) error {
 			}
 			return fmt.Errorf("kube: timeout with %d pods not running", pending)
 		}
-		time.Sleep(5 * time.Millisecond)
+		c.clock.Sleep(5 * time.Millisecond)
 	}
 }
 

@@ -2,7 +2,6 @@ package kube
 
 import (
 	"sync"
-	"time"
 )
 
 // scheduler binds pending pods to nodes. Placement is least-loaded
@@ -218,7 +217,7 @@ func (s *scheduler) schedule(name string) {
 		if m := s.metrics(); m != nil && !pod.Status.CreatedAt.IsZero() {
 			// Re-schedules after eviction observe again, measured from
 			// creation: the pod's cumulative time-to-placement.
-			m.scheduling.Observe(time.Since(pod.Status.CreatedAt).Seconds())
+			m.scheduling.Observe(s.api.now().Sub(pod.Status.CreatedAt).Seconds())
 		}
 	}
 }

@@ -11,6 +11,11 @@ import (
 // with ordered watch streams. It is the analogue of the Kubernetes API
 // server + etcd for the subset of behaviour Digibox needs.
 type apiServer struct {
+	// now is the cluster's clock (see Cluster.SetClock); pod
+	// timestamps come from it so virtual-clock runs stamp virtual
+	// times.
+	now func() time.Time
+
 	mu      sync.RWMutex
 	version uint64
 	pods    map[string]*Pod
@@ -44,7 +49,7 @@ func (a *apiServer) createPod(p *Pod) error {
 		stored.Status.Phase = PodPending
 	}
 	if stored.Status.CreatedAt.IsZero() {
-		stored.Status.CreatedAt = time.Now()
+		stored.Status.CreatedAt = a.now()
 	}
 	if stored.Spec.RestartPolicy == "" {
 		stored.Spec.RestartPolicy = RestartAlways

@@ -41,6 +41,11 @@ const (
 const (
 	FaultsInjectedName  = "digibox_faults_injected_total"
 	FaultsRecoveredName = "digibox_faults_recovered_total"
+
+	// E2ETopicLatencyName is fed by the tracer and re-read by swarm
+	// session reports (registration is idempotent for an identical
+	// kind + label schema).
+	E2ETopicLatencyName = "digibox_e2e_topic_latency_seconds"
 )
 
 // DefBuckets are the default latency buckets in seconds, spanning the

@@ -8,6 +8,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"repro/internal/clock"
 )
 
 func TestCounterGaugeBasics(t *testing.T) {
@@ -328,11 +330,16 @@ func TestTracerSpans(t *testing.T) {
 		gotFrom, gotTopic, gotElapsed = from, topic, elapsed
 	})
 
+	// Drive the tracer from a virtual clock so the elapsed time is
+	// exact rather than a lower bound on a real sleep.
+	v := clock.NewVirtual()
+	tr.clk = v
+
 	id := tr.Start("L1", "digibox/L1/status")
 	if id == 0 {
 		t.Fatal("span id 0")
 	}
-	time.Sleep(2 * time.Millisecond)
+	v.AdvanceTo(clock.Epoch.Add(2 * time.Millisecond))
 	tr.End(id)
 	tr.End(id) // second fan-out leg: non-destructive
 	tr.End(id + 999)

@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // SpanID identifies an in-flight publish→deliver span; 0 is invalid
@@ -34,6 +36,7 @@ const defaultSpanSampling = 8
 // so a fan-out of N subscribers yields N latency samples from one
 // span.
 type Tracer struct {
+	clk   clock.Clock
 	ids   atomic.Uint64
 	every atomic.Uint64 // sample 1-in-every messages; >= 1
 	slots [spanSlots]spanSlot
@@ -68,11 +71,12 @@ func NewTracer(r *Registry) *Tracer {
 		return nil
 	}
 	t := &Tracer{
+		clk:       clock.System,
 		started:   r.Counter("digibox_spans_started_total", "publish→deliver spans opened at broker routing"),
 		completed: r.Counter("digibox_spans_completed_total", "span closures observed at subscriber delivery (one per fan-out leg)"),
 		byDigi: r.HistogramVec("digibox_e2e_latency_seconds",
 			"end-to-end publish→deliver MQTT latency by digi (from the digibox/<name>/... topic, else the publishing client)", nil, "digi"),
-		byClass: r.HistogramVec("digibox_e2e_topic_latency_seconds",
+		byClass: r.HistogramVec(E2ETopicLatencyName,
 			"end-to-end publish→deliver MQTT latency by topic class", nil, "class"),
 		digiH:  map[string]*Histogram{},
 		classH: map[string]*Histogram{},
@@ -117,7 +121,7 @@ func (t *Tracer) Start(from, topic string) SpanID {
 		return 0
 	}
 	s := &t.slots[id%spanSlots]
-	now := time.Now()
+	now := t.clk.Now()
 	s.mu.Lock()
 	s.id, s.from, s.topic, s.start = id, from, topic, now
 	s.mu.Unlock()
@@ -141,7 +145,7 @@ func (t *Tracer) End(id SpanID) {
 	}
 	from, topic, start := s.from, s.topic, s.start
 	s.mu.Unlock()
-	elapsed := time.Since(start)
+	elapsed := t.clk.Since(start)
 
 	sec := elapsed.Seconds()
 	t.digiHist(spanDigi(from, topic)).Observe(sec)

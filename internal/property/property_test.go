@@ -207,6 +207,7 @@ func TestCheckerEdgeTriggeredReporting(t *testing.T) {
 	// observe the off state before we flip back — this sleep creates the
 	// intermediate state, it is not a synchronization wait.
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "off"}})
+	//dbox:allow sleepytest -- creates the intermediate off state; the checker exposes nothing to poll for having sampled it
 	time.Sleep(50 * time.Millisecond)
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
 	waitViolations(t, ch, 2, "re-entry violation")
@@ -240,6 +241,7 @@ func TestCheckerLeadsToSatisfied(t *testing.T) {
 	ch.Start()
 	defer ch.Stop()
 	store.Patch("O1", map[string]any{"triggered": true})
+	//dbox:allow sleepytest -- simulates response latency inside the Within window; there is no condition to poll
 	time.Sleep(30 * time.Millisecond)
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
 	// Hold past the Within deadline: a checker that missed the response

@@ -1,0 +1,15 @@
+// Package replay implements Digibox's deterministic record/replay
+// harness (§3.5 "logs everything for replay").
+//
+// A Scenario declares a scene run — the digis to deploy, scripted
+// edits, an optional seeded chaos plan, and a duration. The Engine
+// executes the scenario as a single-threaded discrete-event simulation
+// over the real digi, broker, kube-placement, and chaos code paths: a
+// virtual clock (clock.Virtual, shared with the live runtime's
+// injectable time source) replaces tickers and timers, store-watcher
+// delivery is serialized into a deterministic propagation queue, and
+// every trace record carries virtual timestamps. Two runs of the same
+// scenario are byte-identical, verified by a chained digest over the
+// normalised records — which turns any example scene into a
+// conformance regression test (see the replaytest subpackage).
+package replay

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/broker"
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/digi"
 	"repro/internal/kube"
 	"repro/internal/model"
@@ -39,7 +40,7 @@ type Engine struct {
 	registry *digi.Registry
 	sc       *Scenario
 
-	clock *clock
+	clk   *clock.Virtual
 	store *model.Store
 	log   *trace.Log
 	rt    *digi.Runtime
@@ -77,13 +78,16 @@ func NewEngine(registry *digi.Registry, sc *Scenario) (*Engine, error) {
 	e := &Engine{
 		registry: registry,
 		sc:       sc,
-		clock:    newClock(),
+		clk:      clock.NewVirtual(),
 		store:    model.NewStore(),
 		assigned: map[string]int{},
 		digis:    map[string]*digiState{},
 	}
-	e.log = trace.NewLogAt(e.clock.Now)
-	e.brk = broker.NewBroker(&broker.Options{})
+	e.log = trace.NewLogAt(e.clk.Now)
+	// The broker shares the run's virtual clock, so fault-injected
+	// delivery delays fire on virtual time instead of leaking wall
+	//-clock goroutines into the deterministic run.
+	e.brk = broker.NewBroker(&broker.Options{Clock: e.clk})
 	e.rt = &digi.Runtime{
 		Store:    e.store,
 		Log:      e.log,
@@ -140,7 +144,7 @@ func (e *Engine) Run() (*Result, error) {
 	// Scripted edits.
 	for i := range e.sc.Script {
 		ed := e.sc.Script[i]
-		e.clock.scheduleAt(ed.At, func() { e.applyEdit(ed) })
+		e.clk.ScheduleAt(ed.At, func() { e.applyEdit(ed) })
 	}
 
 	// Chaos plan: compile once (pure function of plan and seed), walk
@@ -160,7 +164,7 @@ func (e *Engine) Run() (*Result, error) {
 		walker = ce.NewWalker(e.sc.Chaos)
 		for i := range steps {
 			st := steps[i]
-			e.clock.scheduleAt(st.At, func() {
+			e.clk.ScheduleAt(st.At, func() {
 				walker.Apply(st)
 				e.propagate(nil)
 			})
@@ -168,13 +172,13 @@ func (e *Engine) Run() (*Result, error) {
 	}
 
 	// Drive the event loop to the end of the run window.
-	deadline := epoch.Add(e.sc.Duration)
-	for e.failure == nil && e.clock.step(deadline) {
+	deadline := clock.Epoch.Add(e.sc.Duration)
+	for e.failure == nil && e.clk.Step(deadline) {
 	}
 	if e.failure != nil {
 		return nil, e.failure
 	}
-	e.clock.now = deadline
+	e.clk.AdvanceTo(deadline)
 	e.log.Mark(e.sc.Name, "run-end", map[string]any{"records": int64(e.log.Len())})
 
 	recs := Normalize(e.log.Records())
@@ -270,7 +274,7 @@ func (e *Engine) stopDigi(name, detail string) {
 func (e *Engine) scheduleTick(name string, epoch int) {
 	st := e.digis[name]
 	interval := st.stepper.Interval()
-	e.clock.schedule(interval, func() {
+	e.clk.Schedule(interval, func() {
 		cur := e.digis[name]
 		if cur == nil || !cur.running || cur.epoch != epoch {
 			return

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/device"
 	"repro/internal/digi"
 	"repro/internal/scene"
@@ -331,13 +332,13 @@ func TestDigestChainOrderSensitive(t *testing.T) {
 }
 
 func TestClockOrdering(t *testing.T) {
-	c := newClock()
+	c := clock.NewVirtual()
 	var got []int
-	c.scheduleAt(10*time.Millisecond, func() { got = append(got, 1) })
-	c.scheduleAt(10*time.Millisecond, func() { got = append(got, 2) })
-	c.scheduleAt(5*time.Millisecond, func() { got = append(got, 0) })
-	deadline := epoch.Add(time.Second)
-	for c.step(deadline) {
+	c.ScheduleAt(10*time.Millisecond, func() { got = append(got, 1) })
+	c.ScheduleAt(10*time.Millisecond, func() { got = append(got, 2) })
+	c.ScheduleAt(5*time.Millisecond, func() { got = append(got, 0) })
+	deadline := clock.Epoch.Add(time.Second)
+	for c.Step(deadline) {
 	}
 	if len(got) != 3 || got[0] != 0 || got[1] != 1 || got[2] != 2 {
 		t.Fatalf("timers fired out of order: %v", got)

@@ -138,6 +138,7 @@ func TestWatchLongPoll(t *testing.T) {
 		defer wg.Done()
 		got, newGen, watchErr = c.Watch("L1", gen, 5*time.Second)
 	}()
+	//dbox:allow sleepytest -- lets the long-poll park before the patch; the generation argument keeps the result correct either way
 	time.Sleep(50 * time.Millisecond)
 	store.Patch("L1", map[string]any{"power": map[string]any{"status": "on"}})
 	wg.Wait()

@@ -6,6 +6,8 @@ import (
 	"math/rand"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Profile selects the load-generation discipline.
@@ -116,6 +118,7 @@ func DeviceTopic(prefix string, i int) string {
 type Generator struct {
 	spec  LoadSpec
 	fire  func(device int, seq uint64)
+	clk   clock.Clock
 	count int64
 }
 
@@ -127,8 +130,13 @@ func NewGenerator(spec LoadSpec, fire func(device int, seq uint64)) (*Generator,
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Generator{spec: spec, fire: fire}, nil
+	return &Generator{spec: spec, fire: fire, clk: clock.System}, nil
 }
+
+// SetClock replaces the generator's pacing clock (default: the wall
+// clock). Call before RunWorker; a virtual clock lets a load run be
+// driven in compressed time.
+func (g *Generator) SetClock(c clock.Clock) { g.clk = clock.Or(c) }
 
 // Spec returns the defaulted spec the generator runs.
 func (g *Generator) Spec() LoadSpec { return g.spec }
@@ -147,7 +155,10 @@ func (g *Generator) RunWorker(ctx context.Context, w int) error {
 	if w < 0 || w >= g.spec.Workers {
 		return fmt.Errorf("swarm: worker %d out of range [0,%d)", w, g.spec.Workers)
 	}
-	deadline := time.Now().Add(g.spec.Duration)
+	// The context deadline caps the whole run; it stays on the wall
+	// clock (context deadlines cannot ride an injected clock), while
+	// the pacing below runs on g.clk.
+	deadline := time.Now().Add(g.spec.Duration) //dbox:allow wallclock -- context.WithDeadline compares against the wall clock
 	ctx, cancel := context.WithDeadline(ctx, deadline)
 	defer cancel()
 	if g.spec.Profile == ProfileOpen {
@@ -170,11 +181,11 @@ func (g *Generator) runClosed(ctx context.Context, w int) error {
 	}
 	stagger := g.spec.Period * time.Duration(w) / time.Duration(g.spec.Workers)
 	select {
-	case <-time.After(stagger):
+	case <-g.clk.After(stagger):
 	case <-ctx.Done():
 		return nil
 	}
-	ticker := time.NewTicker(g.spec.Period)
+	ticker := g.clk.NewTicker(g.spec.Period)
 	defer ticker.Stop()
 	var seq uint64
 	cycle := func() {
@@ -187,7 +198,7 @@ func (g *Generator) runClosed(ctx context.Context, w int) error {
 	cycle()
 	for {
 		select {
-		case <-ticker.C:
+		case <-ticker.C():
 			cycle()
 		case <-ctx.Done():
 			return nil
@@ -203,11 +214,11 @@ func (g *Generator) runClosed(ctx context.Context, w int) error {
 func (g *Generator) runOpen(ctx context.Context, w int) error {
 	rng := rand.New(rand.NewSource(g.spec.Seed + int64(w)*0x9E3779B9))
 	rate := g.spec.Rate / float64(g.spec.Workers)
-	start := time.Now()
+	start := g.clk.Now()
 	next := rng.ExpFloat64() / rate // seconds from start of the next arrival
 	var seq uint64
 	for {
-		elapsed := time.Since(start).Seconds()
+		elapsed := g.clk.Since(start).Seconds()
 		qEnd := elapsed + openQuantum.Seconds()
 		for next <= qEnd {
 			select {
@@ -220,10 +231,10 @@ func (g *Generator) runOpen(ctx context.Context, w int) error {
 			seq++
 			next += rng.ExpFloat64() / rate
 		}
-		sleep := time.Duration((qEnd - time.Since(start).Seconds()) * float64(time.Second))
+		sleep := time.Duration((qEnd - g.clk.Since(start).Seconds()) * float64(time.Second))
 		if sleep > 0 {
 			select {
-			case <-time.After(sleep):
+			case <-g.clk.After(sleep):
 			case <-ctx.Done():
 				return nil
 			}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/broker"
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -25,6 +26,7 @@ type Session struct {
 	spec LoadSpec
 	gen  *Generator
 	reg  *obs.Registry
+	clk  clock.Clock
 
 	delivered int64
 	started   time.Time
@@ -42,7 +44,7 @@ func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire func(device i
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	s := &Session{pool: pool, spec: spec, reg: reg}
+	s := &Session{pool: pool, spec: spec, reg: reg, clk: clock.System}
 	s.payload = make([]byte, spec.Payload)
 	for i := range s.payload {
 		s.payload[i] = 'x'
@@ -68,8 +70,16 @@ func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire func(device i
 			return nil, err
 		}
 	}
-	s.started = time.Now()
+	s.started = s.clk.Now()
 	return s, nil
+}
+
+// SetClock replaces the session's clock (and its generator's pacing
+// clock). Call before RunWorker.
+func (s *Session) SetClock(c clock.Clock) {
+	s.clk = clock.Or(c)
+	s.gen.SetClock(c)
+	s.started = s.clk.Now()
 }
 
 // firePool is the synthetic publisher: JSON carrying the sequence
@@ -109,11 +119,11 @@ func (s *Session) Delivered() int64 { return atomic.LoadInt64(&s.delivered) }
 func (s *Session) Finish(quiesce time.Duration) *Report {
 	published := s.gen.Published()
 	expected := published * int64(s.spec.Subs)
-	deadline := time.Now().Add(quiesce)
-	for time.Now().Before(deadline) && atomic.LoadInt64(&s.delivered) < expected {
-		time.Sleep(5 * time.Millisecond)
+	deadline := s.clk.Now().Add(quiesce)
+	for s.clk.Now().Before(deadline) && atomic.LoadInt64(&s.delivered) < expected {
+		s.clk.Sleep(5 * time.Millisecond)
 	}
-	elapsed := time.Since(s.started).Seconds()
+	elapsed := s.clk.Since(s.started).Seconds()
 	filter := s.spec.Prefix + "/+/status"
 	for k := 0; k < s.spec.Subs; k++ {
 		s.pool.Unsubscribe(fmt.Sprintf("swarm-sub-%d", k), filter)
@@ -152,7 +162,7 @@ func (s *Session) Finish(quiesce time.Duration) *Report {
 		// The tracer registered this family; re-registration is
 		// idempotent (same kind + label schema), so this reads the
 		// same histograms the spans fed.
-		h := s.reg.HistogramVec("digibox_e2e_topic_latency_seconds",
+		h := s.reg.HistogramVec(obs.E2ETopicLatencyName,
 			"end-to-end publish→deliver MQTT latency by topic class", nil, "class").
 			With(obs.TopicClass(DeviceTopic(s.spec.Prefix, 0)))
 		rep.LatencySamples = h.Count()

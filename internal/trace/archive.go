@@ -8,6 +8,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Archive file layout inside the shared zip (§3.5: "traces are shared
@@ -120,7 +122,8 @@ type Replayer struct {
 	// Speed scales time: 2.0 replays twice as fast. <= 0 means "as
 	// fast as possible".
 	Speed float64
-	// Sleep is injectable for tests; defaults to time.Sleep.
+	// Sleep is injectable for tests; defaults to the system clock's
+	// sleep.
 	Sleep func(time.Duration)
 }
 
@@ -133,7 +136,7 @@ func (rp *Replayer) Run(recs []Record) error {
 	}
 	sleep := rp.Sleep
 	if sleep == nil {
-		sleep = time.Sleep
+		sleep = clock.System.Sleep
 	}
 	var prev time.Duration
 	first := true

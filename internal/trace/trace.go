@@ -18,6 +18,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // Kind classifies a trace record.
@@ -87,7 +89,7 @@ type Log struct {
 
 // NewLog starts an empty log whose timestamps are relative to now.
 func NewLog() *Log {
-	l := &Log{now: time.Now}
+	l := &Log{now: clock.System.Now}
 	l.start = l.now()
 	return l
 }

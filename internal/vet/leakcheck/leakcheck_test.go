@@ -51,7 +51,8 @@ func TestCheckPassesAfterGoroutineExits(t *testing.T) {
 	baseline := Baseline()
 	done := make(chan struct{})
 	go func() {
-		time.Sleep(50 * time.Millisecond) // exits inside the grace window
+		//dbox:allow sleepytest -- the sleeping goroutine is the test subject: it must exit inside the grace window
+		time.Sleep(50 * time.Millisecond)
 		close(done)
 	}()
 	if err := Check(baseline); err != nil {

@@ -18,10 +18,16 @@
 package yamlite
 
 import (
+	"errors"
 	"fmt"
 	"strconv"
 	"strings"
 )
+
+// ErrMalformed is wrapped by every parse error, so callers can gate on
+// errors.Is(err, yamlite.ErrMalformed) without caring whether the
+// failure carries a line number.
+var ErrMalformed = errors.New("yamlite: malformed document")
 
 // A SyntaxError describes a malformed document and the line on which
 // the problem was detected (1-based).
@@ -33,6 +39,9 @@ type SyntaxError struct {
 func (e *SyntaxError) Error() string {
 	return fmt.Sprintf("yamlite: line %d: %s", e.Line, e.Msg)
 }
+
+// Unwrap makes every SyntaxError match ErrMalformed.
+func (e *SyntaxError) Unwrap() error { return ErrMalformed }
 
 func errf(line int, format string, args ...any) error {
 	return &SyntaxError{Line: line, Msg: fmt.Sprintf(format, args...)}
@@ -52,7 +61,7 @@ func Decode(data []byte) (any, error) {
 	case 1:
 		return docs[0], nil
 	default:
-		return nil, fmt.Errorf("yamlite: expected one document, found %d", len(docs))
+		return nil, fmt.Errorf("%w: expected one document, found %d", ErrMalformed, len(docs))
 	}
 }
 
