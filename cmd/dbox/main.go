@@ -90,7 +90,8 @@ commands (Table 1):
   trace save FILE | trace push NAME
   chaos run PLAN.yaml
   swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
-        [-mock] [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
+        [-mock] [-kill-shard N@T] [-max-recovery-p99 MS]
+        [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
   top [-n iters] [-i secs] | metrics
   ls | status
 `)

@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"net/http"
 	"sort"
+	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/core"
@@ -23,13 +25,26 @@ import (
 //	dbox swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
 //	           [-duration D] [-period P] [-workers N] [-subs N]
 //	           [-seed N] [-qos 0|1] [-payload B] [-nodes N] [-mock]
+//	           [-kill-shard N@T] [-max-recovery-p99 MS]
 //	           [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
 //
 // The command fails (non-zero exit) on any QoS 1 loss, and on a p99
 // publish→deliver latency above -max-p99 when one is set — the same
-// gate CI's swarm-gate job applies.
+// gate CI's swarm-gate job applies. -kill-shard (repeatable) crashes
+// shard N at offset T into the run — the failover drill: the pool's
+// health monitor must take over with zero QoS 1 loss, and the report
+// gains failover/recovery columns gated by -max-recovery-p99.
 func swarmCmd(cli *ctl.Client, rest []string) error {
 	fs := flag.NewFlagSet("swarm", flag.ContinueOnError)
+	var kills []core.ShardKill
+	fs.Func("kill-shard", "crash shard N at offset T into the run, as N@T (e.g. 1@2s); N@T@FOR revives it FOR later; repeatable", func(v string) error {
+		k, err := parseShardKill(v)
+		if err != nil {
+			return err
+		}
+		kills = append(kills, k)
+		return nil
+	})
 	devices := fs.Int("devices", 0, "simulated device count")
 	rate := fs.Float64("rate", 0, "open-loop target msgs/s")
 	shards := fs.Int("shards", 0, "broker shards (0 = derive from device count)")
@@ -44,6 +59,7 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 	nodes := fs.Int("nodes", 3, "local-mode kube nodes to spread workers over")
 	mock := fs.Bool("mock", false, "drive digi swarm-mock fleets instead of synthetic payloads")
 	maxP99 := fs.Float64("max-p99", 0, "fail when p99 publish→deliver latency exceeds this many ms")
+	maxRecP99 := fs.Float64("max-recovery-p99", 0, "fail when p99 shard-failover recovery exceeds this many ms (with -kill-shard)")
 	out := fs.String("o", "", "write the JSON report (BENCH_swarm.json) to this file")
 	remote := fs.Bool("remote", false, "run on the daemon instead of locally")
 	if err := fs.Parse(rest); err != nil {
@@ -70,6 +86,11 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 			Shards:      *shards,
 			Mock:        *mock,
 		}
+		for _, k := range kills {
+			req.Kills = append(req.Kills, ctl.SwarmKill{
+				Shard: k.Shard, AtSec: k.At.Seconds(), ForSec: k.For.Seconds(),
+			})
+		}
 		run := *cli
 		wait := *duration
 		if wait <= 0 {
@@ -78,8 +99,10 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 		run.HTTP = &http.Client{Timeout: wait + 120*time.Second}
 		rep, err = run.Swarm(req)
 	} else {
-		rep, err = swarmLocal(swarmLocalSpec(*profile, *devices, *rate, *period,
-			*duration, *workers, *subs, *seed, *qos, *payload, *shards, *mock), *nodes)
+		spec := swarmLocalSpec(*profile, *devices, *rate, *period,
+			*duration, *workers, *subs, *seed, *qos, *payload, *shards, *mock)
+		spec.Kills = kills
+		rep, err = swarmLocal(spec, *nodes)
 	}
 	if err != nil {
 		return err
@@ -92,7 +115,36 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 		}
 		fmt.Printf("report saved to %s\n", *out)
 	}
-	return rep.Gate(*maxP99)
+	if err := rep.Gate(*maxP99); err != nil {
+		return err
+	}
+	if len(kills) > 0 {
+		return rep.GateRecovery(int64(len(kills)), *maxRecP99)
+	}
+	return nil
+}
+
+// parseShardKill parses N@T or N@T@FOR (e.g. "1@2s", "0@500ms@3s").
+func parseShardKill(v string) (core.ShardKill, error) {
+	parts := strings.Split(v, "@")
+	if len(parts) < 2 || len(parts) > 3 {
+		return core.ShardKill{}, fmt.Errorf("kill-shard %q: want N@T or N@T@FOR", v)
+	}
+	shard, err := strconv.Atoi(parts[0])
+	if err != nil || shard < 0 {
+		return core.ShardKill{}, fmt.Errorf("kill-shard %q: bad shard index %q", v, parts[0])
+	}
+	at, err := time.ParseDuration(parts[1])
+	if err != nil || at < 0 {
+		return core.ShardKill{}, fmt.Errorf("kill-shard %q: bad offset %q", v, parts[1])
+	}
+	k := core.ShardKill{Shard: shard, At: at}
+	if len(parts) == 3 {
+		if k.For, err = time.ParseDuration(parts[2]); err != nil || k.For <= 0 {
+			return core.ShardKill{}, fmt.Errorf("kill-shard %q: bad revive delay %q", v, parts[2])
+		}
+	}
+	return k, nil
 }
 
 func swarmLocalSpec(profile string, devices int, rate float64, period, duration time.Duration,
@@ -157,6 +209,11 @@ func printSwarmReport(rep *swarm.Report) {
 		rep.DeliveryRate, rep.Lost, rep.Dropped, rep.BridgeForwards)
 	fmt.Printf("latency p50 %.3f ms, p99 %.3f ms (%d samples)\n",
 		rep.P50Ms, rep.P99Ms, rep.LatencySamples)
+	if rep.Failovers > 0 || rep.Shed > 0 || len(rep.ShardsDown) > 0 {
+		fmt.Printf("failovers %d, redelivered %d, shed %d, recovery p50 %.1f ms, p99 %.1f ms, shards down %v\n",
+			rep.Failovers, rep.Redelivered, rep.Shed,
+			rep.RecoveryP50Ms, rep.RecoveryP99Ms, rep.ShardsDown)
+	}
 	if len(rep.Placements) > 0 {
 		pods := make([]string, 0, len(rep.Placements))
 		for pod := range rep.Placements {

@@ -66,6 +66,10 @@ type Stats = core.Stats
 // SwarmSpec configures a Testbed.RunSwarm scale-test session.
 type SwarmSpec = core.SwarmSpec
 
+// ShardKill schedules one broker-shard crash during a swarm run — the
+// failover drill.
+type ShardKill = core.ShardKill
+
 // SwarmReport is the machine-readable result of a swarm run (the
 // BENCH_swarm.json payload).
 type SwarmReport = swarm.Report

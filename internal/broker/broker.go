@@ -104,7 +104,11 @@ type Broker struct {
 	sessions map[string]*session
 	listener net.Listener
 	closed   bool
-	wg       sync.WaitGroup
+	// closedFlag mirrors closed as an atomic so the publish hot path
+	// can reject publishes into a dead broker without taking mu — the
+	// signal the swarm pool's failover journaling rides.
+	closedFlag int32
+	wg         sync.WaitGroup
 
 	publishesIn int64
 	messagesOut int64
@@ -233,6 +237,7 @@ func (b *Broker) Close() {
 		return
 	}
 	b.closed = true
+	atomic.StoreInt32(&b.closedFlag, 1)
 	ln := b.listener
 	sessions := make([]*session, 0, len(b.sessions))
 	for _, s := range b.sessions {
@@ -698,12 +703,21 @@ func (b *Broker) PublishFrom(from, topic string, payload []byte, retain bool) er
 	return b.PublishQoS(from, topic, payload, 0, retain)
 }
 
+// ErrClosed is returned by PublishQoS once the broker has been closed
+// (or killed by a chaos shard fault). The swarm pool treats it as the
+// "shard is dead" signal and journals the message for redelivery after
+// failover instead of losing it.
+var ErrClosed = errors.New("mqtt: broker closed")
+
 // PublishQoS is PublishFrom with an explicit QoS: subscribers receive
 // the message at min(qos, subscription qos), exactly as if a wire
 // client had published it. The swarm load generator and bridge use
 // QoS 1 so deliveries are never shed under back-pressure and loss
 // accounting stays exact.
 func (b *Broker) PublishQoS(from, topic string, payload []byte, qos byte, retain bool) error {
+	if !b.Alive() {
+		return ErrClosed
+	}
 	if err := ValidateTopicName(topic); err != nil {
 		return err
 	}
@@ -766,6 +780,111 @@ func (b *Broker) UnsubscribeInProcess(clientID, filter string) bool {
 		}
 	}
 	return ok
+}
+
+// Alive reports whether the broker is still accepting publishes — the
+// liveness probe the swarm pool's health monitor polls. It flips false
+// on Close (including a chaos shard-kill) and never recovers; revival
+// swaps in a fresh broker.
+func (b *Broker) Alive() bool {
+	return atomic.LoadInt32(&b.closedFlag) == 0
+}
+
+// SubscriptionExport is one live subscription, exported for takeover.
+type SubscriptionExport struct {
+	ClientID string `json:"client_id"`
+	Filter   string `json:"filter"`
+	QoS      byte   `json:"qos"`
+}
+
+// ExportSubscriptions snapshots every live subscription (wire and
+// in-process), sorted by client then filter. The swarm pool reads a
+// dead shard's table during failover to cross-check its own migration
+// registry; the trie stays readable after Close, so the export works
+// on a killed broker.
+func (b *Broker) ExportSubscriptions() []SubscriptionExport {
+	var out []SubscriptionExport
+	for _, s := range b.subs.exportAll() {
+		out = append(out, SubscriptionExport{ClientID: s.clientID, Filter: s.filter, QoS: s.qos})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].ClientID != out[j].ClientID {
+			return out[i].ClientID < out[j].ClientID
+		}
+		return out[i].Filter < out[j].Filter
+	})
+	return out
+}
+
+// ResubscribeInProcess is SubscribeInProcess without the retained
+// sweep: the swarm pool uses it when it re-anchors an existing
+// subscription onto a surviving shard during failover. The client
+// never unsubscribed, so takeover must not replay retained state the
+// subscriber already holds — that would break exactly-once accounting.
+func (b *Broker) ResubscribeInProcess(clientID, filter string, qos byte, fn func(Message)) error {
+	if err := ValidateTopicFilter(filter); err != nil {
+		return err
+	}
+	if qos > 1 {
+		qos = 1
+	}
+	b.subs.subscribe(&subscription{
+		clientID: clientID,
+		filter:   filter,
+		qos:      qos,
+		deliver: func(pkt *Packet) {
+			fn(Message{
+				Topic:    pkt.Topic,
+				Payload:  pkt.Payload,
+				QoS:      pkt.QoS,
+				Retained: pkt.Retain,
+				Dup:      pkt.Dup,
+			})
+			if pkt.span != 0 {
+				b.tracer.End(pkt.span)
+			}
+		},
+	})
+	if hook := b.opts.SubscribeHook; hook != nil {
+		hook(clientID, filter, true)
+	}
+	return nil
+}
+
+// ExportRetained snapshots every retained message (no filter — "$"
+// topics included). Failover re-replication reads a survivor's full
+// replica through this to seed a revived shard.
+func (b *Broker) ExportRetained() []Message {
+	var out []Message
+	b.retained.Range(func(key, value any) bool {
+		stored := value.(*Packet)
+		out = append(out, Message{
+			Topic:    key.(string),
+			Payload:  stored.Payload,
+			QoS:      stored.QoS,
+			Retained: true,
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool { return out[i].Topic < out[j].Topic })
+	return out
+}
+
+// ImportRetained stores retained messages directly — no routing, no
+// subscriber deliveries, no bridge forwards. The swarm pool uses it to
+// re-replicate retained state onto a shard joining (or rejoining) the
+// pool; silent import is what keeps re-replication from double-
+// delivering to live subscribers.
+func (b *Broker) ImportRetained(msgs []Message) {
+	for _, m := range msgs {
+		if len(m.Payload) == 0 {
+			continue
+		}
+		stored := &Packet{Type: PUBLISH, Topic: m.Topic, Payload: m.Payload, QoS: m.QoS, Retain: true}
+		if _, loaded := b.retained.Swap(m.Topic, stored); !loaded {
+			atomic.AddInt64(&b.retainCount, 1)
+		}
+	}
 }
 
 // RetainedMatching returns the retained messages whose topics match

@@ -400,11 +400,13 @@ func (c *Client) connLost(conn net.Conn, err error) {
 func (c *Client) reconnectLoop() {
 	backoff := c.opts.ReconnectMin
 	for {
-		// Full jitter on top of the exponential term, so a fleet of
-		// clients kicked at once does not reconnect in lockstep. The
-		// jitter source is seeded (per client, or from the session
-		// seed), so replays walk the same backoff sequence.
-		wait := backoff + time.Duration(c.jitter.Int63n(int64(backoff)/2+1))
+		// Full jitter: the wait is uniform in (0, backoff], where
+		// backoff is the capped exponential term — so a fleet of
+		// clients kicked at once spreads its reconnects across the
+		// whole window instead of stacking up at the cap. The jitter
+		// source is seeded (per client, or from the session seed), so
+		// replays walk the same backoff sequence.
+		wait := time.Duration(1 + c.jitter.Int63n(int64(backoff)))
 		select {
 		case <-c.done:
 			return

@@ -58,12 +58,25 @@ type DeviceInjector interface {
 	ClearFault(digi string) error
 }
 
+// SwarmInjector is the swarm-layer fault surface. *swarm.Pool
+// satisfies it directly: KillShard crashes a shard's broker (the
+// pool's health monitor detects the death and fails over),
+// ReviveShard brings it back, PartitionShard/HealShard sever and
+// restore its bridge links.
+type SwarmInjector interface {
+	KillShard(shard int) error
+	ReviveShard(shard int) error
+	PartitionShard(shard int) error
+	HealShard(shard int) error
+}
+
 // Engine applies compiled plans to a set of injectors and records
 // every injected fault and revert into the trace log.
 type Engine struct {
 	Broker  BrokerInjector
 	Cluster ClusterInjector
 	Devices DeviceInjector
+	Swarm   SwarmInjector
 	Log     *trace.Log
 	// Obs, when set, counts injected/recovered faults and times
 	// inject→revert windows. The recovered counter joins the shared
@@ -103,6 +116,8 @@ func (e *Engine) bindMetrics() *engineMetrics {
 // target names the fault's subject for the injected-counter label.
 func target(ev Event) string {
 	switch {
+	case shardFault(ev.Fault):
+		return fmt.Sprintf("shard-%d", ev.Shard)
 	case ev.Digi != "":
 		return ev.Digi
 	case ev.Node != "":
@@ -155,7 +170,8 @@ func Compile(p *Plan) ([]Step, error) {
 func revertible(f Fault) bool {
 	switch f {
 	case FaultDrop, FaultDelay, FaultDuplicate, FaultPartition,
-		FaultNodeDown, FaultStuck, FaultDropout, FaultOutlier:
+		FaultNodeDown, FaultStuck, FaultDropout, FaultOutlier,
+		FaultShardKill, FaultShardPartition:
 		return true
 	}
 	return false
@@ -342,6 +358,29 @@ func (e *Engine) apply(ev Event) (func(), error) {
 			return nil, fmt.Errorf("no device injector")
 		}
 		return nil, e.Devices.ClearFault(ev.Digi)
+	case FaultShardKill:
+		if e.Swarm == nil {
+			return nil, fmt.Errorf("no swarm injector")
+		}
+		if err := e.Swarm.KillShard(ev.Shard); err != nil {
+			return nil, err
+		}
+		shard := ev.Shard
+		return func() { _ = e.Swarm.ReviveShard(shard) }, nil
+	case FaultShardPartition:
+		if e.Swarm == nil {
+			return nil, fmt.Errorf("no swarm injector")
+		}
+		if err := e.Swarm.PartitionShard(ev.Shard); err != nil {
+			return nil, err
+		}
+		shard := ev.Shard
+		return func() { _ = e.Swarm.HealShard(shard) }, nil
+	case FaultShardRevive:
+		if e.Swarm == nil {
+			return nil, fmt.Errorf("no swarm injector")
+		}
+		return nil, e.Swarm.ReviveShard(ev.Shard)
 	}
 	return nil, fmt.Errorf("unknown fault %q", ev.Fault)
 }
@@ -369,6 +408,9 @@ func (e *Engine) logFault(ev Event, fault, detail string) {
 	if ev.Rate != 0 {
 		fields["rate"] = ev.Rate
 	}
+	if shardFault(ev.Fault) {
+		fields["shard"] = int64(ev.Shard)
+	}
 	name := ev.Digi
 	if name == "" {
 		name = ev.Node
@@ -377,7 +419,11 @@ func (e *Engine) logFault(ev Event, fault, detail string) {
 		name = ev.Client
 	}
 	if name == "" {
-		name = "broker"
+		if shardFault(ev.Fault) {
+			name = fmt.Sprintf("shard-%d", ev.Shard)
+		} else {
+			name = "broker"
+		}
 	}
 	e.Log.Append(trace.Record{Kind: trace.KindFault, Name: name, Type: "chaos",
 		Fault: fault, Detail: detail, Fields: fields})
@@ -397,6 +443,9 @@ func eventSignature(ev Event) string {
 	add("client", ev.Client)
 	add("from", ev.From)
 	add("topic", ev.Topic)
+	if shardFault(ev.Fault) {
+		fmt.Fprintf(&b, " shard=%d", ev.Shard)
+	}
 	if ev.Rate != 0 {
 		fmt.Fprintf(&b, " rate=%g", ev.Rate)
 	}

@@ -39,6 +39,10 @@ const (
 	FaultDropout Fault = "dropout" // sensor silent (no events, no publishes)
 	FaultOutlier Fault = "outlier" // sensor occasionally spikes out of range
 	FaultClear   Fault = "clear"   // clear an injected device fault
+	// Swarm layer.
+	FaultShardKill      Fault = "shard-kill"      // crash a broker shard; failover takes over
+	FaultShardPartition Fault = "shard-partition" // sever a shard's bridge links both ways
+	FaultShardRevive    Fault = "shard-revive"    // bring a killed shard back
 )
 
 // faultKinds is the closed set of valid Fault values.
@@ -47,7 +51,13 @@ var faultKinds = map[Fault]bool{
 	FaultDuplicate: true, FaultPartition: true, FaultHeal: true,
 	FaultNodeDown: true, FaultNodeUp: true, FaultPodCrash: true,
 	FaultStuck: true, FaultDropout: true, FaultOutlier: true,
-	FaultClear: true,
+	FaultClear: true, FaultShardKill: true, FaultShardPartition: true,
+	FaultShardRevive: true,
+}
+
+// shardFault reports whether f targets a swarm broker shard.
+func shardFault(f Fault) bool {
+	return f == FaultShardKill || f == FaultShardPartition || f == FaultShardRevive
 }
 
 // Event is one scheduled fault. Which scope and parameter fields are
@@ -85,6 +95,10 @@ type Event struct {
 	// Jitter widens At by a seeded random offset in [0, Jitter),
 	// resolved at compile time so schedules stay deterministic.
 	Jitter time.Duration
+	// Shard scopes swarm faults (shard-kill, shard-partition,
+	// shard-revive) to a broker shard index. -1 when the event does
+	// not carry one; 0 is a valid shard.
+	Shard int
 }
 
 // Plan is a named, seeded fault schedule.
@@ -136,6 +150,10 @@ func (p *Plan) Validate() error {
 		case FaultPodCrash, FaultStuck, FaultDropout, FaultOutlier, FaultClear:
 			if ev.Digi == "" {
 				bad(i, "%s: missing digi", ev.Fault)
+			}
+		case FaultShardKill, FaultShardPartition, FaultShardRevive:
+			if ev.Shard < 0 {
+				bad(i, "%s: missing shard", ev.Fault)
 			}
 		}
 	}
@@ -218,6 +236,10 @@ func PlanFromValue(v any) (*Plan, error) {
 			For:    time.Duration(asInt(em["for_ms"])) * time.Millisecond,
 			Value:  asFloat(em["value"]),
 			Jitter: time.Duration(asInt(em["jitter_ms"])) * time.Millisecond,
+			Shard:  -1,
+		}
+		if s, ok := em["shard"]; ok {
+			ev.Shard = int(asInt(s))
 		}
 		if gs, ok := em["groups"].([]any); ok {
 			for _, g := range gs {
@@ -274,6 +296,11 @@ func (p *Plan) Value() any {
 		}
 		if ev.Jitter != 0 {
 			em["jitter_ms"] = int64(ev.Jitter / time.Millisecond)
+		}
+		if shardFault(ev.Fault) {
+			// Always emitted for shard faults: 0 is a valid shard index,
+			// so presence — not non-zero-ness — carries the information.
+			em["shard"] = int64(ev.Shard)
 		}
 		if len(ev.Groups) > 0 {
 			var gs []any

@@ -80,6 +80,13 @@ func (tb *Testbed) ChaosEngine() *chaos.Engine {
 	if tb.Broker != nil {
 		e.Broker = brokerInjector{tb.Broker}
 	}
+	tb.mu.Lock()
+	if tb.activeSwarm != nil {
+		// Shard faults address the swarm run in flight; without one
+		// they are skipped (recorded in the chaos report), not fatal.
+		e.Swarm = tb.activeSwarm
+	}
+	tb.mu.Unlock()
 	return e
 }
 

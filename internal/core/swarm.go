@@ -11,6 +11,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/digi"
 	"repro/internal/kube"
 	"repro/internal/swarm"
@@ -28,6 +29,20 @@ type SwarmSpec struct {
 	// per-device random walks) instead of the generator's synthetic
 	// padded JSON.
 	Mock bool
+	// Kills schedules shard-kill faults during the run — the failover
+	// drill. Each kill is compiled into a chaos plan (seeded from the
+	// load seed) and applied by the pool's self-healing plane.
+	Kills []ShardKill
+}
+
+// ShardKill is one scheduled shard crash: shard Shard dies At into the
+// run; when For > 0 a revive is scheduled at At+For, otherwise the
+// shard stays down and its keys live on the survivors for the rest of
+// the run.
+type ShardKill struct {
+	Shard int
+	At    time.Duration
+	For   time.Duration
 }
 
 // swarmWorkerImage is the kube image name of a swarm generator worker.
@@ -66,12 +81,21 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 		shards = swarm.RequiredShards(load.Devices)
 	}
 
+	for _, k := range spec.Kills {
+		if k.Shard < 0 || k.Shard >= shards {
+			return nil, fmt.Errorf("core: kill-shard %d out of range (pool has %d shards)", k.Shard, shards)
+		}
+	}
+
 	pool := swarm.NewPool(swarm.PoolOptions{
 		Shards: shards,
 		Obs:    tb.Obs,
 		Tracer: tb.Tracer,
+		Health: swarm.HealthOptions{Seed: load.Seed},
 	})
 	defer pool.Close()
+	tb.setActiveSwarm(pool)
+	defer tb.setActiveSwarm(nil)
 
 	// Mock mode publishes through the digi swarm fleet so payloads are
 	// the runtime's deterministic random walks; either way the pool is
@@ -126,14 +150,72 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 	}
 	defer tb.deleteSwarmPods(podNames)
 
+	// The kill schedule runs as a chaos plan concurrently with the
+	// load: each kill fires through the pool's SwarmInjector surface
+	// and the health monitor's failover takes it from there. The plan
+	// walk is cancelled (not abandoned) if the run errors out first.
+	var chaosDone chan error
+	chaosCtx, cancelChaos := context.WithCancel(ctx)
+	defer cancelChaos()
+	if len(spec.Kills) > 0 {
+		plan := killPlan(load.Seed, spec.Kills)
+		eng := tb.ChaosEngine()
+		eng.Swarm = pool
+		chaosDone = make(chan error, 1)
+		go func() {
+			_, err := eng.Run(chaosCtx, plan)
+			chaosDone <- err
+		}()
+	}
+
 	placements, err := tb.waitSwarmPods(ctx, podNames, load.Duration+tb.opts.ReadyTimeout)
 	if err != nil {
 		return nil, err
+	}
+	if chaosDone != nil {
+		if err := <-chaosDone; err != nil {
+			return nil, fmt.Errorf("core: swarm kill schedule: %w", err)
+		}
 	}
 
 	rep := sess.Finish(tb.opts.ReadyTimeout)
 	rep.Placements = placements
 	return rep, nil
+}
+
+// killPlan compiles a kill schedule into a chaos plan.
+func killPlan(seed int64, kills []ShardKill) *chaos.Plan {
+	p := &chaos.Plan{Name: "swarm-kills", Seed: seed}
+	for _, k := range kills {
+		p.Events = append(p.Events, chaos.Event{
+			At:    k.At,
+			Fault: chaos.FaultShardKill,
+			Shard: k.Shard,
+			For:   k.For,
+		})
+	}
+	return p
+}
+
+// setActiveSwarm publishes (or clears) the in-flight swarm pool for
+// chaos targeting and the /readyz shard-health probe.
+func (tb *Testbed) setActiveSwarm(p *swarm.Pool) {
+	tb.mu.Lock()
+	tb.activeSwarm = p
+	tb.mu.Unlock()
+}
+
+// SwarmHealth reports the in-flight swarm pool's shard health for the
+// readiness probe: total shards and how many are down. A testbed with
+// no swarm run in flight is trivially ready (0, nil).
+func (tb *Testbed) SwarmHealth() (shards int, down []int) {
+	tb.mu.Lock()
+	p := tb.activeSwarm
+	tb.mu.Unlock()
+	if p == nil {
+		return 0, nil
+	}
+	return p.NumShards(), p.DownShards()
 }
 
 // waitSwarmPods polls until every pod succeeded, returning pod→node

@@ -2,9 +2,11 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"testing"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/swarm"
 )
 
@@ -111,6 +113,65 @@ func TestRunSwarmMockFleet(t *testing.T) {
 	// Shards defaulted from the device count: 40 devices fit one shard.
 	if rep.Shards != 1 {
 		t.Fatalf("shards = %d, want 1", rep.Shards)
+	}
+}
+
+// TestRunSwarmFailoverDeterminism is the failover replay contract: two
+// fresh testbeds running the same seeded load with the same kill
+// schedule survive with zero loss, record exactly one failover each,
+// and log identical chaos fault signatures — the kill timeline is a
+// pure function of (seed, schedule), not of detection timing.
+func TestRunSwarmFailoverDeterminism(t *testing.T) {
+	run := func() (*swarm.Report, []string) {
+		tb := swarmTestbed(t,
+			NodeSpec{Name: "n0", Capacity: 16, Zone: "local"},
+			NodeSpec{Name: "n1", Capacity: 16, Zone: "local"},
+		)
+		rep, err := tb.RunSwarm(context.Background(), SwarmSpec{
+			Shards: 3,
+			Load: swarm.LoadSpec{
+				Profile:  swarm.ProfileOpen,
+				Devices:  60,
+				Rate:     3000,
+				Duration: 600 * time.Millisecond,
+				Workers:  2,
+				QoS:      1,
+				Subs:     2,
+				Seed:     21,
+			},
+			Kills: []ShardKill{{Shard: 1, At: 150 * time.Millisecond, For: 250 * time.Millisecond}},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep, chaos.Signature(tb.Log.Records())
+	}
+	repA, sigA := run()
+	repB, sigB := run()
+	for _, rep := range []*swarm.Report{repA, repB} {
+		if rep.Lost != 0 {
+			t.Fatalf("lost %d of %d expected deliveries across the kill", rep.Lost, rep.Expected)
+		}
+		if rep.Failovers != 1 {
+			t.Fatalf("failovers = %d, want 1", rep.Failovers)
+		}
+		if rep.Shed != 0 {
+			t.Fatalf("shed %d journaled messages", rep.Shed)
+		}
+		if err := rep.GateRecovery(1, 5000); err != nil {
+			t.Fatal(err)
+		}
+		// The kill was bounded by For, so the run ends with every shard
+		// back up.
+		if len(rep.ShardsDown) != 0 {
+			t.Fatalf("shards still down at run end: %v", rep.ShardsDown)
+		}
+	}
+	if len(sigA) == 0 {
+		t.Fatal("empty chaos signature — the kill schedule never logged")
+	}
+	if fmt.Sprint(sigA) != fmt.Sprint(sigB) {
+		t.Fatalf("fault signatures differ across identical runs\nA: %v\nB: %v", sigA, sigB)
 	}
 }
 

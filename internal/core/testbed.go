@@ -36,6 +36,7 @@ import (
 	"repro/internal/property"
 	"repro/internal/repo"
 	"repro/internal/rest"
+	"repro/internal/swarm"
 	"repro/internal/trace"
 )
 
@@ -126,6 +127,11 @@ type Testbed struct {
 	// swarmMu serializes RunSwarm sessions: one load run owns the
 	// swarm-worker image and pod names at a time.
 	swarmMu sync.Mutex
+	// activeSwarm is the pool of the RunSwarm session in flight, when
+	// one is: chaos shard faults and the /readyz shard-health probe
+	// address it. Guarded by mu (not swarmMu — readers must not block
+	// on a running session).
+	activeSwarm *swarm.Pool
 	// podNode caches digi -> node placements for delay lookups.
 	podNode sync.Map // name -> node name
 

@@ -96,10 +96,28 @@ type SwarmRequest struct {
 	Prefix      string  `json:"prefix,omitempty"`
 	Shards      int     `json:"shards,omitempty"`
 	Mock        bool    `json:"mock,omitempty"`
+	// Kills is the failover-drill schedule (`dbox swarm -kill-shard`).
+	Kills []SwarmKill `json:"kills,omitempty"`
+}
+
+// SwarmKill schedules one shard crash: shard Shard dies at AtSec into
+// the run; with ForSec > 0 it revives that many seconds later.
+type SwarmKill struct {
+	Shard  int     `json:"shard"`
+	AtSec  float64 `json:"at_sec"`
+	ForSec float64 `json:"for_sec,omitempty"`
 }
 
 // spec converts the wire request into the core spec.
 func (r SwarmRequest) spec() core.SwarmSpec {
+	var kills []core.ShardKill
+	for _, k := range r.Kills {
+		kills = append(kills, core.ShardKill{
+			Shard: k.Shard,
+			At:    time.Duration(k.AtSec * float64(time.Second)),
+			For:   time.Duration(k.ForSec * float64(time.Second)),
+		})
+	}
 	return core.SwarmSpec{
 		Load: swarm.LoadSpec{
 			Profile:  swarm.Profile(r.Profile),
@@ -116,6 +134,7 @@ func (r SwarmRequest) spec() core.SwarmSpec {
 		},
 		Shards: r.Shards,
 		Mock:   r.Mock,
+		Kills:  kills,
 	}
 }
 
@@ -200,6 +219,8 @@ func decode[T any](w http.ResponseWriter, r *http.Request, dst *T) bool {
 // Handler returns the control API handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /ctl/status", s.handleStatus)
 	mux.HandleFunc("GET /ctl/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ctl/metrics.json", s.handleMetricsJSON)
@@ -251,6 +272,29 @@ func (s *Server) Close() error {
 		return nil
 	}
 	return s.httpServer.Close()
+}
+
+// handleHealthz is the liveness probe: the process is up and serving,
+// so the answer is always 200. Degraded state belongs to /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}
+
+// handleReadyz is the readiness probe: 200 while every broker shard of
+// the swarm run in flight (if any) is healthy, 503 with the down list
+// while a failover is pending or a shard stays dead. A testbed with no
+// swarm run is trivially ready.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	shards, down := s.TB.SwarmHealth()
+	body := map[string]any{"ready": len(down) == 0, "shards": shards}
+	if len(down) > 0 {
+		body["down"] = down
+		writeJSON(w, http.StatusServiceUnavailable, body)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {

@@ -1,7 +1,12 @@
 package ctl
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sync"
 	"testing"
+	"time"
 )
 
 // TestSwarmOverHTTP drives a short closed-loop swarm run through the
@@ -32,6 +37,96 @@ func TestSwarmOverHTTP(t *testing.T) {
 	}
 	if len(rep.Placements) != 2 {
 		t.Fatalf("placements = %v, want both worker pods", rep.Placements)
+	}
+}
+
+// TestHealthzReadyzOverHTTP pins the probe endpoints: /healthz is
+// liveness and always answers 200 while the daemon serves; /readyz
+// tracks swarm shard health — 200 when no shard is down, 503 naming
+// the down shards while a killed shard stays dead mid-run, and 200
+// again once the run ends.
+func TestHealthzReadyzOverHTTP(t *testing.T) {
+	_, cli := startServer(t, "")
+	get := func(path string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Get(cli.Base + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, body
+	}
+
+	// Idle daemon: live and trivially ready.
+	if code, body := get("/healthz"); code != http.StatusOK || string(body) != "ok\n" {
+		t.Fatalf("GET /healthz = %d %q, want 200 \"ok\"", code, body)
+	}
+	code, body := get("/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /readyz idle = %d (%s), want 200", code, body)
+	}
+	var ready struct {
+		Ready  bool  `json:"ready"`
+		Shards int   `json:"shards"`
+		Down   []int `json:"down"`
+	}
+	if err := json.Unmarshal(body, &ready); err != nil || !ready.Ready {
+		t.Fatalf("GET /readyz idle body = %s (err %v), want ready:true", body, err)
+	}
+
+	// A swarm run that loses shard 1 at 100ms and never revives it:
+	// readiness must degrade to 503 for the rest of the run.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var runErr error
+	go func() {
+		defer wg.Done()
+		_, runErr = cli.Swarm(SwarmRequest{
+			Profile:     "open",
+			Devices:     40,
+			Rate:        1500,
+			DurationSec: 1.2,
+			Workers:     2,
+			QoS:         1,
+			Subscribers: 1,
+			Shards:      2,
+			Kills:       []SwarmKill{{Shard: 1, AtSec: 0.1}},
+		})
+	}()
+	sawDegraded := false
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		code, body := get("/readyz")
+		if code == http.StatusServiceUnavailable {
+			if err := json.Unmarshal(body, &ready); err != nil {
+				t.Fatalf("degraded /readyz body %s: %v", body, err)
+			}
+			if ready.Ready || ready.Shards != 2 || len(ready.Down) != 1 || ready.Down[0] != 1 {
+				t.Fatalf("degraded /readyz body = %s, want ready:false shards:2 down:[1]", body)
+			}
+			sawDegraded = true
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !sawDegraded {
+		t.Fatal("readyz never reported the killed shard")
+	}
+	// Liveness is unaffected by a dead shard.
+	if code, _ := get("/healthz"); code != http.StatusOK {
+		t.Fatalf("GET /healthz during degraded run = %d, want 200", code)
+	}
+	wg.Wait()
+	if runErr != nil {
+		t.Fatalf("swarm run failed: %v", runErr)
+	}
+	// The run is over: no active pool, trivially ready again.
+	if code, body := get("/readyz"); code != http.StatusOK {
+		t.Fatalf("GET /readyz after run = %d (%s), want 200", code, body)
 	}
 }
 

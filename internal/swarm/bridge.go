@@ -30,12 +30,23 @@ const bridgePrefix = "swarm!"
 // client's subscriptions live on one shard (the pool anchors by client
 // id; a wire client is connected to exactly one shard), so exactly one
 // broker applies MQTT's per-client overlapping-filter dedup for it.
+//
+// Failover awareness: a forward whose target shard is dead (closed) or
+// whose link is severed by a shard-partition fault is not lost — it is
+// spilled into the pool's bounded journal, keyed by the shard whose
+// outage gated it, and replayed when that shard fails over or heals.
 type bridge struct {
 	shards []*broker.Broker
+
+	// spill journals a forward the bridge could not deliver:
+	// gate is the shard whose outage caused it (the journal key),
+	// target the shard the forward was headed to.
+	spill func(gate int, kind pendKind, target int, from, topic string, payload []byte, qos byte, retain bool)
 
 	mu       sync.RWMutex
 	concrete map[string]map[int]int // exact filter -> shard -> refcount
 	wild     map[string]map[int]int // wildcard filter -> shard -> refcount
+	severed  map[int]bool           // shard-partition: links cut both ways
 
 	forwards int64 // publishes forwarded shard-to-shard
 }
@@ -44,6 +55,7 @@ func newBridge() *bridge {
 	return &bridge{
 		concrete: map[string]map[int]int{},
 		wild:     map[string]map[int]int{},
+		severed:  map[int]bool{},
 	}
 }
 
@@ -79,13 +91,16 @@ func (br *bridge) subHook(i int) func(clientID, filter string, add bool) {
 
 // routeHook returns the RouteHook for shard i: decide which sibling
 // shards need this publish and forward it with the bridge-prefixed
-// publisher identity.
+// publisher identity. Targets that are dead or behind a severed link
+// are spilled to the journal instead of silently dropped.
 func (br *bridge) routeHook(i int) func(from, topic string, payload []byte, qos byte, retain bool) {
 	return func(from, topic string, payload []byte, qos byte, retain bool) {
 		if strings.HasPrefix(from, bridgePrefix) {
 			return // already forwarded once; single hop only
 		}
 		var targets []int
+		br.mu.RLock()
+		sourceCut := br.severed[i]
 		if retain {
 			// Replicate retained state everywhere.
 			for t := range br.shards {
@@ -95,7 +110,6 @@ func (br *bridge) routeHook(i int) func(from, topic string, payload []byte, qos 
 			}
 		} else {
 			seen := map[int]bool{i: true}
-			br.mu.RLock()
 			for t := range br.concrete[topic] {
 				if !seen[t] {
 					seen[t] = true
@@ -113,13 +127,83 @@ func (br *bridge) routeHook(i int) func(from, topic string, payload []byte, qos 
 					}
 				}
 			}
-			br.mu.RUnlock()
 		}
+		// Capture destination brokers and the blocked decision while the
+		// lock is held: ReviveShard swaps slice elements under the write
+		// lock, so element reads outside it would race the swap.
+		blocked := make([]int, 0, len(targets)) // journal gate per target; -1 = deliverable
+		dests := make([]*broker.Broker, 0, len(targets))
 		for _, t := range targets {
+			dests = append(dests, br.shards[t])
+			switch {
+			case !br.shards[t].Alive() || br.severed[t]:
+				blocked = append(blocked, t) // target-side outage gates it
+			case sourceCut:
+				blocked = append(blocked, i) // our own link is cut
+			default:
+				blocked = append(blocked, -1)
+			}
+		}
+		br.mu.RUnlock()
+		for k, t := range targets {
+			if gate := blocked[k]; gate >= 0 {
+				br.spill(gate, pendForward, t, from, topic, payload, qos, retain)
+				continue
+			}
 			atomic.AddInt64(&br.forwards, 1)
-			// Validation already passed on the receiving shard; errors
-			// here would only repeat it.
-			br.shards[t].PublishQoS(bridgePrefix+from, topic, payload, qos, retain)
+			// Validation already passed on the receiving shard; the only
+			// surviving error is ErrClosed from a shard dying between the
+			// liveness check and the forward — journal it like any other
+			// dead-target forward.
+			if dests[k].PublishQoS(bridgePrefix+from, topic, payload, qos, retain) != nil {
+				br.spill(t, pendForward, t, from, topic, payload, qos, retain)
+			}
+		}
+	}
+}
+
+// setShard swaps the broker serving shard slot i — ReviveShard's
+// replacement of a dead broker. Runs under the bridge write lock so
+// in-flight routeHooks never observe a torn slice element.
+func (br *bridge) setShard(i int, b *broker.Broker) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	br.shards[i] = b
+}
+
+// setSevered cuts (or restores) shard i's bridge links in both
+// directions — the shard-partition chaos fault.
+func (br *bridge) setSevered(i int, cut bool) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	if cut {
+		br.severed[i] = true
+	} else {
+		delete(br.severed, i)
+	}
+}
+
+// isSevered reports whether shard i's links are currently cut.
+func (br *bridge) isSevered(i int) bool {
+	br.mu.RLock()
+	defer br.mu.RUnlock()
+	return br.severed[i]
+}
+
+// dropShard removes every index entry anchored on shard d — the bridge
+// half of failover re-anchoring. The migrated subscriptions re-enter
+// the index through the survivors' SubscribeHooks.
+func (br *bridge) dropShard(d int) {
+	br.mu.Lock()
+	defer br.mu.Unlock()
+	for _, idx := range []map[string]map[int]int{br.concrete, br.wild} {
+		for filter, shards := range idx {
+			if _, ok := shards[d]; ok {
+				delete(shards, d)
+				if len(shards) == 0 {
+					delete(idx, filter)
+				}
+			}
 		}
 	}
 }

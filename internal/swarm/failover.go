@@ -1,0 +1,526 @@
+package swarm
+
+import (
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/broker"
+	"repro/internal/clock"
+)
+
+// This file is the pool's self-healing plane. A health monitor probes
+// every shard on the pool clock; when one stops answering it runs a
+// failover under the exclusive placement lock: the dead shard's keys
+// re-anchor to ring survivors, its in-process subscriptions migrate
+// (without retained replay — the clients never unsubscribed), retained
+// state the survivors miss is re-replicated, and every message the
+// journal parked against the outage is redelivered so QoS 1
+// accounting stays exact. Chaos faults (shard-kill / shard-partition /
+// shard-revive) and `dbox swarm -kill-shard` drive the same paths.
+
+// HealthOptions tunes shard failure detection and the failover
+// journal. The zero value means defaults.
+type HealthOptions struct {
+	// ProbeInterval is the health probe tick; default 25ms.
+	ProbeInterval time.Duration
+	// FailThreshold is the number of consecutive failed probes that
+	// declares a shard dead and triggers failover; default 3.
+	FailThreshold int
+	// ReprobeMax caps the exponential backoff between liveness
+	// reprobes of a down shard; default 1s.
+	ReprobeMax time.Duration
+	// PendingLimit bounds the per-shard journal of messages parked
+	// during an outage; overflow is shed (counted, never blocking).
+	// Default 16384.
+	PendingLimit int
+	// Seed seeds the reprobe backoff jitter so deterministic harnesses
+	// replay identical probe schedules. 0 is a valid (fixed) seed.
+	Seed int64
+	// Disable skips starting the monitor; KillShard/ReviveShard and
+	// the journal still work, detection just never fires on its own.
+	// Single-broker tests that close the pool abruptly use this.
+	Disable bool
+}
+
+func (h HealthOptions) withDefaults() HealthOptions {
+	if h.ProbeInterval <= 0 {
+		h.ProbeInterval = 25 * time.Millisecond
+	}
+	if h.FailThreshold <= 0 {
+		h.FailThreshold = 3
+	}
+	if h.ReprobeMax <= 0 {
+		h.ReprobeMax = time.Second
+	}
+	if h.PendingLimit <= 0 {
+		h.PendingLimit = 16384
+	}
+	return h
+}
+
+// pendKind says how a journaled message re-enters the pool at flush.
+type pendKind uint8
+
+const (
+	// pendPublish: the message's home shard was dead at publish time,
+	// so nobody saw it. Replay through the re-anchored ring gives it
+	// the full fan-out exactly once.
+	pendPublish pendKind = iota
+	// pendForward: a bridge forward to one shard failed after every
+	// other shard already delivered. Redeliver only to the clients
+	// that were waiting on the target, never re-fan-out.
+	pendForward
+)
+
+// pendingMsg is one journaled message.
+type pendingMsg struct {
+	kind    pendKind
+	target  int // shard the message was headed to
+	from    string
+	topic   string
+	payload []byte
+	qos     byte
+	retain  bool
+}
+
+// pendJournal parks messages gated by a shard outage, keyed by the
+// gating shard, bounded per shard. Overflow sheds the newest message
+// and counts it — graceful degradation over unbounded growth or
+// blocking a publish path. Lock order: pool.topo before pendJournal.mu.
+type pendJournal struct {
+	mu      sync.Mutex
+	limit   int
+	pending map[int][]pendingMsg
+	shed    int64
+}
+
+func newPendJournal(limit int) *pendJournal {
+	return &pendJournal{limit: limit, pending: map[int][]pendingMsg{}}
+}
+
+// spill parks one message against gate. Called from the pool publish
+// path (home shard dead) and the bridge forward path (target dead or
+// link severed).
+func (j *pendJournal) spill(gate int, kind pendKind, target int, from, topic string, payload []byte, qos byte, retain bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.pending[gate]
+	if len(q) >= j.limit {
+		j.shed++
+		return
+	}
+	// Copy the payload: broker delivery paths may reuse buffers, and a
+	// journaled message outlives its publish call by design.
+	buf := make([]byte, len(payload))
+	copy(buf, payload)
+	j.pending[gate] = append(q, pendingMsg{
+		kind: kind, target: target, from: from, topic: topic,
+		payload: buf, qos: qos, retain: retain,
+	})
+}
+
+// drain removes and returns gate's queue in FIFO order.
+func (j *pendJournal) drain(gate int) []pendingMsg {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	q := j.pending[gate]
+	delete(j.pending, gate)
+	return q
+}
+
+// depth returns the total number of parked messages.
+func (j *pendJournal) depth() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	n := 0
+	for _, q := range j.pending {
+		n += len(q)
+	}
+	return n
+}
+
+func (j *pendJournal) shedCount() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.shed
+}
+
+// healthMonitor is the pool's failure detector: one goroutine probing
+// Broker.Alive on every tick of the pool clock.
+type healthMonitor struct {
+	p    *Pool
+	stop chan struct{}
+	done chan struct{}
+}
+
+func (p *Pool) startMonitor() *healthMonitor {
+	m := &healthMonitor{p: p, stop: make(chan struct{}), done: make(chan struct{})}
+	go m.run()
+	return m
+}
+
+// stopWait signals the monitor and blocks until its goroutine exits —
+// the leakcheck contract for Pool.Close.
+func (m *healthMonitor) stopWait() {
+	close(m.stop)
+	<-m.done
+}
+
+func (m *healthMonitor) run() {
+	defer close(m.done)
+	p := m.p
+	h := p.opts.Health
+	jit := clock.NewJitter(h.Seed)
+	n := p.NumShards()
+	fails := make([]int, n) // consecutive failed probes, alive shards
+	firstFail := make([]time.Time, n)
+	backoff := make([]time.Duration, n) // reprobe backoff, down shards
+	nextProbe := make([]time.Time, n)
+	tick := p.clk.NewTicker(h.ProbeInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-m.stop:
+			return
+		case <-tick.C():
+		}
+		now := p.clk.Now()
+		for i := 0; i < n; i++ {
+			if p.ShardDown(i) {
+				// Down shard: reprobe for external revival on a capped
+				// exponential backoff with full seeded jitter, so a big
+				// pool's reprobes never synchronize into a thundering
+				// herd against a recovering shard.
+				if backoff[i] == 0 {
+					backoff[i] = h.ProbeInterval
+					nextProbe[i] = now
+				}
+				if now.Before(nextProbe[i]) {
+					continue
+				}
+				if p.Shard(i).Alive() {
+					// Somebody swapped a live broker in without going
+					// through ReviveShard — finish the recovery.
+					p.ReviveShard(i)
+					backoff[i], fails[i] = 0, 0
+					continue
+				}
+				backoff[i] *= 2
+				if backoff[i] > h.ReprobeMax {
+					backoff[i] = h.ReprobeMax
+				}
+				nextProbe[i] = now.Add(time.Duration(1 + jit.Int63n(int64(backoff[i]))))
+				continue
+			}
+			backoff[i] = 0
+			if p.Shard(i).Alive() {
+				fails[i] = 0
+				continue
+			}
+			if fails[i] == 0 {
+				firstFail[i] = now
+			}
+			if fails[i]++; fails[i] >= h.FailThreshold {
+				p.failover(i, firstFail[i])
+				fails[i] = 0
+			}
+		}
+	}
+}
+
+// failover takes over a dead shard: re-anchor its keys and
+// subscriptions onto ring survivors, re-replicate retained state the
+// survivors miss, and flush the journal so every parked QoS 1 message
+// is delivered exactly once per subscriber. Holding topo exclusively
+// for the whole sequence is what makes the accounting exact: no pool
+// publish can land in a half-migrated topology.
+func (p *Pool) failover(dead int, detected time.Time) {
+	p.topo.Lock()
+	if dead < 0 || dead >= len(p.shards) || p.ring.isDown(dead) || p.ring.alive <= 1 {
+		// Already handled, or no survivor exists to take over.
+		p.topo.Unlock()
+		return
+	}
+	p.ring.markDown(dead)
+	p.bridge.dropShard(dead)
+	// The dead broker's trie still names its subscriptions; the pool
+	// registry holds the delivery functions. Cross-check them so a
+	// registry bug surfaces as a log line, then migrate from the
+	// registry (the authoritative side).
+	exported := len(p.shards[dead].ExportSubscriptions())
+	moved := p.migrated[dead]
+	if moved == nil {
+		moved = map[string]bool{}
+		p.migrated[dead] = moved
+	}
+	migratedSubs := 0
+	for id, pc := range p.reg {
+		if pc.owner != dead {
+			continue
+		}
+		newOwner := p.ring.shardFor(id)
+		for filter, sub := range pc.subs {
+			// Resubscribe, not Subscribe: the client never unsubscribed,
+			// so replaying retained messages here would double-deliver.
+			if err := p.shards[newOwner].ResubscribeInProcess(id, filter, sub.qos, sub.fn); err != nil {
+				p.logf("swarm: failover shard=%d: re-anchor %s %q: %v", dead, id, filter, err)
+				continue
+			}
+			migratedSubs++
+		}
+		pc.owner = newOwner
+		moved[id] = true
+	}
+	if wire := exported - migratedSubs; wire > 0 {
+		// Wire-client subscriptions die with their TCP sessions; their
+		// owners reconnect to a live shard and resubscribe themselves
+		// (broker client reconnect path). Nothing to take over here.
+		p.logf("swarm: failover shard=%d: %d wire subscription(s) left to client reconnect", dead, wire)
+	}
+	// Re-replicate retained messages the survivors miss. The bridge
+	// replicates retained publishes to every shard at route time, so
+	// this is normally empty — it covers retained state that raced the
+	// shard's death.
+	reReplicated := 0
+	if dr := p.shards[dead].ExportRetained(); len(dr) > 0 {
+		for s, sh := range p.shards {
+			if s == dead || !sh.Alive() || p.ring.isDown(s) {
+				continue
+			}
+			have := map[string]bool{}
+			for _, m := range sh.ExportRetained() {
+				have[m.Topic] = true
+			}
+			var missing []broker.Message
+			for _, m := range dr {
+				if !have[m.Topic] {
+					missing = append(missing, m)
+				}
+			}
+			sh.ImportRetained(missing)
+			reReplicated += len(missing)
+		}
+	}
+	redelivered := p.flushGateLocked(dead, -1)
+	p.topo.Unlock()
+
+	elapsed := p.clk.Since(detected).Seconds()
+	p.statMu.Lock()
+	p.failovers++
+	p.recoveries = append(p.recoveries, elapsed)
+	p.statMu.Unlock()
+	p.failoverTotal.Inc()
+	p.failoverSec.Observe(elapsed)
+	p.shardUp.With(strconv.Itoa(dead)).Set(0)
+	p.logf("swarm: failover shard=%d complete in %.1fms: %d client(s) re-anchored, %d sub(s) migrated, %d retained re-replicated, %d redelivered",
+		dead, elapsed*1000, len(moved), migratedSubs, reReplicated, redelivered)
+}
+
+// flushGateLocked drains and replays every message parked against
+// gate. Caller holds topo exclusively. skipRetainedTo suppresses
+// retained forwards into that shard (it was just seeded from a donor
+// replica, which is at least as fresh); pass -1 to keep them.
+// Returns the number of messages redelivered directly to migrated
+// clients.
+func (p *Pool) flushGateLocked(gate, skipRetainedTo int) int {
+	redelivered := 0
+	for _, m := range p.pend.drain(gate) {
+		switch m.kind {
+		case pendPublish:
+			// Nobody saw this message: replay through the current ring
+			// for the full fan-out.
+			if err := p.publishLocked(m.from, m.topic, m.payload, m.qos, m.retain); err != nil {
+				p.logf("swarm: flush shard=%d: replay %q: %v", gate, m.topic, err)
+			}
+		case pendForward:
+			if m.retain && m.target == skipRetainedTo {
+				continue
+			}
+			if moved := p.migrated[m.target]; len(moved) > 0 {
+				// The target's clients migrated: hand the message to
+				// exactly those clients, wherever they live now.
+				redelivered += p.redeliverLocked(moved, m)
+				continue
+			}
+			if p.shards[m.target].Alive() && !p.ring.isDown(m.target) {
+				if err := p.shards[m.target].PublishQoS(bridgePrefix+m.from, m.topic, m.payload, m.qos, m.retain); err == nil {
+					continue
+				}
+			}
+			// Target still out (or died again mid-flush): park it back
+			// against the target itself.
+			p.pend.spill(m.target, pendForward, m.target, m.from, m.topic, m.payload, m.qos, m.retain)
+		}
+	}
+	p.statMu.Lock()
+	p.redelivers += int64(redelivered)
+	p.statMu.Unlock()
+	return redelivered
+}
+
+// redeliverLocked delivers one parked forward directly to the
+// migrated clients that were waiting on its dead target, applying
+// MQTT's per-client overlapping-filter rule: one delivery per client
+// at the highest matching subscription QoS (capped by the publish
+// QoS). Caller holds topo exclusively.
+func (p *Pool) redeliverLocked(moved map[string]bool, m pendingMsg) int {
+	n := 0
+	for id := range moved {
+		pc := p.reg[id]
+		if pc == nil {
+			continue // client unsubscribed entirely since migration
+		}
+		var fn func(broker.Message)
+		var best byte
+		for filter, sub := range pc.subs {
+			if broker.MatchTopic(filter, m.topic) && (fn == nil || sub.qos > best) {
+				fn, best = sub.fn, sub.qos
+			}
+		}
+		if fn == nil {
+			continue
+		}
+		qos := m.qos
+		if best < qos {
+			qos = best
+		}
+		fn(broker.Message{Topic: m.topic, Payload: m.payload, QoS: qos, Retained: m.retain})
+		n++
+	}
+	return n
+}
+
+// KillShard closes shard i's broker without telling the pool — the
+// chaos shard-kill fault. The health monitor detects the death and
+// runs the failover, exactly as it would for a real crash.
+func (p *Pool) KillShard(i int) error {
+	p.topo.RLock()
+	if i < 0 || i >= len(p.shards) {
+		p.topo.RUnlock()
+		return fmt.Errorf("swarm: kill-shard %d: pool has %d shards", i, len(p.shards))
+	}
+	sh := p.shards[i]
+	p.topo.RUnlock()
+	sh.Close()
+	p.logf("swarm: chaos killed shard %d", i)
+	return nil
+}
+
+// ReviveShard replaces a dead shard with a fresh broker, seeds its
+// retained replica from a survivor, marks it alive on the ring (its
+// original keys re-anchor back — shardFor is a pure function of the
+// alive set), and flushes any messages still parked against it.
+// Migrated in-process clients stay where failover put them: placement
+// is sticky, and the bridge makes placement a performance detail, not
+// a correctness one.
+func (p *Pool) ReviveShard(i int) error {
+	p.topo.Lock()
+	if i < 0 || i >= len(p.shards) {
+		p.topo.Unlock()
+		return fmt.Errorf("swarm: revive-shard %d: pool has %d shards", i, len(p.shards))
+	}
+	swapped := false
+	if !p.shards[i].Alive() {
+		nb := p.newShardBroker(i)
+		for s, sh := range p.shards {
+			if s != i && sh.Alive() && !p.ring.isDown(s) {
+				nb.ImportRetained(sh.ExportRetained())
+				break
+			}
+		}
+		p.shards[i] = nb
+		p.bridge.setShard(i, nb)
+		swapped = true
+		// Clients still recorded on i never migrated (no survivor was
+		// available, e.g. a single-shard pool): re-anchor them onto the
+		// fresh broker so their subscriptions live again.
+		for id, pc := range p.reg {
+			if pc.owner != i {
+				continue
+			}
+			for filter, sub := range pc.subs {
+				if err := nb.ResubscribeInProcess(id, filter, sub.qos, sub.fn); err != nil {
+					p.logf("swarm: revive shard=%d: re-anchor %s %q: %v", i, id, filter, err)
+				}
+			}
+		}
+	}
+	if p.ring.isDown(i) {
+		p.ring.markUp(i)
+	}
+	skipRetained := -1
+	if swapped {
+		skipRetained = i // retained already seeded from the donor replica
+	}
+	p.flushGateLocked(i, skipRetained)
+	p.topo.Unlock()
+	p.shardUp.With(strconv.Itoa(i)).Set(1)
+	p.logf("swarm: shard %d revived", i)
+	return nil
+}
+
+// PartitionShard severs shard i's bridge links in both directions —
+// the chaos shard-partition fault. The shard stays alive and serves
+// its own clients; cross-shard traffic parks in the journal until
+// HealShard.
+func (p *Pool) PartitionShard(i int) error {
+	p.topo.Lock()
+	defer p.topo.Unlock()
+	if i < 0 || i >= len(p.shards) {
+		return fmt.Errorf("swarm: partition-shard %d: pool has %d shards", i, len(p.shards))
+	}
+	p.bridge.setSevered(i, true)
+	p.logf("swarm: chaos partitioned shard %d (bridge links severed)", i)
+	return nil
+}
+
+// HealShard restores shard i's bridge links and flushes everything
+// the partition parked, in publish order. Concurrent retained writes
+// during the partition resolve last-flush-wins.
+func (p *Pool) HealShard(i int) error {
+	p.topo.Lock()
+	defer p.topo.Unlock()
+	if i < 0 || i >= len(p.shards) {
+		return fmt.Errorf("swarm: heal-shard %d: pool has %d shards", i, len(p.shards))
+	}
+	p.bridge.setSevered(i, false)
+	p.flushGateLocked(i, -1)
+	p.logf("swarm: shard %d partition healed", i)
+	return nil
+}
+
+// FailoverStats is the self-healing slice of a pool's counters.
+type FailoverStats struct {
+	// Failovers is the number of completed shard takeovers.
+	Failovers int64 `json:"failovers"`
+	// Redelivered counts journaled messages delivered directly to
+	// migrated clients after a takeover.
+	Redelivered int64 `json:"redelivered"`
+	// Shed counts messages dropped from the bounded journal.
+	Shed int64 `json:"shed"`
+	// RecoverySec holds one detection→completion duration per
+	// failover, in seconds.
+	RecoverySec []float64 `json:"recovery_sec,omitempty"`
+}
+
+// FailoverStats snapshots the pool's self-healing counters.
+func (p *Pool) FailoverStats() FailoverStats {
+	p.statMu.Lock()
+	defer p.statMu.Unlock()
+	out := FailoverStats{
+		Failovers:   p.failovers,
+		Redelivered: p.redelivers,
+		Shed:        p.pend.shedCount(),
+	}
+	out.RecoverySec = append(out.RecoverySec, p.recoveries...)
+	return out
+}
+
+// logf logs through the pool's Logf when set.
+func (p *Pool) logf(format string, args ...any) {
+	if p.opts.Logf != nil {
+		p.opts.Logf(format, args...)
+	}
+}

@@ -2,8 +2,10 @@ package swarm
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/broker"
+	"repro/internal/clock"
 	"repro/internal/obs"
 )
 
@@ -30,43 +32,118 @@ type PoolOptions struct {
 	Tracer *obs.Tracer
 	// Logf receives shard debug logs.
 	Logf func(format string, args ...any)
+	// Clock drives the health monitor's probe tick and backoff timing.
+	// Nil means the wall clock; deterministic harnesses inject a
+	// clock.Virtual.
+	Clock clock.Clock
+	// Health tunes failure detection and the failover journal; zero
+	// fields are defaulted (see HealthOptions).
+	Health HealthOptions
+}
+
+// poolSub is one in-process subscription the pool placed, kept so a
+// shard failover can re-anchor it onto a survivor.
+type poolSub struct {
+	qos byte
+	fn  func(broker.Message)
+}
+
+// poolClient is the pool's record of one in-process client: its
+// current anchor shard and every filter it holds. This registry — not
+// the shards' tries — is the authoritative takeover state: a dead
+// broker's trie still names the subscriptions (ExportSubscriptions),
+// but only the pool knows the delivery functions to re-anchor.
+type poolClient struct {
+	owner int
+	subs  map[string]poolSub
 }
 
 // Pool is a sharded MQTT message plane: publishes and subscriptions
 // are placed on shards by consistent topic/client hashing, and the
 // inter-broker bridge keeps delivery semantics identical to a single
-// broker (see bridge). The zero pool is not usable; create with
-// NewPool and release with Close.
+// broker (see bridge). The pool self-heals: a health monitor probes
+// every shard and, when one dies, re-anchors its keys, subscriptions,
+// and journaled messages onto the survivors (see failover.go). The
+// zero pool is not usable; create with NewPool and release with Close.
 type Pool struct {
-	opts   PoolOptions
-	shards []*broker.Broker
-	ring   *ring
-	bridge *bridge
+	opts PoolOptions
+	clk  clock.Clock
+
+	// topo is the placement epoch lock: Publish/Subscribe/Unsubscribe
+	// hold it shared for their whole operation (placement decision
+	// through delivery), failover/recovery/partition hold it exclusive.
+	// That exclusion is what makes a failover atomic with respect to
+	// in-flight pool publishes — the property the exactly-once
+	// redelivery accounting rests on. Wire-client publishes enter a
+	// shard directly and do not hold topo; their cross-shard deliveries
+	// during the failover instant are at-least-once (journal stragglers
+	// flush on revive/heal).
+	topo     sync.RWMutex
+	shards   []*broker.Broker
+	ring     *ring
+	bridge   *bridge
+	reg      map[string]*poolClient
+	migrated map[int]map[string]bool // shard -> clients moved off it at failover
+
+	pend *pendJournal
+
+	monitor *healthMonitor
+
+	statMu     sync.Mutex
+	failovers  int64
+	redelivers int64
+	recoveries []float64 // failover detection→completion, seconds
+
+	failoverTotal *obs.Counter
+	failoverSec   *obs.Histogram
+	shardUp       *obs.GaugeVec
 }
 
-// NewPool creates the shard brokers and wires the bridge between them.
+// NewPool creates the shard brokers, wires the bridge between them,
+// and starts the health monitor (unless Health.Disable).
 func NewPool(opts PoolOptions) *Pool {
 	if opts.Shards <= 0 {
 		opts.Shards = 1
 	}
+	opts.Health = opts.Health.withDefaults()
 	p := &Pool{
-		opts:   opts,
-		ring:   newRing(opts.Shards),
-		bridge: newBridge(),
+		opts:     opts,
+		clk:      clock.Or(opts.Clock),
+		ring:     newRing(opts.Shards),
+		bridge:   newBridge(),
+		reg:      map[string]*poolClient{},
+		migrated: map[int]map[string]bool{},
 	}
+	p.pend = newPendJournal(opts.Health.PendingLimit)
 	for i := 0; i < opts.Shards; i++ {
-		p.shards = append(p.shards, broker.NewBroker(&broker.Options{
-			Logf:          opts.Logf,
-			Tracer:        opts.Tracer,
-			SubscribeHook: p.bridge.subHook(i),
-			RouteHook:     p.bridge.routeHook(i),
-		}))
+		p.shards = append(p.shards, p.newShardBroker(i))
 	}
-	p.bridge.shards = p.shards
+	// The bridge gets its own copy of the shard slice: pool-side reads
+	// are serialized by topo, bridge-side by its own lock, and sharing
+	// a backing array would let a ReviveShard swap race whichever side
+	// isn't holding its lock.
+	p.bridge.shards = append([]*broker.Broker(nil), p.shards...)
+	p.bridge.spill = p.pend.spill
 	if opts.Obs != nil {
 		p.bindMetrics(opts.Obs)
 	}
+	if !opts.Health.Disable {
+		p.monitor = p.startMonitor()
+	}
 	return p
+}
+
+// newShardBroker builds the broker for shard slot i with the pool's
+// bridge hooks — used at pool construction and again when ReviveShard
+// replaces a killed shard.
+func (p *Pool) newShardBroker(i int) *broker.Broker {
+	return broker.NewBroker(&broker.Options{
+		Logf:          p.opts.Logf,
+		Tracer:        p.opts.Tracer,
+		Clock:         p.opts.Clock,
+		SubscribeHook: p.bridge.subHook(i),
+		RouteHook:     p.bridge.routeHook(i),
+	})
 }
 
 // bindMetrics registers pool-level families that aggregate over every
@@ -77,14 +154,14 @@ func (p *Pool) bindMetrics(r *obs.Registry) {
 	sum := func(pick func(broker.Stats) int64) func() float64 {
 		return func() float64 {
 			var total int64
-			for _, sh := range p.shards {
+			for _, sh := range p.snapshotShards() {
 				total += pick(sh.Stats())
 			}
 			return float64(total)
 		}
 	}
 	r.GaugeFunc("digibox_swarm_shards", "broker shards in the swarm pool",
-		func() float64 { return float64(len(p.shards)) })
+		func() float64 { return float64(p.NumShards()) })
 	r.CounterFunc("digibox_swarm_publishes_total",
 		"publishes received across all shards (bridge forwards included)",
 		sum(func(s broker.Stats) int64 { return s.PublishesIn }))
@@ -97,66 +174,194 @@ func (p *Pool) bindMetrics(r *obs.Registry) {
 	r.CounterFunc("digibox_swarm_bridge_forwards_total",
 		"publishes forwarded shard-to-shard by the bridge",
 		func() float64 { return float64(p.bridge.forwardCount()) })
+	p.failoverTotal = r.Counter("digibox_swarm_failovers_total",
+		"shard failovers completed (detection through redelivery)")
+	p.failoverSec = r.Histogram("digibox_swarm_failover_seconds",
+		"shard outage detection → failover completion", nil)
+	r.CounterFunc("digibox_swarm_shed_total",
+		"messages shed from the bounded failover journal on overflow",
+		func() float64 { return float64(p.pend.shedCount()) })
+	p.shardUp = r.GaugeVec("digibox_swarm_shard_up",
+		"per-shard health (1 up, 0 down)", "shard")
+	for i := 0; i < p.opts.Shards; i++ {
+		p.shardUp.With(fmt.Sprintf("%d", i)).Set(1)
+	}
 }
 
 // NumShards returns the shard count.
-func (p *Pool) NumShards() int { return len(p.shards) }
+func (p *Pool) NumShards() int {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	return len(p.shards)
+}
 
 // Shard returns shard i (for tests and for serving wire clients via
 // Broker.ListenAndServe).
-func (p *Pool) Shard(i int) *broker.Broker { return p.shards[i] }
+func (p *Pool) Shard(i int) *broker.Broker {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	return p.shards[i]
+}
+
+// snapshotShards copies the shard slice under the placement lock so
+// gather-time metric funcs never race a ReviveShard swap.
+func (p *Pool) snapshotShards() []*broker.Broker {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	out := make([]*broker.Broker, len(p.shards))
+	copy(out, p.shards)
+	return out
+}
 
 // ShardFor returns the shard index a key (topic or client id) is
-// placed on.
-func (p *Pool) ShardFor(key string) int { return p.ring.shardFor(key) }
+// placed on — among the currently alive shards.
+func (p *Pool) ShardFor(key string) int {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	return p.ring.shardFor(key)
+}
+
+// ShardDown reports whether shard i is currently marked down (its keys
+// re-anchored to survivors).
+func (p *Pool) ShardDown(i int) bool {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	return p.ring.isDown(i)
+}
+
+// DownShards lists the shards currently marked down, ascending.
+func (p *Pool) DownShards() []int {
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	var out []int
+	for i := range p.shards {
+		if p.ring.isDown(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
 
 // Publish routes a message into the pool via its topic's home shard.
 // The bridge forwards it to any other shard with a matching
 // subscription, so callers never need to know where subscribers live.
+// A publish that hits a dead-but-undetected shard is journaled and
+// redelivered after failover instead of failing — callers see nil,
+// and the exact-accounting gates see the delivery arrive late.
 func (p *Pool) Publish(from, topic string, payload []byte, qos byte, retain bool) error {
-	return p.shards[p.ring.shardFor(topic)].PublishQoS(from, topic, payload, qos, retain)
+	p.topo.RLock()
+	defer p.topo.RUnlock()
+	return p.publishLocked(from, topic, payload, qos, retain)
+}
+
+// publishLocked is Publish under a held topo lock (shared or
+// exclusive) — the failover flush re-publishes journaled messages
+// through it while holding topo exclusively.
+func (p *Pool) publishLocked(from, topic string, payload []byte, qos byte, retain bool) error {
+	home := p.ring.shardFor(topic)
+	err := p.shards[home].PublishQoS(from, topic, payload, qos, retain)
+	if err == broker.ErrClosed {
+		// The home shard died and the monitor has not converged yet:
+		// park the message in the journal; the failover flush replays
+		// it through the re-anchored ring, where it fans out to every
+		// subscriber exactly once (nobody saw it on the dead shard).
+		p.pend.spill(home, pendPublish, home, from, topic, payload, qos, retain)
+		return nil
+	}
+	return err
 }
 
 // Subscribe registers an in-process subscription, anchored on the
 // shard the client id hashes to. Anchoring by client — not by filter —
 // keeps every subscription of one client on one broker, which is what
 // preserves MQTT's per-client overlapping-filter dedup across the
-// pool.
+// pool. fn must not publish back into the pool synchronously: it runs
+// on publisher (and failover-redelivery) goroutines that already hold
+// the pool's placement lock.
 func (p *Pool) Subscribe(clientID, filter string, qos byte, fn func(broker.Message)) error {
-	return p.shards[p.ring.shardFor(clientID)].SubscribeInProcess(clientID, filter, qos, fn)
+	// Exclusive, not shared: Subscribe mutates the client registry, and
+	// it is a setup-path call — publish throughput never goes through it.
+	p.topo.Lock()
+	defer p.topo.Unlock()
+	owner := p.ring.shardFor(clientID)
+	if pc := p.reg[clientID]; pc != nil {
+		// Sticky anchoring: a client failover moved to a survivor stays
+		// there even after its original shard revives — splitting one
+		// client across shards would break per-client overlapping-filter
+		// dedup. The ring only places a client's first subscription.
+		owner = pc.owner
+	}
+	if err := p.shards[owner].SubscribeInProcess(clientID, filter, qos, fn); err != nil {
+		return err
+	}
+	pc := p.reg[clientID]
+	if pc == nil {
+		pc = &poolClient{owner: owner, subs: map[string]poolSub{}}
+		p.reg[clientID] = pc
+	}
+	pc.subs[filter] = poolSub{qos: qos, fn: fn}
+	return nil
 }
 
 // Unsubscribe removes a subscription registered with Subscribe.
 func (p *Pool) Unsubscribe(clientID, filter string) bool {
-	return p.shards[p.ring.shardFor(clientID)].UnsubscribeInProcess(clientID, filter)
+	p.topo.Lock()
+	defer p.topo.Unlock()
+	owner := p.ring.shardFor(clientID)
+	if pc := p.reg[clientID]; pc != nil {
+		owner = pc.owner
+		delete(pc.subs, filter)
+		if len(pc.subs) == 0 {
+			delete(p.reg, clientID)
+		}
+	}
+	return p.shards[owner].UnsubscribeInProcess(clientID, filter)
 }
 
 // Stats aggregates shard counters. BridgeForwards is the number of
 // shard-to-shard forwarded publishes — the pool's scaling overhead.
+// Failovers/Shed/Redelivered are the self-healing counters: shard
+// takeovers completed, messages dropped from the bounded journal, and
+// journaled messages redelivered after takeover.
 type Stats struct {
 	Shards         []broker.Stats `json:"shards"`
 	PublishesIn    int64          `json:"publishes_in"`
 	MessagesOut    int64          `json:"messages_out"`
 	Dropped        int64          `json:"dropped"`
 	BridgeForwards int64          `json:"bridge_forwards"`
+	Failovers      int64          `json:"failovers"`
+	Shed           int64          `json:"shed"`
+	Redelivered    int64          `json:"redelivered"`
+	ShardsDown     []int          `json:"shards_down,omitempty"`
 }
 
 // Stats snapshots every shard plus the aggregate.
 func (p *Pool) Stats() Stats {
-	out := Stats{BridgeForwards: p.bridge.forwardCount()}
-	for _, sh := range p.shards {
+	out := Stats{
+		BridgeForwards: p.bridge.forwardCount(),
+		Shed:           p.pend.shedCount(),
+		ShardsDown:     p.DownShards(),
+	}
+	for _, sh := range p.snapshotShards() {
 		s := sh.Stats()
 		out.Shards = append(out.Shards, s)
 		out.PublishesIn += s.PublishesIn
 		out.MessagesOut += s.MessagesOut
 		out.Dropped += s.Dropped
 	}
+	p.statMu.Lock()
+	out.Failovers = p.failovers
+	out.Redelivered = p.redelivers
+	p.statMu.Unlock()
 	return out
 }
 
-// Close shuts every shard down.
+// Close stops the health monitor and shuts every shard down.
 func (p *Pool) Close() {
-	for _, sh := range p.shards {
+	if p.monitor != nil {
+		p.monitor.stopWait()
+	}
+	for _, sh := range p.snapshotShards() {
 		sh.Close()
 	}
 }
@@ -173,6 +378,6 @@ func RequiredShards(devices int) int {
 
 // String implements fmt.Stringer for quick logging.
 func (s Stats) String() string {
-	return fmt.Sprintf("shards=%d in=%d out=%d dropped=%d forwards=%d",
-		len(s.Shards), s.PublishesIn, s.MessagesOut, s.Dropped, s.BridgeForwards)
+	return fmt.Sprintf("shards=%d in=%d out=%d dropped=%d forwards=%d failovers=%d shed=%d",
+		len(s.Shards), s.PublishesIn, s.MessagesOut, s.Dropped, s.BridgeForwards, s.Failovers, s.Shed)
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"sort"
 
 	"repro/internal/broker"
 )
@@ -47,6 +48,18 @@ type Report struct {
 	P50Ms          float64 `json:"p50_ms"`
 	P99Ms          float64 `json:"p99_ms"`
 
+	// Self-healing columns: shard takeovers during the run, messages
+	// redelivered from the failover journal, messages shed from it,
+	// and detection→completion recovery quantiles.
+	Failovers     int64   `json:"failovers"`
+	Redelivered   int64   `json:"redelivered"`
+	Shed          int64   `json:"shed"`
+	RecoveryP50Ms float64 `json:"recovery_p50_ms,omitempty"`
+	RecoveryP99Ms float64 `json:"recovery_p99_ms,omitempty"`
+	// ShardsDown lists shards still down at report time (killed but
+	// never revived).
+	ShardsDown []int `json:"shards_down,omitempty"`
+
 	PerShard []broker.Stats `json:"per_shard"`
 	// Placements maps generator pod name → kube node, recorded when
 	// the run went through Testbed.RunSwarm's spread scheduling.
@@ -62,6 +75,39 @@ func (r *Report) Gate(maxP99Ms float64) error {
 	}
 	if maxP99Ms > 0 && r.P99Ms > maxP99Ms {
 		return fmt.Errorf("swarm: p99 latency %.2f ms over the %.2f ms floor", r.P99Ms, maxP99Ms)
+	}
+	return nil
+}
+
+// quantile returns the nearest-rank q-quantile of xs, or 0 when xs is
+// empty. Exact over the full sample set — failover counts are small,
+// so no sketch is needed.
+func quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	i := int(q * float64(len(s)-1))
+	if frac := q*float64(len(s)-1) - float64(i); frac > 0 && i+1 < len(s) {
+		return s[i] + frac*(s[i+1]-s[i])
+	}
+	return s[i]
+}
+
+// GateRecovery checks the failover-drill CI criteria on top of Gate:
+// the run must have survived at least wantFailovers shard takeovers,
+// shed nothing from the bounded journal, and (when maxRecoveryP99Ms
+// > 0) recovered within the p99 bound.
+func (r *Report) GateRecovery(wantFailovers int64, maxRecoveryP99Ms float64) error {
+	if r.Failovers < wantFailovers {
+		return fmt.Errorf("swarm: %d failover(s) completed, drill expected %d", r.Failovers, wantFailovers)
+	}
+	if r.Shed > 0 {
+		return fmt.Errorf("swarm: %d message(s) shed from the failover journal", r.Shed)
+	}
+	if maxRecoveryP99Ms > 0 && r.RecoveryP99Ms > maxRecoveryP99Ms {
+		return fmt.Errorf("swarm: recovery p99 %.2f ms over the %.2f ms bound", r.RecoveryP99Ms, maxRecoveryP99Ms)
 	}
 	return nil
 }

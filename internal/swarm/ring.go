@@ -21,11 +21,17 @@ import (
 const vnodesPerShard = 256
 
 // ring is a consistent-hash ring mapping string keys (topics, client
-// ids) to shard indexes. Placement only: correctness of cross-shard
-// delivery is the bridge's job, so a key landing on "the wrong" shard
-// costs a forward, never a lost message.
+// ids) to shard indexes, with health-aware membership: a shard marked
+// down keeps its points on the ring but is skipped during the
+// successor walk, so its keys re-anchor deterministically onto the
+// next alive shard clockwise while every key whose home is alive keeps
+// its placement (no reshuffle of healthy placements). Placement only:
+// correctness of cross-shard delivery is the bridge's job, so a key
+// landing on "the wrong" shard costs a forward, never a lost message.
 type ring struct {
 	points []ringPoint // sorted by hash
+	down   []bool      // down[shard] marks a dead member
+	alive  int         // shards not marked down
 }
 
 type ringPoint struct {
@@ -34,7 +40,11 @@ type ringPoint struct {
 }
 
 func newRing(shards int) *ring {
-	r := &ring{points: make([]ringPoint, 0, shards*vnodesPerShard)}
+	r := &ring{
+		points: make([]ringPoint, 0, shards*vnodesPerShard),
+		down:   make([]bool, shards),
+		alive:  shards,
+	}
 	for s := 0; s < shards; s++ {
 		for v := 0; v < vnodesPerShard; v++ {
 			r.points = append(r.points, ringPoint{
@@ -47,13 +57,46 @@ func newRing(shards int) *ring {
 	return r
 }
 
-// shardFor maps a key to the first ring point at or after its hash,
-// wrapping at the top of the ring.
+// markDown removes shard s from the alive set. Keys homed on s map to
+// their ring successor among survivors until markUp.
+func (r *ring) markDown(s int) {
+	if s >= 0 && s < len(r.down) && !r.down[s] {
+		r.down[s] = true
+		r.alive--
+	}
+}
+
+// markUp restores shard s to the alive set; its original keys re-anchor
+// back to it (shardFor is a pure function of the alive set).
+func (r *ring) markUp(s int) {
+	if s >= 0 && s < len(r.down) && r.down[s] {
+		r.down[s] = false
+		r.alive++
+	}
+}
+
+// isDown reports shard s's membership state.
+func (r *ring) isDown(s int) bool {
+	return s >= 0 && s < len(r.down) && r.down[s]
+}
+
+// shardFor maps a key to the first ring point at or after its hash
+// whose shard is alive, wrapping at the top of the ring. With every
+// shard down it degrades to the raw successor so callers always get a
+// valid index.
 func (r *ring) shardFor(key string) int {
 	h := hashKey(key)
 	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
 	if i == len(r.points) {
 		i = 0
+	}
+	if r.alive > 0 && r.alive < len(r.down) {
+		for k := 0; k < len(r.points); k++ {
+			p := r.points[(i+k)%len(r.points)]
+			if !r.down[p.shard] {
+				return p.shard
+			}
+		}
 	}
 	return r.points[i].shard
 }

@@ -149,6 +149,13 @@ func (s *Session) Finish(quiesce time.Duration) *Report {
 		BridgeForwards: stats.BridgeForwards,
 		PerShard:       stats.Shards,
 	}
+	fo := s.pool.FailoverStats()
+	rep.Failovers = fo.Failovers
+	rep.Redelivered = fo.Redelivered
+	rep.Shed = fo.Shed
+	rep.RecoveryP50Ms = quantile(fo.RecoverySec, 0.5) * 1000
+	rep.RecoveryP99Ms = quantile(fo.RecoverySec, 0.99) * 1000
+	rep.ShardsDown = stats.ShardsDown
 	if s.spec.Profile == ProfileOpen {
 		rep.RateTarget = s.spec.Rate
 	} else {
@@ -157,6 +164,14 @@ func (s *Session) Finish(quiesce time.Duration) *Report {
 	if elapsed > 0 {
 		rep.PublishRate = float64(published) / elapsed
 		rep.DeliveryRate = float64(delivered) / elapsed
+	}
+	// Failed-over runs settle late deliveries through journal flushes,
+	// so re-check the accounting once more after reading pool stats in
+	// case a flush landed between the poll loop and the snapshot.
+	if late := atomic.LoadInt64(&s.delivered); late > delivered {
+		delivered = late
+		rep.Delivered = delivered
+		rep.Lost = expected - delivered
 	}
 	if s.reg != nil {
 		// The tracer registered this family; re-registration is

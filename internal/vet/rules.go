@@ -4,8 +4,10 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/broker"
+	"repro/internal/chaos"
 	"repro/internal/model"
 	"repro/internal/swarm"
 )
@@ -88,6 +90,11 @@ func init() {
 		ID: "V015", Name: "swarm-underprovisioned", Severity: Warning,
 		Doc: "the device fleet exceeds single-broker guidance without enough swarm.shards",
 		Run: ruleSwarmShards,
+	})
+	RegisterRule(Rule{
+		ID: "V016", Name: "swarm-unsurvivable", Severity: Error,
+		Doc: "the chaos plan's shard kills leave no live broker shard for failover to re-anchor onto",
+		Run: ruleSwarmUnsurvivable,
 	})
 }
 
@@ -671,6 +678,94 @@ func ruleSwarmShards(ctx *Context) []Diagnostic {
 			devices, have, need, swarm.SingleBrokerDeviceGuidance)
 	}
 	return []Diagnostic{{Severity: Warning, Doc: 0, Message: msg}}
+}
+
+// ruleSwarmUnsurvivable replays the header chaos plan's shard-kill
+// timeline against the declared swarm.shards and reports the first
+// instant at which every shard is dead at once: failover needs at
+// least one live shard to re-anchor the dead shard's keys onto, so
+// such a plan cannot be survived no matter how fast the health
+// monitor reacts. Kills bounded by for_ms revive at at+for_ms, and
+// explicit shard-revive events bring shards back; revives at the same
+// offset as a kill apply first (the plan gets the benefit of the
+// doubt). Out-of-range shard indices — faults that would silently hit
+// nothing — are reported too, V013-style.
+func ruleSwarmUnsurvivable(ctx *Context) []Diagnostic {
+	plan := ctx.Setup.Chaos
+	if plan == nil {
+		return nil
+	}
+	shards := 0
+	if ctx.Setup.Swarm != nil {
+		shards = ctx.Setup.Swarm.Shards
+	}
+	var out []Diagnostic
+	emit := func(format string, args ...any) {
+		out = append(out, Diagnostic{
+			Severity: Error, Doc: 0,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	type edge struct {
+		at    time.Duration
+		kill  bool
+		shard int
+		event int
+	}
+	var edges []edge
+	maxShard := -1
+	for i, ev := range plan.Events {
+		switch ev.Fault {
+		case chaos.FaultShardKill, chaos.FaultShardPartition, chaos.FaultShardRevive:
+		default:
+			continue
+		}
+		if ev.Shard < 0 {
+			continue // Validate (surfaced by V013) reports the missing shard
+		}
+		if ev.Shard > maxShard {
+			maxShard = ev.Shard
+		}
+		if shards > 0 && ev.Shard >= shards {
+			emit("chaos plan event %d (%s) targets shard %d, but the setup provisions swarm.shards: %d (valid indices 0..%d)",
+				i, ev.Fault, ev.Shard, shards, shards-1)
+			continue
+		}
+		switch ev.Fault {
+		case chaos.FaultShardKill:
+			edges = append(edges, edge{at: ev.At, kill: true, shard: ev.Shard, event: i})
+			if ev.For > 0 {
+				edges = append(edges, edge{at: ev.At + ev.For, shard: ev.Shard, event: i})
+			}
+		case chaos.FaultShardRevive:
+			edges = append(edges, edge{at: ev.At, shard: ev.Shard, event: i})
+		}
+	}
+	if maxShard >= 0 && shards == 0 {
+		emit("chaos plan injects shard faults but the setup has no swarm section; add a header `swarm` section with `shards: %d` so at least one shard survives",
+			maxShard+2)
+		return out
+	}
+	sort.SliceStable(edges, func(i, j int) bool {
+		if edges[i].at != edges[j].at {
+			return edges[i].at < edges[j].at
+		}
+		return !edges[i].kill && edges[j].kill
+	})
+	dead := map[int]bool{}
+	for _, e := range edges {
+		if !e.kill {
+			delete(dead, e.shard)
+			continue
+		}
+		dead[e.shard] = true
+		if len(dead) >= shards {
+			emit("chaos plan event %d (shard-kill shard %d at %v) leaves all %d swarm shards dead at once, so failover has no live shard to re-anchor onto; stagger the kills with for_ms revive windows or raise swarm.shards to %d",
+				e.event, e.shard, e.at, shards, len(dead)+1)
+			return out
+		}
+	}
+	return out
 }
 
 // configFloat reads a numeric meta config value.

@@ -438,3 +438,78 @@ func TestSwarmShards(t *testing.T) {
 	)
 	exactIDs(t, vet.RunSetup(scenes, nil))
 }
+
+func TestSwarmUnsurvivable(t *testing.T) {
+	base := func() *iac.Setup {
+		s := setup(mkdoc("Lamp", "l1", nil))
+		s.Swarm = &iac.SwarmConfig{Shards: 2}
+		return s
+	}
+
+	// Staggered kills whose for_ms windows never overlap keep a
+	// survivor at every instant: clean.
+	ok := base()
+	ok.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 0, For: time.Second},
+		{At: 3 * time.Second, Fault: chaos.FaultShardKill, Shard: 1, For: time.Second},
+	}}
+	exactIDs(t, vet.RunSetup(ok, nil))
+
+	// Unbounded kills of both shards leave no shard for failover to
+	// re-anchor onto: error with the exact fix.
+	bad := base()
+	bad.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 0},
+		{At: 2 * time.Second, Fault: chaos.FaultShardKill, Shard: 1},
+	}}
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V016")
+	if !vet.HasErrors(diags) {
+		t.Error("unsurvivable plan should be an error")
+	}
+	if !strings.Contains(diags[0].Message, "swarm.shards to 3") {
+		t.Errorf("hint missing the shard fix: %s", diags[0].Message)
+	}
+
+	// A for_ms revive landing exactly on the second kill's offset
+	// applies first — the plan gets the benefit of the doubt.
+	race := base()
+	race.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 0, For: time.Second},
+		{At: 2 * time.Second, Fault: chaos.FaultShardKill, Shard: 1},
+	}}
+	exactIDs(t, vet.RunSetup(race, nil))
+
+	// An explicit shard-revive restores survivability the same way.
+	rev := base()
+	rev.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 0},
+		{At: 2 * time.Second, Fault: chaos.FaultShardRevive, Shard: 0},
+		{At: 3 * time.Second, Fault: chaos.FaultShardKill, Shard: 1},
+	}}
+	exactIDs(t, vet.RunSetup(rev, nil))
+
+	// A shard index the setup does not provision would silently hit
+	// nothing.
+	oob := base()
+	oob.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 5},
+	}}
+	diags = vet.RunSetup(oob, nil)
+	exactIDs(t, diags, "V016")
+	if !strings.Contains(diags[0].Message, "valid indices 0..1") {
+		t.Errorf("out-of-range message missing the valid range: %s", diags[0].Message)
+	}
+
+	// Shard faults without any swarm section: the fix names a shard
+	// count that leaves a survivor (max index 1 -> shards: 3).
+	nosec := setup(mkdoc("Lamp", "l1", nil))
+	nosec.Chaos = &chaos.Plan{Name: "p", Seed: 1, Events: []chaos.Event{
+		{At: time.Second, Fault: chaos.FaultShardKill, Shard: 1},
+	}}
+	diags = vet.RunSetup(nosec, nil)
+	exactIDs(t, diags, "V016")
+	if !strings.Contains(diags[0].Message, "shards: 3") {
+		t.Errorf("hint missing the shard count: %s", diags[0].Message)
+	}
+}

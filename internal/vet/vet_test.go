@@ -56,6 +56,7 @@ func TestRegisteredRuleSuite(t *testing.T) {
 		"V013": "chaos-target",
 		"V014": "unseeded-nondeterminism",
 		"V015": "swarm-underprovisioned",
+		"V016": "swarm-unsurvivable",
 	}
 	byID := map[string]vet.Rule{}
 	for i, r := range rules {
