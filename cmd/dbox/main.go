@@ -30,7 +30,7 @@
 //	replay [-verify] ARCHIVE  re-execute a replay archive (byte-exact)
 //	chaos run PLAN.yaml       apply a fault-injection plan
 //	swarm [flags]             run a sharded-broker load session (BENCH_swarm.json)
-//	top [-n iters] [-i secs]  live per-digi throughput/latency table
+//	top [-n iters] [-i secs] [-watch secs]  live per-digi throughput/latency table
 //	metrics                   dump Prometheus text exposition
 //	ls                        list running mocks and scenes
 //	status                    daemon status
@@ -92,7 +92,7 @@ commands (Table 1):
   swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
         [-mock] [-kill-shard N@T] [-max-recovery-p99 MS]
         [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
-  top [-n iters] [-i secs] | metrics
+  top [-n iters] [-i secs] [-watch secs] | metrics
   ls | status
 `)
 }

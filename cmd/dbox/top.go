@@ -8,20 +8,35 @@ import (
 	"strconv"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/ctl"
 	"repro/internal/obs"
 )
 
-// topCmd implements "dbox top [-n iters] [-i seconds]": a refreshing
-// per-digi table of message throughput, end-to-end latency quantiles,
-// restarts, and faults, rendered from /ctl/metrics.json.
+const topUsage = "usage: dbox top [-n iters] [-i seconds] [-watch seconds]"
+
+// topCmd implements "dbox top [-n iters] [-i seconds] [-watch secs]":
+// a refreshing per-digi table of message throughput, end-to-end
+// latency quantiles, restarts, and faults, rendered from the
+// precomputed p50/p99 in /ctl/metrics.json. -watch is the continuous
+// mode: refresh at the given cadence until the daemon goes away.
 func topCmd(cli *ctl.Client, rest []string) error {
-	iters, interval := 0, 2*time.Second
+	iters, interval, watch := 0, 2*time.Second, false
+	seconds := func(i int) (time.Duration, error) {
+		if i+1 >= len(rest) {
+			return 0, fmt.Errorf(topUsage)
+		}
+		v, err := strconv.ParseFloat(rest[i+1], 64)
+		if err != nil || v <= 0 {
+			return 0, fmt.Errorf("invalid interval %q", rest[i+1])
+		}
+		return time.Duration(v * float64(time.Second)), nil
+	}
 	for i := 0; i < len(rest); i++ {
 		switch rest[i] {
 		case "-n":
 			if i+1 >= len(rest) {
-				return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+				return fmt.Errorf(topUsage)
 			}
 			v, err := strconv.Atoi(rest[i+1])
 			if err != nil || v < 1 {
@@ -29,21 +44,22 @@ func topCmd(cli *ctl.Client, rest []string) error {
 			}
 			iters = v
 			i++
-		case "-i":
-			if i+1 >= len(rest) {
-				return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+		case "-i", "-watch":
+			d, err := seconds(i)
+			if err != nil {
+				return err
 			}
-			v, err := strconv.ParseFloat(rest[i+1], 64)
-			if err != nil || v <= 0 {
-				return fmt.Errorf("invalid interval %q", rest[i+1])
-			}
-			interval = time.Duration(v * float64(time.Second))
+			interval = d
+			watch = watch || rest[i] == "-watch"
 			i++
 		default:
-			return fmt.Errorf("usage: dbox top [-n iters] [-i seconds]")
+			return fmt.Errorf(topUsage)
 		}
 	}
-	return runTop(cli, iters, interval, os.Stdout, iters != 1)
+	if watch && iters != 0 {
+		return fmt.Errorf("dbox top: -watch and -n are mutually exclusive")
+	}
+	return runTop(cli, clock.System, iters, interval, os.Stdout, iters != 1)
 }
 
 // topRow is one digi's line in the table.
@@ -56,20 +72,23 @@ type topRow struct {
 	faults   float64
 }
 
-// runTop renders the table every interval. iters == 0 refreshes until
-// the daemon goes away; ansi clears the screen between frames.
-func runTop(cli *ctl.Client, iters int, interval time.Duration, w io.Writer, ansi bool) error {
+// runTop renders the table every interval, paced on the injected
+// clock so tests can drive frames deterministically. iters == 0
+// refreshes until the daemon goes away; ansi clears the screen
+// between frames.
+func runTop(cli *ctl.Client, clk clock.Clock, iters int, interval time.Duration, w io.Writer, ansi bool) error {
+	clk = clock.Or(clk)
 	prev := map[string]float64{}
 	prevAt := time.Time{}
 	for frame := 0; iters == 0 || frame < iters; frame++ {
 		if frame > 0 {
-			time.Sleep(interval)
+			clk.Sleep(interval)
 		}
 		snap, err := cli.Metrics()
 		if err != nil {
 			return err
 		}
-		now := time.Now()
+		now := clk.Now()
 		rows := assembleTop(snap, prev, now.Sub(prevAt))
 		for _, r := range rows {
 			prev[r.digi] = r.msgs

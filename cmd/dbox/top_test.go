@@ -3,9 +3,11 @@ package main
 import (
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/device"
@@ -60,7 +62,7 @@ func TestTopRendersLatency(t *testing.T) {
 		time.Sleep(20 * time.Millisecond)
 	}
 	var out strings.Builder
-	if err := runTop(cli, 2, 100*time.Millisecond, &out, false); err != nil {
+	if err := runTop(cli, nil, 2, 100*time.Millisecond, &out, false); err != nil {
 		t.Fatal(err)
 	}
 	text := out.String()
@@ -97,10 +99,97 @@ func TestTopRendersLatency(t *testing.T) {
 		{"top", "-n", "zero"},
 		{"top", "-n", "0"},
 		{"top", "-i", "-1"},
+		{"top", "-watch"},
+		{"top", "-watch", "0"},
+		{"top", "-watch", "1", "-n", "2"},
 		{"top", "extra"},
 	} {
 		if err := dispatch(cli, bad); err == nil {
 			t.Errorf("dbox %v succeeded, want error", bad)
 		}
 	}
+}
+
+// TestTopWatchPacesOnInjectedClock proves -watch frames advance on
+// the injected clock, not the wall clock: with a virtual clock, frame
+// N+1 renders only when the test steps time past the interval.
+func TestTopWatchPacesOnInjectedClock(t *testing.T) {
+	tb, err := core.New(core.Options{
+		LocalRepoDir: filepath.Join(t.TempDir(), "local"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	device.RegisterAll(tb.Registry)
+	scene.RegisterAll(tb.Registry)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	srv := &ctl.Server{TB: tb}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := &ctl.Client{Base: "http://" + srv.Addr()}
+
+	clk := clock.NewVirtual()
+	var mu sync.Mutex
+	var out strings.Builder
+	frames := func() int {
+		mu.Lock()
+		defer mu.Unlock()
+		return strings.Count(out.String(), "dbox top —")
+	}
+	done := make(chan error, 1)
+	go func() {
+		done <- runTop(cli, clk, 3, time.Hour, lockedWriter{&mu, &out}, false)
+	}()
+
+	// Frame 1 renders immediately; frames 2 and 3 are gated behind an
+	// hour of virtual time each. Wall-clock waiting must never release
+	// them — only Step does.
+	waitFrames := func(want int) {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for frames() != want {
+			if time.Now().After(deadline) {
+				t.Fatalf("frames = %d, want %d", frames(), want)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Step retries until runTop has armed its sleep timer — Step is a
+	// no-op (and advances nothing) before then.
+	step := func() {
+		t.Helper()
+		deadline := time.Now().Add(10 * time.Second)
+		for !clk.Step(clk.Now().Add(time.Hour)) {
+			if time.Now().After(deadline) {
+				t.Fatal("runTop never armed its frame timer")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	waitFrames(1)
+	step()
+	waitFrames(2)
+	step()
+	waitFrames(3)
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// lockedWriter serialises the render goroutine's writes with the
+// test's reads.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *strings.Builder
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
 }

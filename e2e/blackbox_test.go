@@ -1,0 +1,451 @@
+// Package e2e is the blackbox harness: it boots a real dboxd binary
+// on loopback ports and drives the chaos drill entirely through the
+// public /ctl HTTP surface — run/attach, the chaos plan, the SSE
+// event stream, the metrics scrape, a sharded swarm run with a shard
+// kill, and the probe endpoints. Nothing here imports a repro
+// package; scripts/check_blackbox_imports.sh enforces that, so these
+// tests exercise exactly what an external operator can reach.
+package e2e
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+var dboxdBin string
+
+// TestMain builds the daemon once; every test gets the same binary.
+func TestMain(m *testing.M) {
+	tmp, err := os.MkdirTemp("", "dboxd-e2e")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	dboxdBin = filepath.Join(tmp, "dboxd")
+	build := exec.Command("go", "build", "-o", dboxdBin, "./cmd/dboxd")
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		fmt.Fprintf(os.Stderr, "building dboxd: %v\n%s", err, out)
+		os.RemoveAll(tmp)
+		os.Exit(1)
+	}
+	code := m.Run()
+	os.RemoveAll(tmp)
+	os.Exit(code)
+}
+
+// daemon is one running dboxd process with its resolved addresses.
+type daemon struct {
+	cmd    *exec.Cmd
+	ctl    string // base URL of the control API
+	stderr *lockedBuffer
+}
+
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var ctlAddrRe = regexp.MustCompile(`control API on (\S+)`)
+
+// startDaemon boots dboxd on port-0 loopback listeners and waits for
+// the startup banner to reveal where the control API landed.
+func startDaemon(t *testing.T) *daemon {
+	t.Helper()
+	d := &daemon{stderr: &lockedBuffer{}}
+	d.cmd = exec.Command(dboxdBin,
+		"-ctl", "127.0.0.1:0",
+		"-mqtt", "127.0.0.1:0",
+		"-rest", "127.0.0.1:0",
+		"-repo", filepath.Join(t.TempDir(), "repo"),
+	)
+	d.cmd.Stderr = d.stderr
+	if err := d.cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if d.cmd.ProcessState == nil {
+			d.cmd.Process.Kill()
+			d.cmd.Wait()
+		}
+	})
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if m := ctlAddrRe.FindStringSubmatch(d.stderr.String()); m != nil {
+			d.ctl = "http://" + m[1]
+			return d
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dboxd never announced its control API:\n%s", d.stderr.String())
+		}
+		if d.cmd.ProcessState != nil {
+			t.Fatalf("dboxd exited during startup:\n%s", d.stderr.String())
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// shutdown sends SIGTERM and requires a clean exit.
+func (d *daemon) shutdown(t *testing.T) {
+	t.Helper()
+	if err := d.cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- d.cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("dboxd exit: %v\n%s", err, d.stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		d.cmd.Process.Kill()
+		t.Fatalf("dboxd ignored SIGTERM:\n%s", d.stderr.String())
+	}
+	if !strings.Contains(d.stderr.String(), "shutting down") {
+		t.Fatalf("no shutdown banner in:\n%s", d.stderr.String())
+	}
+}
+
+var httpClient = &http.Client{Timeout: 60 * time.Second}
+
+// postJSON posts a JSON body and decodes the JSON reply, failing the
+// test on any non-200.
+func postJSON(t *testing.T, url string, body any) map[string]any {
+	t.Helper()
+	data, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := httpClient.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	reply, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("POST %s = %d: %s", url, resp.StatusCode, reply)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(reply, &doc); err != nil {
+		t.Fatalf("POST %s reply %q: %v", url, reply, err)
+	}
+	return doc
+}
+
+func getJSON(t *testing.T, url string) (int, map[string]any) {
+	t.Helper()
+	resp, err := httpClient.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("GET %s content-type %q, want application/json", url, ct)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatalf("GET %s body %q: %v", url, body, err)
+	}
+	return resp.StatusCode, doc
+}
+
+// scrapeMetric sums every sample of one family in the /ctl/metrics
+// text exposition.
+func scrapeMetric(t *testing.T, base, family string) float64 {
+	t.Helper()
+	resp, err := httpClient.Get(base + "/ctl/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sum float64
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") || !strings.HasPrefix(line, family) {
+			continue
+		}
+		rest := line[len(family):]
+		if rest != "" && rest[0] != '{' && rest[0] != ' ' {
+			continue // longer family sharing the prefix
+		}
+		fields := strings.Fields(line)
+		var v float64
+		if _, err := fmt.Sscanf(fields[len(fields)-1], "%g", &v); err == nil {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// sseEvent is one parsed frame of the /ctl/events stream.
+type sseEvent struct {
+	name string
+	data map[string]any
+}
+
+// openEvents subscribes to /ctl/events and parses frames in the
+// background until the connection drops.
+func openEvents(t *testing.T, base, query string) (<-chan sseEvent, func()) {
+	t.Helper()
+	resp, err := httpClient.Get(base + "/ctl/events" + query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		t.Fatalf("GET /ctl/events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		t.Fatalf("/ctl/events content-type %q", ct)
+	}
+	ch := make(chan sseEvent, 1024)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		var name, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && name != "":
+				var doc map[string]any
+				if json.Unmarshal([]byte(data), &doc) == nil {
+					ch <- sseEvent{name: name, data: doc}
+				}
+				name, data = "", ""
+			}
+		}
+	}()
+	return ch, func() {
+		resp.Body.Close()
+		for range ch {
+		}
+	}
+}
+
+func nextEvent(t *testing.T, ch <-chan sseEvent) sseEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-ch:
+		if !ok {
+			t.Fatal("SSE stream closed early")
+		}
+		return ev
+	case <-time.After(30 * time.Second):
+		t.Fatal("no SSE event within 30s")
+		panic("unreachable")
+	}
+}
+
+// waitStatus polls GET /ctl/status until cond holds.
+func waitStatus(t *testing.T, base string, what string, cond func(map[string]any) bool) map[string]any {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, st := getJSON(t, base+"/ctl/status")
+		if cond(st) {
+			return st
+		}
+		if time.Now().After(deadline) {
+			raw, _ := json.Marshal(st)
+			t.Fatalf("status never reached %s; last: %s", what, raw)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestBlackboxChaosDrill is the whole self-healing story through the
+// public surface: build the chaosdrill ensemble, watch the fault plan
+// inject and recover over SSE, and confirm the scrape agrees that
+// everything injected was recovered.
+func TestBlackboxChaosDrill(t *testing.T) {
+	d := startDaemon(t)
+
+	// Probes answer JSON and agree on build identity.
+	code, health := getJSON(t, d.ctl+"/healthz")
+	if code != 200 || health["ok"] != true {
+		t.Fatalf("healthz = %d %v", code, health)
+	}
+	code, ready := getJSON(t, d.ctl+"/readyz")
+	if code != 200 || ready["ready"] != true {
+		t.Fatalf("readyz = %d %v", code, ready)
+	}
+	if health["version"] == "" || health["version"] != ready["version"] {
+		t.Fatalf("probe versions disagree: %v vs %v", health, ready)
+	}
+
+	// The dashboard is served from the same binary.
+	resp, err := httpClient.Get(d.ctl + "/ctl/dash/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	shell, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || !strings.Contains(string(shell), "digibox dashboard") {
+		t.Fatalf("GET /ctl/dash/ = %d:\n%.200s", resp.StatusCode, shell)
+	}
+
+	// The chaosdrill ensemble, assembled over HTTP.
+	postJSON(t, d.ctl+"/ctl/run", map[string]any{
+		"type": "Occupancy", "name": "O1",
+		"config": map[string]any{"interval_ms": 50, "trigger_prob": 1.0, "seed": 7},
+	})
+	postJSON(t, d.ctl+"/ctl/run", map[string]any{"type": "Lamp", "name": "L1"})
+	postJSON(t, d.ctl+"/ctl/run", map[string]any{
+		"type": "Room", "name": "MeetingRoom",
+		"config": map[string]any{"managed": false},
+	})
+	postJSON(t, d.ctl+"/ctl/attach", map[string]any{"child": "O1", "parent": "MeetingRoom"})
+	postJSON(t, d.ctl+"/ctl/attach", map[string]any{"child": "L1", "parent": "MeetingRoom"})
+
+	waitStatus(t, d.ctl, "3 running pods", func(st map[string]any) bool {
+		return st["pods_running"] == float64(3)
+	})
+
+	events, closeEvents := openEvents(t, d.ctl, "?kind=fault")
+	defer closeEvents()
+	if ev := nextEvent(t, events); ev.name != "hello" {
+		t.Fatalf("first SSE event %q, want hello", ev.name)
+	}
+
+	// The drill plan (the chaosdrill scenario's revertible faults, on
+	// this daemon's node name). Revert times order the recovery tail:
+	// drop at 450ms, dropout at 550ms, node-down at 600ms.
+	report := postJSON(t, d.ctl+"/ctl/chaos", map[string]any{
+		"plan": map[string]any{
+			"plan": "drill",
+			"seed": 11,
+			"events": []map[string]any{
+				{"at_ms": 150, "fault": "drop", "topic": "digibox/#", "rate": 0.5, "for_ms": 300},
+				{"at_ms": 200, "fault": "node-down", "node": "node-0", "for_ms": 400},
+				{"at_ms": 250, "fault": "dropout", "digi": "O1", "for_ms": 300},
+			},
+		},
+	})
+	if report["injected"] != float64(3) || report["reverted"] != float64(3) {
+		t.Fatalf("chaos report = %v, want 3 injected / 3 reverted", report)
+	}
+
+	// Every inject must pair with a recover, in the plan's order.
+	want := []string{
+		"inject/drop", "inject/node-down", "inject/dropout",
+		"recover/drop", "recover/dropout", "recover/node-down",
+	}
+	for i, w := range want {
+		ev := nextEvent(t, events)
+		if ev.name != "fault" {
+			t.Fatalf("event %d: kind %q, want fault", i, ev.name)
+		}
+		inner, _ := ev.data["data"].(map[string]any)
+		got := fmt.Sprintf("%v/%v", inner["action"], inner["fault"])
+		if got != w {
+			t.Fatalf("fault event %d = %q, want %q", i, got, w)
+		}
+	}
+
+	// The scrape agrees: self-healing means injected == recovered.
+	injected := scrapeMetric(t, d.ctl, "digibox_faults_injected_total")
+	recovered := scrapeMetric(t, d.ctl, "digibox_faults_recovered_total")
+	if injected != 3 || recovered != injected {
+		t.Fatalf("metrics: injected %v, recovered %v — drill did not heal", injected, recovered)
+	}
+
+	// The evicted pods land again after the node revives.
+	st := waitStatus(t, d.ctl, "pods rescheduled", func(st map[string]any) bool {
+		return st["pods_running"] == float64(3)
+	})
+	chaosDoc, _ := st["chaos"].(map[string]any)
+	if chaosDoc["injected"] != float64(3) || chaosDoc["recovered"] != float64(3) {
+		t.Fatalf("status chaos = %v, want 3/3", chaosDoc)
+	}
+	topo, _ := st["topology"].(map[string]any)
+	raw, _ := json.Marshal(topo)
+	for _, name := range []string{"O1", "L1", "MeetingRoom"} {
+		if !strings.Contains(string(raw), name) {
+			t.Fatalf("topology missing %s: %s", name, raw)
+		}
+	}
+	evDoc, _ := st["events"].(map[string]any)
+	if evDoc == nil || evDoc["published"] == float64(0) {
+		t.Fatalf("status events = %v, want a busy bus", evDoc)
+	}
+
+	// Optional artifact for CI: the full status document.
+	if out := os.Getenv("BLACKBOX_STATUS_OUT"); out != "" {
+		data, _ := json.MarshalIndent(st, "", "  ")
+		if err := os.WriteFile(out, data, 0o644); err != nil {
+			t.Fatalf("writing status artifact: %v", err)
+		}
+	}
+
+	d.shutdown(t)
+}
+
+// TestBlackboxSwarmZeroLoss runs a short sharded swarm session with a
+// shard kill mid-run, all over HTTP: QoS-1 accounting must close with
+// zero loss and the shard transitions must surface on the SSE stream.
+func TestBlackboxSwarmZeroLoss(t *testing.T) {
+	d := startDaemon(t)
+
+	events, closeEvents := openEvents(t, d.ctl, "?kind=shard")
+	defer closeEvents()
+	if ev := nextEvent(t, events); ev.name != "hello" {
+		t.Fatalf("first SSE event %q, want hello", ev.name)
+	}
+
+	report := postJSON(t, d.ctl+"/ctl/swarm", map[string]any{
+		"profile": "closed", "devices": 30, "period_sec": 0.05,
+		"duration_sec": 0.5, "workers": 2, "qos": 1, "subscribers": 1,
+		"shards": 2, "kills": []map[string]any{{"shard": 1, "at_sec": 0.1}},
+	})
+	if report["shards"] != float64(2) {
+		t.Fatalf("report shards = %v, want 2", report["shards"])
+	}
+	if report["lost"] != float64(0) {
+		t.Fatalf("lost = %v of %v expected — QoS-1 loss through failover", report["lost"], report["expected"])
+	}
+	if report["published"] == float64(0) {
+		t.Fatalf("report = %v, want traffic", report)
+	}
+
+	// The kill shows up as a shard-down transition on the stream.
+	ev := nextEvent(t, events)
+	inner, _ := ev.data["data"].(map[string]any)
+	if ev.name != "shard" || inner["state"] != "down" || inner["shard"] != float64(1) {
+		t.Fatalf("shard event = %v %v, want shard 1 down", ev.name, ev.data)
+	}
+
+	d.shutdown(t)
+}

@@ -69,6 +69,10 @@ type Options struct {
 	// replay engine injects its virtual clock so chaos delay faults
 	// fire on virtual time.
 	Clock clock.Clock
+	// Bus, when set, receives a "client" event per wire-session
+	// connect and disconnect. Session churn is orders of magnitude
+	// rarer than publishes, so this stays off the routing hot path.
+	Bus *obs.Bus
 }
 
 func (o *Options) withDefaults() Options {
@@ -87,6 +91,7 @@ func (o *Options) withDefaults() Options {
 		out.SubscribeHook = o.SubscribeHook
 		out.RouteHook = o.RouteHook
 		out.Clock = o.Clock
+		out.Bus = o.Bus
 	}
 	out.Clock = clock.Or(out.Clock)
 	return out
@@ -354,6 +359,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 		}
 		s.terminate()
 		atomic.AddInt64(&b.disconnects, 1)
+		b.opts.Bus.Publish("client", map[string]any{"client": s.clientID, "state": "disconnected"})
 	}()
 
 	ack, err := (&Packet{Type: CONNACK, ReturnCode: ConnAccepted}).Encode()
@@ -364,6 +370,7 @@ func (b *Broker) serveConn(conn net.Conn) {
 		return
 	}
 	atomic.AddInt64(&b.connects, 1)
+	b.opts.Bus.Publish("client", map[string]any{"client": s.clientID, "state": "connected"})
 	b.logf("mqtt: session %s connected from %s", s.clientID, conn.RemoteAddr())
 
 	go s.writeLoop()

@@ -87,6 +87,10 @@ type Engine struct {
 	// recovery-latency timing. Nil means the wall clock; the replay
 	// engine drives a Walker directly from its virtual clock instead.
 	Clock clock.Clock
+	// Bus, when set, receives a "fault" event for every inject and
+	// revert so live consumers (the dashboard's SSE stream) see the
+	// chaos timeline as it happens.
+	Bus *obs.Bus
 }
 
 // clk returns the engine's clock, defaulting to the wall clock.
@@ -266,6 +270,12 @@ func (w *Walker) Apply(st Step) {
 		line := revertSignature(st.Event)
 		rep.Applied = append(rep.Applied, line)
 		e.logFault(st.Event, "revert", line)
+		e.Bus.Publish("fault", map[string]any{
+			"action":    "recover",
+			"fault":     string(st.Event.Fault),
+			"target":    target(st.Event),
+			"signature": line,
+		})
 		return
 	}
 	revert, err := e.apply(st.Event)
@@ -286,6 +296,12 @@ func (w *Walker) Apply(st Step) {
 	line := eventSignature(st.Event)
 	rep.Applied = append(rep.Applied, line)
 	e.logFault(st.Event, string(st.Event.Fault), line)
+	e.Bus.Publish("fault", map[string]any{
+		"action":    "inject",
+		"fault":     string(st.Event.Fault),
+		"target":    target(st.Event),
+		"signature": line,
+	})
 }
 
 // apply injects one event and returns its revert (nil if the event is

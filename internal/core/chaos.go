@@ -76,6 +76,7 @@ func (tb *Testbed) ChaosEngine() *chaos.Engine {
 		Devices: deviceInjector{tb},
 		Log:     tb.Log,
 		Obs:     tb.Obs,
+		Bus:     tb.Bus,
 	}
 	if tb.Broker != nil {
 		e.Broker = brokerInjector{tb.Broker}

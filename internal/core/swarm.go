@@ -92,6 +92,7 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 		Obs:    tb.Obs,
 		Tracer: tb.Tracer,
 		Health: swarm.HealthOptions{Seed: load.Seed},
+		Bus:    tb.Bus,
 	})
 	defer pool.Close()
 	tb.setActiveSwarm(pool)
@@ -208,6 +209,21 @@ func (tb *Testbed) setActiveSwarm(p *swarm.Pool) {
 // SwarmHealth reports the in-flight swarm pool's shard health for the
 // readiness probe: total shards and how many are down. A testbed with
 // no swarm run in flight is trivially ready (0, nil).
+// SwarmStats snapshots the active swarm pool's per-shard and
+// aggregate counters; nil when no swarm run is in flight. /ctl/status
+// serves it so the dashboard can draw per-shard throughput without
+// touching pool internals.
+func (tb *Testbed) SwarmStats() *swarm.Stats {
+	tb.mu.Lock()
+	p := tb.activeSwarm
+	tb.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	st := p.Stats()
+	return &st
+}
+
 func (tb *Testbed) SwarmHealth() (shards int, down []int) {
 	tb.mu.Lock()
 	p := tb.activeSwarm

@@ -113,6 +113,17 @@ type Testbed struct {
 	Obs    *obs.Registry
 	Tracer *obs.Tracer
 
+	// Bus is the testbed-wide fan-out event bus (nil when
+	// Options.DisableMetrics): the broker, chaos engine, swarm health
+	// monitor, and kube cluster publish fault/shard/pod/client events
+	// into it, and GET /ctl/events streams it out as SSE. Version is
+	// the build stamp surfaced on /healthz and /ctl/status.
+	Bus     *obs.Bus
+	Version string
+
+	// startedAt is stamped by Start for uptime reporting.
+	startedAt time.Time
+
 	localRepo  *repo.Repo
 	remoteRepo *repo.Repo
 
@@ -169,6 +180,8 @@ func New(opts Options) (*Testbed, error) {
 	if !opts.DisableMetrics {
 		tb.Obs = obs.NewRegistry()
 		tb.Tracer = obs.NewTracer(tb.Obs)
+		tb.Version = obs.RegisterBuildInfo(tb.Obs)
+		tb.Bus = obs.NewBus(tb.Obs, tb.clk)
 		// Correlate completed spans into the trace log so shared and
 		// replayed traces carry delivery-timing evidence (§3.5).
 		log := tb.Log
@@ -233,12 +246,14 @@ func (tb *Testbed) Start() error {
 		return nil
 	}
 	tb.started = true
+	tb.startedAt = tb.clk.Now()
 	tb.mu.Unlock()
 
 	if tb.opts.BrokerAddr != "none" {
 		tb.Broker = broker.NewBroker(&broker.Options{
 			Obs:    tb.Obs,
 			Tracer: tb.Tracer,
+			Bus:    tb.Bus,
 		})
 		if err := tb.Broker.ListenAndServe(tb.opts.BrokerAddr); err != nil {
 			return fmt.Errorf("core: broker: %w", err)
@@ -262,6 +277,7 @@ func (tb *Testbed) Start() error {
 		}
 	}
 	tb.Cluster.Start()
+	tb.Cluster.BindBus(tb.Bus)
 	if tb.opts.RESTAddr != "none" {
 		tb.Gateway = &rest.Gateway{
 			Store: tb.Store,
@@ -338,6 +354,25 @@ func (tb *Testbed) Stop() {
 	if tb.Broker != nil {
 		tb.Broker.Close()
 	}
+	tb.Bus.Close()
+}
+
+// StartedAt returns when Start was called (zero before Start).
+func (tb *Testbed) StartedAt() time.Time {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.startedAt
+}
+
+// Uptime is the elapsed time since Start (zero before Start).
+func (tb *Testbed) Uptime() time.Duration {
+	tb.mu.Lock()
+	at := tb.startedAt
+	tb.mu.Unlock()
+	if at.IsZero() {
+		return 0
+	}
+	return tb.clk.Since(at)
 }
 
 // BrokerAddr returns the MQTT listener address ("" if disabled).

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/core"
+	"repro/internal/dash"
 	"repro/internal/model"
 	"repro/internal/replay"
 	"repro/internal/swarm"
@@ -222,6 +223,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /ctl/status", s.handleStatus)
+	mux.HandleFunc("GET /ctl/events", s.handleEvents)
+	mux.Handle("GET /ctl/dash", http.RedirectHandler("/ctl/dash/", http.StatusMovedPermanently))
+	mux.Handle("GET /ctl/dash/", http.StripPrefix("/ctl/dash/", dash.Handler()))
 	mux.HandleFunc("GET /ctl/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /ctl/metrics.json", s.handleMetricsJSON)
 	mux.HandleFunc("GET /ctl/list", s.handleList)
@@ -276,10 +280,15 @@ func (s *Server) Close() error {
 
 // handleHealthz is the liveness probe: the process is up and serving,
 // so the answer is always 200. Degraded state belongs to /readyz.
+// Both probes answer JSON with the build version and start time so a
+// fleet operator can correlate behaviour with builds from the probe
+// alone.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	w.WriteHeader(http.StatusOK)
-	fmt.Fprintln(w, "ok")
+	writeJSON(w, http.StatusOK, map[string]any{
+		"ok":         true,
+		"version":    s.TB.Version,
+		"started_at": startedAt(s.TB),
+	})
 }
 
 // handleReadyz is the readiness probe: 200 while every broker shard of
@@ -288,26 +297,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 // swarm run is trivially ready.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	shards, down := s.TB.SwarmHealth()
-	body := map[string]any{"ready": len(down) == 0, "shards": shards}
+	body := map[string]any{
+		"ready":      len(down) == 0,
+		"shards":     shards,
+		"version":    s.TB.Version,
+		"started_at": startedAt(s.TB),
+	}
 	if len(down) > 0 {
 		body["down"] = down
 		writeJSON(w, http.StatusServiceUnavailable, body)
 		return
 	}
 	writeJSON(w, http.StatusOK, body)
-}
-
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
-	st := s.TB.Stats()
-	writeJSON(w, http.StatusOK, map[string]any{
-		"models":       st.Models,
-		"pods_running": st.PodsRunning,
-		"pods_pending": st.PodsPending,
-		"violations":   st.Violations,
-		"trace_len":    st.TraceLen,
-		"broker_addr":  s.TB.BrokerAddr(),
-		"rest_addr":    s.TB.RESTAddr(),
-	})
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

@@ -1,0 +1,277 @@
+package ctl
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/chaos"
+)
+
+// sseEvent is one parsed Server-Sent Event.
+type sseEvent struct {
+	name string
+	data map[string]any
+}
+
+// sseStream consumes GET /ctl/events incrementally.
+type sseStream struct {
+	events <-chan sseEvent
+	cancel context.CancelFunc
+	resp   *http.Response
+}
+
+func (s *sseStream) close() {
+	s.cancel()
+	s.resp.Body.Close()
+	// Drain so the reader goroutine observes the closed body and exits
+	// (leakcheck gates this package).
+	for range s.events {
+	}
+}
+
+// openSSE connects to /ctl/events{query} and parses the stream in the
+// background. The returned channel closes when the server ends the
+// stream or close() is called.
+func openSSE(t *testing.T, base, query string) *sseStream {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, "GET", base+"/ctl/events"+query, nil)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		cancel()
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("GET /ctl/events = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		resp.Body.Close()
+		cancel()
+		t.Fatalf("content-type %q, want text/event-stream", ct)
+	}
+	ch := make(chan sseEvent, 4096)
+	go func() {
+		defer close(ch)
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+		var name, data string
+		for sc.Scan() {
+			line := sc.Text()
+			switch {
+			case strings.HasPrefix(line, "event: "):
+				name = strings.TrimPrefix(line, "event: ")
+			case strings.HasPrefix(line, "data: "):
+				data = strings.TrimPrefix(line, "data: ")
+			case line == "" && name != "":
+				var doc map[string]any
+				if json.Unmarshal([]byte(data), &doc) == nil {
+					ch <- sseEvent{name: name, data: doc}
+				}
+				name, data = "", ""
+			}
+		}
+	}()
+	return &sseStream{events: ch, cancel: cancel, resp: resp}
+}
+
+// next returns the stream's next event, failing after a bounded wait.
+func (s *sseStream) next(t *testing.T) sseEvent {
+	t.Helper()
+	select {
+	case ev, ok := <-s.events:
+		if !ok {
+			t.Fatal("SSE stream closed early")
+		}
+		return ev
+	case <-time.After(10 * time.Second):
+		t.Fatal("no SSE event within 10s")
+		panic("unreachable")
+	}
+}
+
+// faultKey extracts "action/fault" from a fault event's payload.
+func faultKey(t *testing.T, ev sseEvent) string {
+	t.Helper()
+	inner, _ := ev.data["data"].(map[string]any)
+	if inner == nil {
+		t.Fatalf("fault event without data: %+v", ev)
+	}
+	return fmt.Sprintf("%v/%v", inner["action"], inner["fault"])
+}
+
+// TestEventsSSEChaosPairsSurviveConsumerKill subscribes two SSE
+// consumers, kills one at a varying point mid-stream, and requires the
+// surviving consumer to see every chaos inject/recover pair, in
+// order, every time. The dead consumer must be detached (subscriber
+// count back to one) without wedging the publishers: the chaos run
+// completes on schedule regardless.
+func TestEventsSSEChaosPairsSurviveConsumerKill(t *testing.T) {
+	// The plan is deterministic: drop injects at 10ms and reverts at
+	// 50ms, dropout injects at 20ms and reverts at 80ms. The bus
+	// serialises publishes, so the fault-event order is exact.
+	wantOrder := []string{"inject/drop", "inject/dropout", "recover/drop", "recover/dropout"}
+	cases := []struct {
+		name      string
+		killAfter int // fault events the doomed consumer reads first
+	}{
+		{"kill-after-hello", 0},
+		{"kill-mid-stream", 2},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			tb, cli := startServer(t, "")
+			if err := cli.Run("Occupancy", "O1", map[string]any{"interval_ms": 50}); err != nil {
+				t.Fatal(err)
+			}
+
+			live := openSSE(t, cli.Base, "?kind=fault")
+			defer live.close()
+			doomed := openSSE(t, cli.Base, "?kind=fault,hello")
+			if ev := doomed.next(t); ev.name != "hello" {
+				t.Fatalf("first event %q, want hello", ev.name)
+			}
+			if tc.killAfter == 0 {
+				doomed.close()
+			}
+
+			plan := &chaos.Plan{Name: "sse-drill", Seed: 7, Events: []chaos.Event{
+				{At: 10 * time.Millisecond, Fault: chaos.FaultDrop, Topic: "digibox/#", Rate: 1, For: 40 * time.Millisecond},
+				{At: 20 * time.Millisecond, Fault: chaos.FaultDropout, Digi: "O1", For: 60 * time.Millisecond},
+			}}
+			done := make(chan *chaos.Report, 1)
+			go func() {
+				rep, err := cli.ChaosRun(plan)
+				if err != nil {
+					t.Errorf("chaos run: %v", err)
+				}
+				done <- rep
+			}()
+
+			var got []string
+			killed := tc.killAfter == 0
+			for len(got) < len(wantOrder) {
+				ev := live.next(t)
+				if ev.name != "fault" {
+					continue
+				}
+				got = append(got, faultKey(t, ev))
+				if !killed && len(got) >= tc.killAfter {
+					doomed.close()
+					killed = true
+				}
+			}
+			for i, want := range wantOrder {
+				if got[i] != want {
+					t.Fatalf("fault order = %v, want %v", got, wantOrder)
+				}
+			}
+
+			select {
+			case rep := <-done:
+				if rep == nil || rep.Injected != 2 || rep.Reverted != 2 {
+					t.Fatalf("report = %+v, want 2 injected / 2 reverted", rep)
+				}
+			case <-time.After(10 * time.Second):
+				t.Fatal("chaos run did not complete — a dead SSE consumer blocked a publisher")
+			}
+
+			// The killed consumer must be detached; the live one stays.
+			deadline := time.Now().Add(5 * time.Second)
+			for tb.Bus.Subscribers() != 1 {
+				if time.Now().After(deadline) {
+					t.Fatalf("subscribers = %d, want 1 after kill", tb.Bus.Subscribers())
+				}
+				time.Sleep(10 * time.Millisecond)
+			}
+		})
+	}
+}
+
+// stalledSSE opens /ctl/events over a raw TCP connection, reads just
+// past the hello event, then never reads again — a genuinely wedged
+// consumer whose socket and 1-slot bus buffer both fill. (The normal
+// openSSE helper drains the body in the background, which would keep
+// the handler unblocked.)
+func stalledSSE(t *testing.T, base, query string) net.Conn {
+	t.Helper()
+	addr := strings.TrimPrefix(base, "http://")
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(conn, "GET /ctl/events%s HTTP/1.1\r\nHost: %s\r\n\r\n", query, addr)
+	var got []byte
+	buf := make([]byte, 512)
+	deadline := time.Now().Add(10 * time.Second)
+	for !strings.Contains(string(got), "event: hello") {
+		conn.SetReadDeadline(deadline)
+		n, err := conn.Read(buf)
+		got = append(got, buf[:n]...)
+		if err != nil {
+			t.Fatalf("reading hello: %v (got %q)", err, got)
+		}
+	}
+	return conn
+}
+
+// TestEventsSSEShedsSlowConsumer stalls one subscriber (buffer=1,
+// never read past the hello) while a live one consumes everything,
+// then floods the bus with more bytes than any socket buffer holds.
+// The flood must complete immediately (publishes never block), the
+// live consumer must see every event in order, and the stalled
+// consumer's overflow must surface in the dropped counter — the
+// bounded-bus contract, observed through HTTP only.
+func TestEventsSSEShedsSlowConsumer(t *testing.T) {
+	const n = 2000
+	tb, cli := startServer(t, "")
+
+	live := openSSE(t, cli.Base, fmt.Sprintf("?kind=tick&buffer=%d&max=%d", 2*n, n))
+	defer live.close()
+	slow := stalledSSE(t, cli.Base, "?kind=tick&buffer=1")
+	defer slow.Close()
+
+	// 2000 × 8 KiB ≫ any loopback socket capacity: the stalled
+	// handler must wedge mid-write, so its 1-slot buffer overflows
+	// and the bus sheds for that subscriber alone.
+	pad := strings.Repeat("x", 8192)
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		tb.Bus.Publish("tick", map[string]any{"i": i, "pad": pad})
+	}
+	elapsed := time.Since(start)
+	if elapsed > 5*time.Second {
+		t.Fatalf("publishing %d events took %v — a stalled subscriber blocked the bus", n, elapsed)
+	}
+
+	for i := 0; i < n; i++ {
+		ev := live.next(t)
+		if ev.name == "hello" {
+			i--
+			continue
+		}
+		if ev.name != "tick" {
+			t.Fatalf("event %d: kind %q", i, ev.name)
+		}
+		inner, _ := ev.data["data"].(map[string]any)
+		if got := inner["i"].(float64); int(got) != i {
+			t.Fatalf("live consumer saw i=%v at position %d — shed or reordered", got, i)
+		}
+	}
+
+	if dropped := tb.Obs.Value("digibox_events_dropped_total"); dropped == 0 {
+		t.Fatal("dropped counter is zero — the stalled consumer never shed")
+	}
+}

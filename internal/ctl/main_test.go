@@ -1,0 +1,30 @@
+package ctl
+
+import (
+	"fmt"
+	"net/http"
+	"os"
+	"testing"
+
+	"repro/internal/vet/leakcheck"
+)
+
+// TestMain fails the package if any test leaks a goroutine (an SSE
+// handler that outlives its client, a watcher left open). Idle
+// keep-alive connections in the default transport are flushed first —
+// their readLoops are pool residents, not leaks.
+func TestMain(m *testing.M) {
+	baseline := leakcheck.Baseline()
+	code := m.Run()
+	if code != 0 {
+		os.Exit(code)
+	}
+	if t, ok := http.DefaultTransport.(*http.Transport); ok {
+		t.CloseIdleConnections()
+	}
+	if err := leakcheck.Check(baseline); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	os.Exit(0)
+}

@@ -61,21 +61,39 @@ func TestHealthzReadyzOverHTTP(t *testing.T) {
 		return resp.StatusCode, body
 	}
 
-	// Idle daemon: live and trivially ready.
-	if code, body := get("/healthz"); code != http.StatusOK || string(body) != "ok\n" {
-		t.Fatalf("GET /healthz = %d %q, want 200 \"ok\"", code, body)
+	// Idle daemon: live and trivially ready. Both probes are JSON and
+	// carry the build version plus the start timestamp.
+	code, body := get("/healthz")
+	var health struct {
+		OK        bool   `json:"ok"`
+		Version   string `json:"version"`
+		StartedAt string `json:"started_at"`
 	}
-	code, body := get("/readyz")
+	if code != http.StatusOK {
+		t.Fatalf("GET /healthz = %d (%s), want 200", code, body)
+	}
+	if err := json.Unmarshal(body, &health); err != nil || !health.OK {
+		t.Fatalf("GET /healthz body = %s (err %v), want ok:true", body, err)
+	}
+	if health.Version == "" || health.StartedAt == "" {
+		t.Fatalf("GET /healthz body = %s, want version and started_at", body)
+	}
+	code, body = get("/readyz")
 	if code != http.StatusOK {
 		t.Fatalf("GET /readyz idle = %d (%s), want 200", code, body)
 	}
 	var ready struct {
-		Ready  bool  `json:"ready"`
-		Shards int   `json:"shards"`
-		Down   []int `json:"down"`
+		Ready     bool   `json:"ready"`
+		Shards    int    `json:"shards"`
+		Down      []int  `json:"down"`
+		Version   string `json:"version"`
+		StartedAt string `json:"started_at"`
 	}
 	if err := json.Unmarshal(body, &ready); err != nil || !ready.Ready {
 		t.Fatalf("GET /readyz idle body = %s (err %v), want ready:true", body, err)
+	}
+	if ready.Version != health.Version || ready.StartedAt != health.StartedAt {
+		t.Fatalf("probe build info disagrees: healthz %s vs readyz %s", body, body)
 	}
 
 	// A swarm run that loses shard 1 at 100ms and never revives it:

@@ -1,0 +1,29 @@
+// Package dash is the embedded fleet dashboard: a zero-dependency,
+// build-time-embedded web UI served by dboxd at /ctl/dash. It is a
+// pure consumer of the public control surface — everything it renders
+// comes from GET /ctl/status (one JSON document) and GET /ctl/events
+// (the SSE stream of the testbed event bus), the same endpoints the
+// blackbox e2e suite drives. No handler here reaches into the testbed.
+package dash
+
+import (
+	"embed"
+	"io/fs"
+	"net/http"
+)
+
+//go:embed static
+var static embed.FS
+
+// Handler serves the embedded dashboard files. The caller mounts it
+// under its own prefix (dboxd uses /ctl/dash/); index.html is served
+// at the mount root.
+func Handler() http.Handler {
+	sub, err := fs.Sub(static, "static")
+	if err != nil {
+		// The embed is part of the build; a missing subtree is a
+		// packaging bug, not a runtime condition.
+		panic("dash: embedded static tree missing: " + err.Error())
+	}
+	return http.FileServer(http.FS(sub))
+}

@@ -1,0 +1,50 @@
+package dash
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+// The embedded tree must serve the dashboard shell and its assets
+// with sensible content types — a broken embed fails here, not at
+// first deploy.
+func TestHandlerServesEmbeddedAssets(t *testing.T) {
+	h := Handler()
+	cases := []struct {
+		path        string
+		wantType    string
+		wantContent string
+	}{
+		{"/", "text/html", "digibox dashboard"},
+		{"/", "text/html", "id=\"timeline\""},
+		{"/app.js", "text/javascript", "/ctl/events"},
+		{"/style.css", "text/css", "--accent"},
+	}
+	for _, tc := range cases {
+		req := httptest.NewRequest("GET", tc.path, nil)
+		rec := httptest.NewRecorder()
+		h.ServeHTTP(rec, req)
+		res := rec.Result()
+		body, _ := io.ReadAll(res.Body)
+		if res.StatusCode != 200 {
+			t.Fatalf("%s: status %d", tc.path, res.StatusCode)
+		}
+		if ct := res.Header.Get("Content-Type"); !strings.Contains(ct, tc.wantType) {
+			t.Errorf("%s: content-type %q, want %q", tc.path, ct, tc.wantType)
+		}
+		if !strings.Contains(string(body), tc.wantContent) {
+			t.Errorf("%s: body missing %q", tc.path, tc.wantContent)
+		}
+	}
+}
+
+func TestHandlerRejectsMissingFiles(t *testing.T) {
+	req := httptest.NewRequest("GET", "/nope.js", nil)
+	rec := httptest.NewRecorder()
+	Handler().ServeHTTP(rec, req)
+	if rec.Result().StatusCode != 404 {
+		t.Fatalf("status %d, want 404", rec.Result().StatusCode)
+	}
+}

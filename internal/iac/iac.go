@@ -33,6 +33,17 @@ type Setup struct {
 	// section). Vet rule V015 checks it against the setup's device
 	// fleet size.
 	Swarm *SwarmConfig
+	// Ctl is the optional control-plane declaration (header "ctl"
+	// section): where the deployed daemon's /ctl API — and with it the
+	// dashboard — should listen. Vet rule V017 checks the address
+	// against ports the scene's own devices claim.
+	Ctl *CtlConfig
+}
+
+// CtlConfig is the header "ctl" section.
+type CtlConfig struct {
+	// Listen is the host:port the control API binds.
+	Listen string
 }
 
 // SwarmConfig is the header "swarm" section: how the setup's message
@@ -65,6 +76,9 @@ func Marshal(s *Setup) ([]byte, error) {
 	}
 	if s.Swarm != nil {
 		header["swarm"] = map[string]any{"shards": int64(s.Swarm.Shards)}
+	}
+	if s.Ctl != nil {
+		header["ctl"] = map[string]any{"listen": s.Ctl.Listen}
 	}
 	docs := []any{header}
 	for _, m := range s.Models {
@@ -140,6 +154,14 @@ func Parse(data []byte) (*Setup, error) {
 		}
 		s.Swarm = cfg
 	}
+	if raw, ok := header["ctl"]; ok {
+		m, ok := raw.(map[string]any)
+		if !ok {
+			return nil, fmt.Errorf("iac: ctl section must be a mapping")
+		}
+		listen, _ := m["listen"].(string)
+		s.Ctl = &CtlConfig{Listen: listen}
+	}
 	for i, d := range docs[1:] {
 		m, ok := d.(map[string]any)
 		if !ok {
@@ -184,6 +206,9 @@ func Validate(s *Setup) error {
 	}
 	if s.Swarm != nil && s.Swarm.Shards < 1 {
 		return fmt.Errorf("iac: swarm.shards must be at least 1, got %d", s.Swarm.Shards)
+	}
+	if s.Ctl != nil && s.Ctl.Listen == "" {
+		return fmt.Errorf("iac: ctl section needs a listen address")
 	}
 	return checkAcyclic(names)
 }

@@ -207,3 +207,33 @@ func TestSwarmSectionValidates(t *testing.T) {
 		t.Fatal("non-numeric shards accepted")
 	}
 }
+
+func TestCtlSectionRoundTrip(t *testing.T) {
+	s := smartBuildingSetup()
+	s.Ctl = &CtlConfig{Listen: "127.0.0.1:7825"}
+	data, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if back.Ctl == nil || back.Ctl.Listen != "127.0.0.1:7825" {
+		t.Fatalf("ctl section = %+v, want listen 127.0.0.1:7825", back.Ctl)
+	}
+
+	// No section stays absent, and an empty listen fails validation.
+	plain, err := Marshal(smartBuildingSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Unmarshal(plain); err != nil || back.Ctl != nil {
+		t.Fatalf("ctl = %+v, err %v; want absent", back.Ctl, err)
+	}
+	empty := smartBuildingSetup()
+	empty.Ctl = &CtlConfig{}
+	if _, err := Marshal(empty); err == nil {
+		t.Fatal("empty ctl.listen marshalled, want validation error")
+	}
+}

@@ -21,14 +21,15 @@ type Cluster struct {
 	api   *apiServer
 	clock clock.Clock
 
-	mu      sync.Mutex
-	images  map[string]ImageFactory
-	agents  map[string]*nodeAgent
-	zones   map[zonePair]time.Duration
-	sched   *scheduler
-	metrics *clusterMetrics // nil until BindMetrics
-	started bool
-	stopped bool
+	mu       sync.Mutex
+	images   map[string]ImageFactory
+	agents   map[string]*nodeAgent
+	zones    map[zonePair]time.Duration
+	sched    *scheduler
+	metrics  *clusterMetrics // nil until BindMetrics
+	busWatch *PodWatch       // nil until BindBus; closed by Stop
+	started  bool
+	stopped  bool
 }
 
 type zonePair struct{ a, b string }
@@ -167,11 +168,15 @@ func (c *Cluster) Stop() {
 		agents = append(agents, a)
 	}
 	sched := c.sched
+	busWatch := c.busWatch
 	c.mu.Unlock()
 	for _, a := range agents {
 		a.stop()
 	}
 	sched.stop()
+	if busWatch != nil {
+		busWatch.Close()
+	}
 }
 
 // SetNodeReady marks a node ready or not-ready (fault injection, the

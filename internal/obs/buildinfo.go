@@ -1,0 +1,15 @@
+package obs
+
+// Version identifies the digibox build; surfaced on /healthz,
+// /readyz, /ctl/status and as the digibox_build_info gauge so
+// scrapers and the dashboard can correlate behaviour with a build.
+const Version = "0.8.0"
+
+// RegisterBuildInfo registers the constant digibox_build_info gauge
+// (value 1, labelled by version — the Prometheus build-info idiom)
+// and returns the version it stamped.
+func RegisterBuildInfo(r *Registry) string {
+	r.GaugeVec("digibox_build_info", "Constant 1 labelled with the digibox build version.", "version").
+		With(Version).Set(1)
+	return Version
+}

@@ -314,6 +314,12 @@ func (p *Pool) failover(dead int, detected time.Time) {
 	p.failoverTotal.Inc()
 	p.failoverSec.Observe(elapsed)
 	p.shardUp.With(strconv.Itoa(dead)).Set(0)
+	p.opts.Bus.Publish("shard", map[string]any{
+		"shard":       dead,
+		"state":       "down",
+		"recovery_ms": elapsed * 1e3,
+		"redelivered": redelivered,
+	})
 	p.logf("swarm: failover shard=%d complete in %.1fms: %d client(s) re-anchored, %d sub(s) migrated, %d retained re-replicated, %d redelivered",
 		dead, elapsed*1000, len(moved), migratedSubs, reReplicated, redelivered)
 }
@@ -457,6 +463,7 @@ func (p *Pool) ReviveShard(i int) error {
 	p.flushGateLocked(i, skipRetained)
 	p.topo.Unlock()
 	p.shardUp.With(strconv.Itoa(i)).Set(1)
+	p.opts.Bus.Publish("shard", map[string]any{"shard": i, "state": "up"})
 	p.logf("swarm: shard %d revived", i)
 	return nil
 }

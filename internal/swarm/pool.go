@@ -39,6 +39,10 @@ type PoolOptions struct {
 	// Health tunes failure detection and the failover journal; zero
 	// fields are defaulted (see HealthOptions).
 	Health HealthOptions
+	// Bus, when set, receives a "shard" event on every health
+	// transition (down at failover completion, up at revive) so live
+	// consumers can track the ring without polling.
+	Bus *obs.Bus
 }
 
 // poolSub is one in-process subscription the pool placed, kept so a

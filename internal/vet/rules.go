@@ -2,7 +2,9 @@ package vet
 
 import (
 	"fmt"
+	"net"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -95,6 +97,11 @@ func init() {
 		ID: "V016", Name: "swarm-unsurvivable", Severity: Error,
 		Doc: "the chaos plan's shard kills leave no live broker shard for failover to re-anchor onto",
 		Run: ruleSwarmUnsurvivable,
+	})
+	RegisterRule(Rule{
+		ID: "V017", Name: "dash-port-collision", Severity: Error,
+		Doc: "the header ctl listen address collides with a port a device or broker in the scene declares",
+		Run: ruleDashPortCollision,
 	})
 }
 
@@ -763,6 +770,61 @@ func ruleSwarmUnsurvivable(ctx *Context) []Diagnostic {
 			emit("chaos plan event %d (shard-kill shard %d at %v) leaves all %d swarm shards dead at once, so failover has no live shard to re-anchor onto; stagger the kills with for_ms revive windows or raise swarm.shards to %d",
 				e.event, e.shard, e.at, shards, len(dead)+1)
 			return out
+		}
+	}
+	return out
+}
+
+// ruleDashPortCollision checks the header ctl section: the control
+// API (and the dashboard it serves) must not bind a port some model
+// in the scene already claims through a `port`-suffixed meta config
+// value — a deployed daemon would lose the race for the socket and
+// the fleet view with it. A listen address that does not parse as
+// host:port is reported too, since nothing downstream would catch it
+// before deploy.
+func ruleDashPortCollision(ctx *Context) []Diagnostic {
+	ctl := ctx.Setup.Ctl
+	if ctl == nil {
+		return nil
+	}
+	var out []Diagnostic
+	host, portStr, err := net.SplitHostPort(ctl.Listen)
+	if err != nil {
+		return []Diagnostic{{
+			Severity: Error, Doc: 0,
+			Message: fmt.Sprintf("ctl.listen %q is not a host:port address: %v", ctl.Listen, err),
+		}}
+	}
+	ctlPort, err := strconv.Atoi(portStr)
+	if err != nil || ctlPort < 0 || ctlPort > 65535 {
+		return []Diagnostic{{
+			Severity: Error, Doc: 0,
+			Message: fmt.Sprintf("ctl.listen %q has an invalid port %q", ctl.Listen, portStr),
+		}}
+	}
+	for i, m := range ctx.Setup.Models {
+		meta, err := m.Meta()
+		if err != nil {
+			continue // V012 reports broken meta
+		}
+		keys := make([]string, 0, len(meta.Config))
+		for k := range meta.Config {
+			if k == "port" || strings.HasSuffix(k, "_port") {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			v, ok := configFloat(meta.Config, k)
+			if !ok || int(v) != ctlPort {
+				continue
+			}
+			out = append(out, Diagnostic{
+				Severity: Error, Doc: i + 1, Model: meta.Name,
+				Message: fmt.Sprintf("ctl.listen %q collides with meta.%s %d declared by %q; move the control API (e.g. ctl.listen: %q) or change the device port",
+					ctl.Listen, k, ctlPort, meta.Name,
+					net.JoinHostPort(host, strconv.Itoa(ctlPort+1))),
+			})
 		}
 	}
 	return out

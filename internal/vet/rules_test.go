@@ -513,3 +513,36 @@ func TestSwarmUnsurvivable(t *testing.T) {
 		t.Errorf("hint missing the shard count: %s", diags[0].Message)
 	}
 }
+
+func TestDashPortCollision(t *testing.T) {
+	withCtl := func(listen string, models ...model.Doc) *iac.Setup {
+		s := setup(models...)
+		s.Ctl = &iac.CtlConfig{Listen: listen}
+		return s
+	}
+
+	// A device claiming the control API's port: error, and the hint
+	// names the next free address so the fix is mechanical.
+	bad := withCtl("127.0.0.1:7825",
+		mkdoc("Gateway", "gw", map[string]any{"meta.port": int64(7825)}))
+	diags := vet.RunSetup(bad, nil)
+	exactIDs(t, diags, "V017")
+	if !strings.Contains(diags[0].Message, "127.0.0.1:7826") {
+		t.Errorf("hint missing the next free address: %s", diags[0].Message)
+	}
+
+	// _port-suffixed config keys count as claims too.
+	suffix := withCtl("127.0.0.1:8080",
+		mkdoc("Gateway", "gw", map[string]any{"meta.listen_port": int64(8080)}))
+	exactIDs(t, vet.RunSetup(suffix, nil), "V017")
+
+	// Distinct ports coexist; a setup with no ctl section is exempt.
+	ok := withCtl("127.0.0.1:7825",
+		mkdoc("Gateway", "gw", map[string]any{"meta.port": int64(8080)}))
+	exactIDs(t, vet.RunSetup(ok, nil))
+	exactIDs(t, vet.RunSetup(setup(mkdoc("Lamp", "l1", nil)), nil))
+
+	// A listen address that is not host:port never reaches deploy.
+	exactIDs(t, vet.RunSetup(withCtl("7825", mkdoc("Lamp", "l1", nil)), nil), "V017")
+	exactIDs(t, vet.RunSetup(withCtl("127.0.0.1:http", mkdoc("Lamp", "l1", nil)), nil), "V017")
+}

@@ -1,0 +1,19 @@
+#!/bin/sh
+# The blackbox e2e suite must exercise the public /ctl surface only.
+# Any import of a repro package (internal or otherwise) would let the
+# tests reach around the HTTP API, so its presence fails the build.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+bad=0
+for f in e2e/*.go; do
+  if grep -n '"repro/' "$f"; then
+    echo "ERROR: $f imports a repro package — blackbox tests must use only the public HTTP surface" >&2
+    bad=1
+  fi
+done
+if [ "$bad" -ne 0 ]; then
+  exit 1
+fi
+echo "blackbox import check: clean ($(ls e2e/*.go | wc -l | tr -d ' ') files)"
