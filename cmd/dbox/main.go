@@ -79,6 +79,7 @@ func usage() {
 
 commands (Table 1):
   run TYPE NAME [k=v ...]    stop NAME
+  run [-speed N|max] [-remote] SCENARIO.yaml
   check NAME                 watch NAME [max]
   attach [-d] CHILD PARENT   edit NAME PATH=VALUE ...
   commit [-k|-f] NAME        push NAME | pull NAME
@@ -101,8 +102,11 @@ func dispatch(cli *ctl.Client, args []string) error {
 	cmd, rest := args[0], args[1:]
 	switch cmd {
 	case "run":
+		if isRunScenarioForm(rest) {
+			return runScenarioCmd(cli, rest)
+		}
 		if len(rest) < 2 {
-			return fmt.Errorf("usage: dbox run TYPE NAME [k=v ...]")
+			return fmt.Errorf("usage: dbox run TYPE NAME [k=v ...] | dbox run [-speed N|max] SCENARIO.yaml")
 		}
 		config, err := parseKVs(rest[2:])
 		if err != nil {

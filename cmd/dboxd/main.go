@@ -14,6 +14,7 @@
 //	-nodes n        number of simulated nodes    (default 1)
 //	-node-capacity  pods per node                (default 4096)
 //	-zone-delay-ms  inter-zone one-way delay when nodes > 1
+//	-speed n        run the whole testbed at n× scenario time (finite)
 //	-pprof addr     serve net/http/pprof on addr (off by default)
 package main
 
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/device"
@@ -45,11 +47,24 @@ func main() {
 		nodes     = flag.Int("nodes", 1, "number of simulated cluster nodes")
 		capacity  = flag.Int("node-capacity", 4096, "pod capacity per node")
 		zoneDelay = flag.Int("zone-delay-ms", 0, "one-way delay between gateway zone and cluster zone (ms)")
+		speedArg  = flag.String("speed", "1", "time-compression factor for the whole testbed (finite; \"max\" not allowed for a daemon)")
 		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (empty = disabled)")
 	)
 	flag.Parse()
 
+	speed, err := clock.ParseSpeed(*speedArg)
+	if err != nil {
+		log.Fatalf("dboxd: %v", err)
+	}
+	if speed == clock.SpeedMax {
+		// A long-lived daemon on a pure discrete-event clock would
+		// burn through its keepalive and metrics timers without bound;
+		// unpaced time only makes sense for bounded runs (dbox run).
+		log.Fatalf("dboxd: -speed max is only valid for bounded runs; pick a finite factor")
+	}
+
 	opts := core.Options{
+		TimeScale:    speed,
 		BrokerAddr:   *mqttAddr,
 		RESTAddr:     *restAddr,
 		LocalRepoDir: *repoDir,
@@ -117,6 +132,10 @@ func main() {
 	log.Printf("dboxd: MQTT broker on %s", tb.BrokerAddr())
 	log.Printf("dboxd: REST gateway on %s", tb.RESTAddr())
 	log.Printf("dboxd: %d node(s), repo %s", *nodes, *repoDir)
+	if speed != 1 {
+		log.Printf("dboxd: time compression %sx — scenario time runs %s× faster than wall time",
+			clock.FormatSpeed(speed), clock.FormatSpeed(speed))
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/device"
+	"repro/internal/digi"
+	"repro/internal/replay"
+	"repro/internal/replay/replaytest"
+	"repro/internal/scene"
+	"repro/internal/trace"
+)
+
+func goldenRegistry(t *testing.T) *digi.Registry {
+	t.Helper()
+	reg := digi.NewRegistry()
+	if err := device.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	if err := scene.RegisterAll(reg); err != nil {
+		t.Fatal(err)
+	}
+	return reg
+}
+
+// TestGoldenTrace pins the 24-hour scenario to its golden trace: a
+// full building day — the diurnal occupancy curve driven by live
+// edits, the night-ops chaos plan, and sparse sensor traffic —
+// replays byte-identically.
+func TestGoldenTrace(t *testing.T) {
+	res := replaytest.GoldenFile(t, goldenRegistry(t), "scenario.yaml", "testdata/dayinthelife.trace.jsonl")
+
+	var faults, edits int
+	for _, r := range res.Records {
+		switch r.Kind {
+		case trace.KindFault:
+			faults++
+		case trace.KindAction:
+			if r.Name == "lobby" {
+				edits++
+			}
+		}
+	}
+	if faults == 0 {
+		t.Fatal("golden trace records no night-ops fault injections")
+	}
+	// The script walks six points of the diurnal occupancy curve;
+	// each must land as a lobby edit.
+	if edits < 6 {
+		t.Fatalf("expected >= 6 diurnal lobby edits in the trace, got %d", edits)
+	}
+}
+
+// TestHighSpeedDigestEquivalence proves the long-horizon claim the
+// generic golden check cannot afford: pacing 24 scenario-hours at a
+// high finite factor produces the same digest as the unpaced run.
+// (replaytest.Golden skips its paced speeds here because even 100x
+// would take 864s of wall time; 2,000,000x costs ~43ms.)
+func TestHighSpeedDigestEquivalence(t *testing.T) {
+	data, err := os.ReadFile("scenario.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := replay.ParseScenario(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unpaced, err := replay.RecordExec(goldenRegistry(t), sc, replay.ExecOptions{Speed: clock.SpeedMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const speed = 2e6
+	paced, err := replay.RecordExec(goldenRegistry(t), sc, replay.ExecOptions{Speed: speed})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paced.Digest != unpaced.Digest {
+		t.Fatalf("24h digest is speed-dependent:\n  speed max %s\n  speed %s %s",
+			unpaced.Digest, clock.FormatSpeed(speed), paced.Digest)
+	}
+}

@@ -1,0 +1,29 @@
+package main
+
+import (
+	"testing"
+
+	digibox "repro"
+	"repro/internal/iac"
+	"repro/internal/vet"
+	"repro/internal/vet/vettest"
+)
+
+// The building ensemble the drill deploys must emit a vet-clean
+// setup: zero error-severity diagnostics against the shipped kind
+// libraries.
+func TestSetupIsVetClean(t *testing.T) {
+	kinds := append(digibox.DeviceKinds(), digibox.SceneKinds()...)
+	setup, mem, err := vettest.Setup("dayinthelife", kinds, digis)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := iac.Marshal(setup)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := vet.RunData("dayinthelife", data, mem)
+	if errs := vet.Errors(diags); len(errs) > 0 {
+		t.Fatalf("setup not vet-clean:\n%s", vet.Text(errs))
+	}
+}

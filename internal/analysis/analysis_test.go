@@ -16,6 +16,15 @@ func TestWallclockRuntimePackage(t *testing.T) {
 	analyzertest.Run(t, analysis.Wallclock, fixture("wallclock", "runtime"), "repro/internal/broker")
 }
 
+// TestWallclockScaledDriver pins the time-compression domain split:
+// a runtime package pacing schedules on the injected clock may reach
+// for clock.System to bound wall-domain work (reconnect dials, pod
+// handoffs), but any direct time-package read in the same driver is
+// still a determinism leak.
+func TestWallclockScaledDriver(t *testing.T) {
+	analyzertest.Run(t, analysis.Wallclock, fixture("wallclock", "scaled"), "repro/internal/core")
+}
+
 func TestWallclockExemptPackage(t *testing.T) {
 	analyzertest.Run(t, analysis.Wallclock, fixture("wallclock", "exempt"), "repro/internal/yamlite")
 }

@@ -553,7 +553,12 @@ func (c *Client) await(id uint16, ch chan *Packet, want PacketType, keep bool) (
 			return nil, fmt.Errorf("mqtt: expected %v, got %v", want, pkt.Type)
 		}
 		return pkt, nil
-	case <-c.clk.After(c.opts.AckTimeout):
+	case <-clock.System.After(c.opts.AckTimeout):
+		// Deliberately the wall clock, like the net.Conn deadlines:
+		// the ack guards a real network round-trip, whose latency does
+		// not compress with the scenario clock. On a time-compressed
+		// testbed a clocked wait would expire in microseconds of wall
+		// time — long before any real broker could answer.
 		if !keep {
 			c.discardPending(id)
 		}

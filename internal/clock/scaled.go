@@ -1,0 +1,269 @@
+package clock
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// SpeedMax is the unpaced execution factor: the driver fires timers
+// back-to-back in discrete-event order with no wall-clock waits, like
+// a bare Virtual driven in a tight Step loop.
+var SpeedMax = math.Inf(1)
+
+// ParseSpeed parses the wire/CLI form of a speed factor: "max" (or
+// "inf") for unpaced discrete-event execution, otherwise a positive
+// finite decimal such as "1", "100", or "2.5". JSON cannot encode
+// infinity, so everything that crosses a process boundary carries
+// speeds in this string form.
+func ParseSpeed(s string) (float64, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "max", "inf":
+		return SpeedMax, nil
+	}
+	f, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 {
+		return 0, fmt.Errorf("clock: invalid speed %q (want \"max\" or a positive number)", s)
+	}
+	return f, nil
+}
+
+// FormatSpeed renders a factor in the form ParseSpeed accepts.
+func FormatSpeed(f float64) string {
+	if math.IsInf(f, 1) {
+		return "max"
+	}
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// Scaled is a Virtual clock paced against a wall clock at a
+// configurable factor: factor 1 is real time, factor 100 compresses
+// 100s of scenario time into 1s of wall time, and SpeedMax degenerates
+// to pure discrete-event firing.
+//
+// Crucially, Now still advances ONLY at timer firings (and explicit
+// AdvanceTo), exactly like Virtual — pacing inserts wall-clock waits
+// *between* steps but never changes which timer fires next or what
+// time it observes. The (time, seq) heap order is therefore identical
+// at every factor, which is what makes replay digests speed-invariant.
+type Scaled struct {
+	*Virtual
+	wall Clock
+
+	mu         sync.Mutex
+	factor     float64
+	paused     bool
+	anchorWall time.Time
+	anchorVirt time.Time
+
+	wake     chan struct{}
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// NewScaled returns a paced virtual clock at Epoch. factor must be
+// positive; SpeedMax (+Inf) selects unpaced execution. A nil wall
+// defaults to System (tests inject a Virtual wall to make pacing
+// itself deterministic).
+func NewScaled(factor float64, wall Clock) *Scaled {
+	if !(factor > 0) { // catches zero, negatives, and NaN
+		panic("clock: non-positive speed factor")
+	}
+	s := &Scaled{
+		Virtual: NewVirtual(),
+		wall:    Or(wall),
+		factor:  factor,
+		wake:    make(chan struct{}, 1),
+		stop:    make(chan struct{}),
+	}
+	s.anchorWall = s.wall.Now()
+	s.anchorVirt = s.Virtual.Now()
+	s.Virtual.setNotify(s.kick)
+	return s
+}
+
+// Factor returns the current pacing factor.
+func (s *Scaled) Factor() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.factor
+}
+
+// SetFactor changes the pacing factor mid-run. The wall↔virtual anchor
+// is re-based at the current instant, so already-elapsed time is never
+// re-paced. Panics on non-positive or NaN factors.
+func (s *Scaled) SetFactor(f float64) {
+	if !(f > 0) {
+		panic("clock: non-positive speed factor")
+	}
+	s.mu.Lock()
+	s.factor = f
+	s.anchorWall = s.wall.Now()
+	s.anchorVirt = s.Virtual.Now()
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Pause suspends pacing: the driver blocks (firing nothing) until
+// Resume. Virtual time freezes with it.
+func (s *Scaled) Pause() {
+	s.mu.Lock()
+	s.paused = true
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Resume re-anchors at the current instant and continues pacing; the
+// wall time spent paused is not "caught up".
+func (s *Scaled) Resume() {
+	s.mu.Lock()
+	s.paused = false
+	s.anchorWall = s.wall.Now()
+	s.anchorVirt = s.Virtual.Now()
+	s.mu.Unlock()
+	s.kick()
+}
+
+// Stop aborts any in-progress Run or Drive. Idempotent.
+func (s *Scaled) Stop() {
+	s.stopOnce.Do(func() { close(s.stop) })
+}
+
+// Stopped reports whether Stop has been called.
+func (s *Scaled) Stopped() bool {
+	select {
+	case <-s.stop:
+		return true
+	default:
+		return false
+	}
+}
+
+// kick wakes a driver sleeping in paceTo. Non-blocking, safe to call
+// under the Virtual lock (it is the push-notify hook).
+func (s *Scaled) kick() {
+	select {
+	case s.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Run drives the clock to deadline: each pending timer fires at its
+// scheduled virtual time, paced against the wall clock, then virtual
+// now advances to the deadline. cont (optional) is polled before every
+// step; returning false aborts the run. This is the scenario-bounded
+// driver the replay engine uses.
+func (s *Scaled) Run(deadline time.Time, cont func() bool) {
+	for {
+		if cont != nil && !cont() {
+			return
+		}
+		if s.Stopped() {
+			return
+		}
+		target := deadline
+		next, ok := s.NextAt()
+		fire := ok && !next.After(deadline)
+		if fire {
+			target = next
+		}
+		if !s.paceTo(target) {
+			// Woken early: a new (possibly earlier) timer was armed,
+			// the factor changed, or we were paused/stopped. Re-peek.
+			continue
+		}
+		if !fire {
+			s.AdvanceTo(deadline)
+			return
+		}
+		s.Step(deadline)
+	}
+}
+
+// Drive paces the clock open-endedly for live testbeds: pending timers
+// fire on schedule at the configured factor, and while the heap is
+// idle virtual time tracks scaled wall time in small quanta. Exits on
+// Stop. At SpeedMax virtual time is purely event-driven — it freezes
+// when no timers are armed instead of racing ahead.
+func (s *Scaled) Drive() {
+	const idleQuantum = 5 * time.Millisecond
+	for {
+		if s.Stopped() {
+			return
+		}
+		if next, ok := s.NextAt(); ok {
+			if s.paceTo(next) {
+				s.Step(next)
+				// At SpeedMax there is no wall gap between firings, so
+				// goroutines waiting on what this step produced (watch
+				// events, channel sends) would race later virtual
+				// deadlines. Yield so ready receivers observe the
+				// earlier event before the next timer can fire.
+				runtime.Gosched()
+			}
+			continue
+		}
+		s.mu.Lock()
+		paused, factor := s.paused, s.factor
+		s.mu.Unlock()
+		if paused || math.IsInf(factor, 1) {
+			select {
+			case <-s.wake:
+			case <-s.stop:
+				return
+			}
+			continue
+		}
+		select {
+		case <-s.wall.After(idleQuantum):
+			s.mu.Lock()
+			target := s.anchorVirt.Add(time.Duration(float64(s.wall.Now().Sub(s.anchorWall)) * s.factor))
+			s.mu.Unlock()
+			s.AdvanceTo(target)
+		case <-s.wake:
+		case <-s.stop:
+			return
+		}
+	}
+}
+
+// paceTo blocks until the wall instant corresponding to virtual target
+// arrives, reporting true. It returns false when woken early (new
+// timer, factor change, pause toggle, Stop) — callers must re-peek the
+// heap rather than assume the target is due. The mapping is anchored
+// absolutely (anchorWall + (target−anchorVirt)/factor), so interrupted
+// waits resume drift-free.
+func (s *Scaled) paceTo(target time.Time) bool {
+	s.mu.Lock()
+	if s.paused {
+		s.mu.Unlock()
+		select {
+		case <-s.wake:
+		case <-s.stop:
+		}
+		return false
+	}
+	factor := s.factor
+	if math.IsInf(factor, 1) {
+		s.mu.Unlock()
+		return true
+	}
+	wallTarget := s.anchorWall.Add(time.Duration(float64(target.Sub(s.anchorVirt)) / factor))
+	s.mu.Unlock()
+	wait := wallTarget.Sub(s.wall.Now())
+	if wait <= 0 {
+		return true
+	}
+	select {
+	case <-s.wall.After(wait):
+		return true
+	case <-s.wake:
+		return false
+	case <-s.stop:
+		return false
+	}
+}

@@ -21,6 +21,11 @@ type Virtual struct {
 	now    time.Time
 	seq    uint64
 	timers timerHeap
+	// notify, when set, is invoked (under mu — it must not block)
+	// every time a timer is pushed. Scaled uses it to wake a paced
+	// driver sleeping toward a deadline that a newly armed, earlier
+	// timer has just invalidated.
+	notify func()
 }
 
 // NewVirtual returns a virtual clock at Epoch with no timers armed.
@@ -74,7 +79,35 @@ func (v *Virtual) push(at time.Time, fn func()) *vtimer {
 	v.seq++
 	t := &vtimer{at: at, seq: v.seq, fn: fn}
 	heap.Push(&v.timers, t)
+	if v.notify != nil {
+		v.notify()
+	}
 	return t
+}
+
+// setNotify installs the push-notification hook. fn runs with v.mu
+// held and must not block (Scaled passes a non-blocking channel send).
+func (v *Virtual) setNotify(fn func()) {
+	v.mu.Lock()
+	v.notify = fn
+	v.mu.Unlock()
+}
+
+// NextAt reports the firing time of the earliest pending timer.
+// Stopped timers at the head of the heap are discarded on the way. The
+// second result is false when no timer is armed.
+func (v *Virtual) NextAt() (time.Time, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	for len(v.timers) > 0 {
+		t := v.timers[0]
+		if t.stopped {
+			heap.Pop(&v.timers)
+			continue
+		}
+		return t.at, true
+	}
+	return time.Time{}, false
 }
 
 // Step pops and fires the earliest timer at or before the deadline,

@@ -77,6 +77,7 @@ func (tb *Testbed) ChaosEngine() *chaos.Engine {
 		Log:     tb.Log,
 		Obs:     tb.Obs,
 		Bus:     tb.Bus,
+		Clock:   tb.clk,
 	}
 	if tb.Broker != nil {
 		e.Broker = brokerInjector{tb.Broker}

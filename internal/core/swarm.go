@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/digi"
 	"repro/internal/kube"
 	"repro/internal/swarm"
@@ -93,6 +94,7 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 		Tracer: tb.Tracer,
 		Health: swarm.HealthOptions{Seed: load.Seed},
 		Bus:    tb.Bus,
+		Clock:  tb.clk,
 	})
 	defer pool.Close()
 	tb.setActiveSwarm(pool)
@@ -119,6 +121,9 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 	if err != nil {
 		return nil, err
 	}
+	// The session paces its load generator and quiesce polls on the
+	// testbed clock, so swarm windows compress with TimeScale.
+	sess.SetClock(tb.clk)
 
 	// One pod per generator worker. The factory is re-registered per
 	// run (runs are serialized) so each run's pods drive its session.
@@ -240,6 +245,12 @@ func (tb *Testbed) SwarmHealth() (shards int, down []int) {
 func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout time.Duration) (map[string]string, error) {
 	placements := map[string]string{}
 	deadline := tb.clk.Now().Add(timeout)
+	// On a time-compressed testbed the clocked deadline can expire in
+	// wall microseconds while the workers are still doing real work —
+	// scenario time bounds the schedule, not the host CPU. Once the
+	// scenario deadline passes, the workers get a wall-clock grace
+	// before the wait gives up.
+	var graceStart time.Time
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -262,13 +273,18 @@ func (tb *Testbed) waitSwarmPods(ctx context.Context, podNames []string, timeout
 			return placements, nil
 		}
 		if tb.clk.Now().After(deadline) {
-			var waiting []string
-			for _, name := range podNames {
-				if _, ok := placements[name]; !ok {
-					waiting = append(waiting, name)
-				}
+			if graceStart.IsZero() {
+				graceStart = clock.System.Now()
 			}
-			return nil, fmt.Errorf("core: swarm timed out waiting for pods %s", strings.Join(waiting, ", "))
+			if clock.System.Since(graceStart) > tb.opts.ReadyTimeout {
+				var waiting []string
+				for _, name := range podNames {
+					if _, ok := placements[name]; !ok {
+						waiting = append(waiting, name)
+					}
+				}
+				return nil, fmt.Errorf("core: swarm timed out waiting for pods %s", strings.Join(waiting, ", "))
+			}
 		}
 		tb.clk.Sleep(5 * time.Millisecond)
 	}

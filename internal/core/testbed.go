@@ -22,6 +22,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -91,6 +92,14 @@ type Options struct {
 	// client is attached, making end-to-end latency histograms live
 	// from the first publish.
 	Observer bool
+	// TimeScale runs the whole testbed on a scaled scenario clock:
+	// keepalive timers, chaos schedules, swarm pacing, kube backoff,
+	// span and trace timestamps all advance at TimeScale× wall speed.
+	// 0 and 1 mean real time (the wall clock, no pacing goroutine);
+	// clock.SpeedMax fires timers back-to-back, freezing scenario
+	// time while the heap is idle — suitable for bounded drills, not
+	// long-lived daemons. Finite values must be positive.
+	TimeScale float64
 }
 
 // Testbed is one Digibox prototyping environment.
@@ -147,9 +156,18 @@ type Testbed struct {
 	podNode sync.Map // name -> node name
 
 	// clk drives the testbed's own poll loops (WaitConverged, test-case
-	// deadlines, swarm waits). Runtime components carry their own
-	// injected clocks.
+	// deadlines, swarm waits) and is injected into every runtime
+	// component, so one clock carries the whole testbed. It is
+	// clock.System in real time and scaled under Options.TimeScale.
 	clk clock.Clock
+	// scaled is non-nil under Options.TimeScale; Start launches its
+	// Drive loop and Stop ends it.
+	scaled *clock.Scaled
+
+	// scenMu guards the most recent RunScenario execution, surfaced
+	// as the /ctl/status timewarp section.
+	scenMu   sync.Mutex
+	scenario *scenarioRun
 }
 
 // New assembles a testbed; call Start to bring it up.
@@ -170,16 +188,34 @@ func New(opts Options) (*Testbed, error) {
 		opts.ReadyTimeout = 10 * time.Second
 	}
 
+	var clk clock.Clock = clock.System
+	var scaled *clock.Scaled
+	switch ts := opts.TimeScale; {
+	case ts == 0 || ts == 1:
+		// Real time: no pacing goroutine, System everywhere.
+	case math.IsNaN(ts) || ts < 0:
+		return nil, fmt.Errorf("core: invalid TimeScale %v", ts)
+	default:
+		scaled = clock.NewScaled(ts, nil)
+		clk = scaled
+	}
+
 	tb := &Testbed{
 		opts:     opts,
 		Store:    model.NewStore(),
-		Log:      trace.NewLog(),
 		Registry: digi.NewRegistry(),
-		clk:      clock.System,
+		clk:      clk,
+		scaled:   scaled,
 	}
+	// The trace log stamps scenario time, so records from a
+	// compressed run carry the same timestamps a real-time run would.
+	tb.Log = trace.NewLogAt(tb.clk.Now)
 	if !opts.DisableMetrics {
 		tb.Obs = obs.NewRegistry()
 		tb.Tracer = obs.NewTracer(tb.Obs)
+		// Spans and bus events stamp scenario time (wall time rides
+		// along as the bus's secondary wall_ms field).
+		tb.Tracer.SetClock(tb.clk)
 		tb.Version = obs.RegisterBuildInfo(tb.Obs)
 		tb.Bus = obs.NewBus(tb.Obs, tb.clk)
 		// Correlate completed spans into the trace log so shared and
@@ -193,9 +229,11 @@ func New(opts Options) (*Testbed, error) {
 		Store:    tb.Store,
 		Log:      tb.Log,
 		Registry: tb.Registry,
+		Clock:    tb.clk,
 	}
 	tb.Runtime.BindObs(tb.Obs)
 	tb.Cluster = kube.NewCluster()
+	tb.Cluster.SetClock(tb.clk)
 	if tb.Obs != nil {
 		tb.Cluster.BindMetrics(tb.Obs)
 	}
@@ -254,6 +292,7 @@ func (tb *Testbed) Start() error {
 			Obs:    tb.Obs,
 			Tracer: tb.Tracer,
 			Bus:    tb.Bus,
+			Clock:  tb.clk,
 		})
 		if err := tb.Broker.ListenAndServe(tb.opts.BrokerAddr); err != nil {
 			return fmt.Errorf("core: broker: %w", err)
@@ -263,6 +302,7 @@ func (tb *Testbed) Start() error {
 			c, err := broker.Dial(tb.Broker.Addr(), &broker.ClientOptions{
 				ClientID:      "digi-runtime",
 				AutoReconnect: true,
+				Clock:         tb.clk,
 			})
 			if err != nil {
 				return fmt.Errorf("core: runtime mqtt: %w", err)
@@ -289,6 +329,14 @@ func (tb *Testbed) Start() error {
 		}
 	}
 	tb.Checker.Start()
+	// Under TimeScale the scaled clock gets its driver only once every
+	// component is connected: timers armed during Start just pend.
+	// Launching it earlier would let an unpaced clock (SpeedMax) churn
+	// through hours of virtual time during the wall milliseconds the
+	// broker dials and handshakes take.
+	if tb.scaled != nil {
+		go tb.scaled.Drive()
+	}
 	return nil
 }
 
@@ -299,6 +347,7 @@ func (tb *Testbed) startObserver() error {
 	c, err := broker.Dial(tb.Broker.Addr(), &broker.ClientOptions{
 		ClientID:      "dbox-observer",
 		AutoReconnect: true,
+		Clock:         tb.clk,
 	})
 	if err != nil {
 		return err
@@ -355,7 +404,23 @@ func (tb *Testbed) Stop() {
 		tb.Broker.Close()
 	}
 	tb.Bus.Close()
+	if tb.scaled != nil {
+		tb.scaled.Stop()
+	}
 }
+
+// TimeScale returns the configured execution speed factor (1 for real
+// time).
+func (tb *Testbed) TimeScale() float64 {
+	if tb.scaled == nil {
+		return 1
+	}
+	return tb.scaled.Factor()
+}
+
+// Clock returns the testbed's time source: clock.System in real time,
+// the scaled scenario clock under Options.TimeScale.
+func (tb *Testbed) Clock() clock.Clock { return tb.clk }
 
 // StartedAt returns when Start was called (zero before Start).
 func (tb *Testbed) StartedAt() time.Time {

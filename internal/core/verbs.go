@@ -5,6 +5,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/kube"
 	"repro/internal/model"
 	"repro/internal/property"
@@ -362,11 +363,25 @@ func setAttach(d model.Doc, att []string) {
 
 // WaitConverged polls until cond holds or the timeout elapses — a
 // helper for tests and examples synchronising on ensemble effects.
+// The timeout is scenario time, but convergence often rides
+// wall-domain work (a client redialling a real TCP broker, goroutine
+// handoffs), so after the scenario deadline expires the condition
+// gets a wall-clock grace (ReadyTimeout, polled on the wall clock)
+// before the wait gives up — on a heavily compressed testbed the
+// scenario deadline can pass in wall microseconds, long before the
+// host had any chance to do the work being awaited.
 func (tb *Testbed) WaitConverged(timeout time.Duration, cond func() bool) error {
 	deadline := tb.clk.Now().Add(timeout)
 	for !cond() {
 		if tb.clk.Now().After(deadline) {
-			return fmt.Errorf("core: condition not reached within %v", timeout)
+			graceStart := clock.System.Now()
+			for !cond() {
+				if clock.System.Since(graceStart) > tb.opts.ReadyTimeout {
+					return fmt.Errorf("core: condition not reached within %v", timeout)
+				}
+				clock.System.Sleep(time.Millisecond)
+			}
+			return nil
 		}
 		tb.clk.Sleep(5 * time.Millisecond)
 	}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/chaos"
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/dash"
 	"repro/internal/model"
@@ -31,11 +32,35 @@ type Server struct {
 	listener   net.Listener
 }
 
-// RunRequest is the body of POST /ctl/run.
+// RunRequest is the body of POST /ctl/run. Two forms:
+//
+//   - {type, name, config}: run one mock or scene as a pod (the
+//     original dbox run verb).
+//   - {scenario, speed}: execute a whole scenario on the daemon's
+//     deterministic engine, time-compressed at the given speed
+//     ("max", "100", "2.5"; empty = max). The connection stays open
+//     for the run's wall duration and the reply is a
+//     RunScenarioResponse.
 type RunRequest struct {
-	Type   string         `json:"type"`
-	Name   string         `json:"name"`
+	Type   string         `json:"type,omitempty"`
+	Name   string         `json:"name,omitempty"`
 	Config map[string]any `json:"config,omitempty"`
+
+	Scenario any    `json:"scenario,omitempty"`
+	Speed    string `json:"speed,omitempty"`
+}
+
+// RunScenarioResponse is the reply of the scenario form of
+// POST /ctl/run: the digest plus the timewarp accounting.
+type RunScenarioResponse struct {
+	Scenario   string `json:"scenario"`
+	Records    int    `json:"records"`
+	Digest     string `json:"digest"`
+	Speed      string `json:"speed"`
+	ScenarioMs int64  `json:"scenario_ms"`
+	WallMs     int64  `json:"wall_ms"`
+	// CompressionX is scenario time over wall time actually achieved.
+	CompressionX float64 `json:"compression_x"`
 }
 
 // NameRequest is the body of verbs addressing one digi.
@@ -320,11 +345,50 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
+	if req.Scenario != nil {
+		s.runScenario(w, r, req)
+		return
+	}
 	if err := s.TB.Run(req.Type, req.Name, req.Config); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "running", "name": req.Name})
+}
+
+// runScenario is the time-compressed scenario form of /ctl/run: the
+// run executes at the requested speed (closing the connection cancels
+// it) and the reply carries the digest plus timewarp accounting.
+func (s *Server) runScenario(w http.ResponseWriter, r *http.Request, req RunRequest) {
+	sc, err := replay.ScenarioFromValue(req.Scenario)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	speed := clock.SpeedMax
+	if req.Speed != "" {
+		if speed, err = clock.ParseSpeed(req.Speed); err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+	}
+	res, err := s.TB.RunScenario(r.Context(), sc, speed)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := RunScenarioResponse{
+		Scenario:   sc.Name,
+		Records:    len(res.Records),
+		Digest:     res.Digest,
+		Speed:      clock.FormatSpeed(res.Speed),
+		ScenarioMs: sc.Duration.Milliseconds(),
+		WallMs:     res.Wall.Milliseconds(),
+	}
+	if resp.WallMs > 0 {
+		resp.CompressionX = float64(resp.ScenarioMs) / float64(resp.WallMs)
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStop(w http.ResponseWriter, r *http.Request) {
@@ -729,6 +793,19 @@ func (c *Client) get(path string, resp any) error {
 // Run issues dbox run.
 func (c *Client) Run(typ, name string, config map[string]any) error {
 	return c.post("/ctl/run", RunRequest{Type: typ, Name: name, Config: config}, nil)
+}
+
+// RunScenario issues the scenario form of dbox run: execute a whole
+// scenario on the daemon at the given speed ("max", "100", …; empty =
+// max). The HTTP timeout must cover the run's wall duration —
+// scenario duration divided by speed — so callers size Client.HTTP
+// accordingly for slow speeds.
+func (c *Client) RunScenario(sc *replay.Scenario, speed string) (*RunScenarioResponse, error) {
+	var resp RunScenarioResponse
+	if err := c.post("/ctl/run", RunRequest{Scenario: sc.Value(), Speed: speed}, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 // Stop issues dbox stop.

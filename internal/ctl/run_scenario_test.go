@@ -1,0 +1,80 @@
+package ctl
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/replay"
+)
+
+func scenarioForRun(d time.Duration) *replay.Scenario {
+	return &replay.Scenario{
+		Name:     "over-http",
+		Duration: d,
+		Digis: []replay.Digi{
+			{Type: "Occupancy", Name: "O1", Config: map[string]any{"interval_ms": int64(40), "trigger_prob": 1.0}},
+			{Type: "Lamp", Name: "L1"},
+			{Type: "MeetingRoom", Name: "MR", Attach: []string{"O1", "L1"}},
+		},
+	}
+}
+
+// TestRunScenarioOverHTTP drives the scenario form of POST /ctl/run:
+// the same scenario at speed max and a paced speed must return the
+// same digest, and the status document must grow a timewarp section.
+func TestRunScenarioOverHTTP(t *testing.T) {
+	_, cli := startServer(t, "")
+	sc := scenarioForRun(200 * time.Millisecond)
+
+	fast, err := cli.RunScenario(sc, "max")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.Digest == "" || fast.Records == 0 || fast.Scenario != "over-http" {
+		t.Fatalf("max run = %+v", fast)
+	}
+	if fast.Speed != "max" {
+		t.Fatalf("speed echoed as %q, want max", fast.Speed)
+	}
+
+	paced, err := cli.RunScenario(sc, "20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if paced.Digest != fast.Digest {
+		t.Fatalf("digest speed-dependent over HTTP:\n  max %s\n  20  %s", fast.Digest, paced.Digest)
+	}
+	if paced.WallMs < 5 {
+		t.Errorf("speed-20 run of 200ms reported %dms wall; pacing missing", paced.WallMs)
+	}
+	if paced.CompressionX <= 0 {
+		t.Errorf("compression_x = %v, want > 0", paced.CompressionX)
+	}
+
+	status, err := cli.Status()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tw, ok := status["timewarp"].(map[string]any)
+	if !ok {
+		t.Fatalf("status has no timewarp section: %v", status)
+	}
+	if tw["name"] != "over-http" || tw["running"] != false {
+		t.Errorf("timewarp = %v, want finished over-http run", tw)
+	}
+	if ts, ok := status["time_scale"].(string); !ok || ts != "1" {
+		t.Errorf("time_scale = %v, want \"1\" on a real-time testbed", status["time_scale"])
+	}
+}
+
+// TestRunScenarioBadSpeed: unparseable speeds are a 400, not a hung
+// run at some accidental default.
+func TestRunScenarioBadSpeed(t *testing.T) {
+	_, cli := startServer(t, "")
+	sc := scenarioForRun(100 * time.Millisecond)
+	_, err := cli.RunScenario(sc, "warp9")
+	if err == nil || !strings.Contains(err.Error(), "invalid speed") {
+		t.Fatalf("err = %v, want invalid speed", err)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/obs"
 )
@@ -78,10 +79,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	latency, _ := tb.Obs.LatencyClasses()
 
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"version":    tb.Version,
 		"started_at": startedAt(tb),
 		"uptime_sec": tb.Uptime().Seconds(),
+		"time_scale": clock.FormatSpeed(tb.TimeScale()),
 
 		"models":       st.Models,
 		"pods_running": st.PodsRunning,
@@ -111,5 +113,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 			"subscribers": tb.Bus.Subscribers(),
 		},
 		"latency": latency,
-	})
+	}
+	// Timewarp: scenario-time vs wall-time of the active (or most
+	// recent) time-compressed scenario run, when there has been one.
+	if ts := tb.ScenarioStatus(); ts != nil {
+		body["timewarp"] = ts
+	}
+	writeJSON(w, http.StatusOK, body)
 }

@@ -13,11 +13,17 @@ import (
 // sequence number, a bus-clock timestamp, a kind tag ("fault",
 // "shard", "pod", "client", "metrics", "latency"), and a small
 // JSON-serialisable payload.
+//
+// AtMs is scenario time (the injected bus clock), so events line up
+// with trace records and spans under time-compressed execution; WallMs
+// is the secondary wall-clock stamp for correlating with logs outside
+// the testbed. On a real-time bus the two agree.
 type Event struct {
-	Seq  uint64         `json:"seq"`
-	AtMs int64          `json:"at_ms"`
-	Kind string         `json:"kind"`
-	Data map[string]any `json:"data,omitempty"`
+	Seq    uint64         `json:"seq"`
+	AtMs   int64          `json:"at_ms"`
+	WallMs int64          `json:"wall_ms"`
+	Kind   string         `json:"kind"`
+	Data   map[string]any `json:"data,omitempty"`
 }
 
 // Bus is a bounded fan-out event bus. Publishers (broker, chaos
@@ -34,6 +40,7 @@ type Event struct {
 // unconditionally and a nil *Bus collapses the layer to no-ops.
 type Bus struct {
 	clk       clock.Clock
+	wall      clock.Clock
 	published *Counter
 	dropped   *Counter
 
@@ -59,11 +66,21 @@ type Sub struct {
 func NewBus(reg *Registry, clk clock.Clock) *Bus {
 	return &Bus{
 		clk:       clock.Or(clk),
+		wall:      clock.System,
 		published: reg.Counter("digibox_events_published_total", "Events published onto the fan-out bus."),
 		dropped:   reg.Counter("digibox_events_dropped_total", "Events shed because a subscriber's bounded buffer was full."),
 		subs:      map[*Sub]struct{}{},
 		stop:      make(chan struct{}),
 	}
+}
+
+// SetWallClock overrides the secondary wall-time stamp source
+// (tests). The primary AtMs clock stays as constructed.
+func (b *Bus) SetWallClock(wall clock.Clock) {
+	if b == nil || wall == nil {
+		return
+	}
+	b.wall = wall
 }
 
 // Publish stamps and fans an event out to every subscriber,
@@ -74,13 +91,14 @@ func (b *Bus) Publish(kind string, data map[string]any) {
 		return
 	}
 	now := b.clk.Now().UnixMilli()
+	wall := b.wall.Now().UnixMilli()
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.closed {
 		return
 	}
 	b.seq++
-	ev := Event{Seq: b.seq, AtMs: now, Kind: kind, Data: data}
+	ev := Event{Seq: b.seq, AtMs: now, WallMs: wall, Kind: kind, Data: data}
 	b.published.Inc()
 	for s := range b.subs {
 		select {

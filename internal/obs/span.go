@@ -85,6 +85,17 @@ func NewTracer(r *Registry) *Tracer {
 	return t
 }
 
+// SetClock points the tracer at the testbed clock, so span timestamps
+// and latency samples advance on scenario time under time-compressed
+// execution instead of leaking wall time. Call before the first span
+// opens.
+func (t *Tracer) SetClock(clk clock.Clock) {
+	if t == nil || clk == nil {
+		return
+	}
+	t.clk = clk
+}
+
 // SetSampleInterval makes the tracer open a span for one in every n
 // routed messages (n < 1 is clamped to 1 = trace everything).
 func (t *Tracer) SetSampleInterval(n uint64) {

@@ -3,7 +3,9 @@ package replay
 import (
 	"context"
 	"fmt"
+	"math"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/broker"
@@ -30,6 +32,26 @@ type Result struct {
 	Digest string
 	// Report is the chaos run report (nil without a plan).
 	Report *chaos.Report
+	// Speed is the pacing factor the run executed at
+	// (clock.SpeedMax = unpaced discrete-event firing).
+	Speed float64
+	// Wall is the wall-clock time the run took. Records and Digest
+	// are independent of it — that is the speed-invariance contract.
+	Wall time.Duration
+}
+
+// ExecOptions selects the execution mode of a run. The zero value is
+// unpaced discrete-event execution (speed max), the mode Record has
+// always used.
+type ExecOptions struct {
+	// Speed paces the run against the wall clock: 1 is real time,
+	// 100 compresses 100s of scenario time into 1s of wall time, and
+	// clock.SpeedMax (or 0) fires timers back-to-back. Pacing never
+	// changes firing order or virtual timestamps, so the digest is
+	// identical at every speed.
+	Speed float64
+	// Wall is the pacing reference clock; nil means clock.System.
+	Wall clock.Clock
 }
 
 // Engine executes a Scenario as a single-threaded discrete-event
@@ -41,6 +63,9 @@ type Engine struct {
 	sc       *Scenario
 
 	clk   *clock.Virtual
+	pacer *clock.Scaled
+	wall  clock.Clock
+	speed float64
 	store *model.Store
 	log   *trace.Log
 	rt    *digi.Runtime
@@ -58,6 +83,9 @@ type Engine struct {
 	// fault injection) for propagation after the injecting step.
 	queued []model.Update
 
+	// failMu guards failure: fail is called from timer callbacks on
+	// the driver goroutine and from Cancel on any goroutine.
+	failMu  sync.Mutex
 	failure error // sticky first engine error
 }
 
@@ -69,16 +97,36 @@ type digiState struct {
 	epoch   int // bumped on every stop/restart; stale timers no-op
 }
 
-// NewEngine prepares a deterministic run of sc against the kinds in
-// registry. The scenario is validated here.
+// NewEngine prepares an unpaced deterministic run of sc against the
+// kinds in registry.
 func NewEngine(registry *digi.Registry, sc *Scenario) (*Engine, error) {
+	return NewEngineExec(registry, sc, ExecOptions{})
+}
+
+// NewEngineExec prepares a deterministic run in the given execution
+// mode. The scenario is validated here. Every run — paced or not —
+// drives the same clock.Scaled loop, so there is exactly one
+// structural code path to keep digest-equivalent.
+func NewEngineExec(registry *digi.Registry, sc *Scenario, opts ExecOptions) (*Engine, error) {
 	if err := sc.Validate(); err != nil {
 		return nil, err
 	}
+	speed := opts.Speed
+	if speed == 0 {
+		speed = clock.SpeedMax
+	}
+	if math.IsNaN(speed) || speed < 0 {
+		return nil, fmt.Errorf("replay: invalid speed %v", speed)
+	}
+	wall := clock.Or(opts.Wall)
+	pacer := clock.NewScaled(speed, wall)
 	e := &Engine{
 		registry: registry,
 		sc:       sc,
-		clk:      clock.NewVirtual(),
+		clk:      pacer.Virtual,
+		pacer:    pacer,
+		wall:     wall,
+		speed:    speed,
 		store:    model.NewStore(),
 		assigned: map[string]int{},
 		digis:    map[string]*digiState{},
@@ -120,6 +168,7 @@ func NewEngine(registry *digi.Registry, sc *Scenario) (*Engine, error) {
 // Run executes the scenario and returns the canonical result. The
 // engine is single-use.
 func (e *Engine) Run() (*Result, error) {
+	wallStart := e.wall.Now()
 	e.log.Mark(e.sc.Name, "run-start", map[string]any{
 		"digis":       int64(len(e.sc.Digis)),
 		"duration_ms": int64(e.sc.Duration / time.Millisecond),
@@ -171,14 +220,15 @@ func (e *Engine) Run() (*Result, error) {
 		}
 	}
 
-	// Drive the event loop to the end of the run window.
+	// Drive the event loop to the end of the run window. At SpeedMax
+	// the pacer fires timers back-to-back exactly like the old bare
+	// Step loop; at finite speeds it inserts wall-clock waits between
+	// the same steps.
 	deadline := clock.Epoch.Add(e.sc.Duration)
-	for e.failure == nil && e.clk.Step(deadline) {
+	e.pacer.Run(deadline, func() bool { return e.err() == nil })
+	if err := e.err(); err != nil {
+		return nil, err
 	}
-	if e.failure != nil {
-		return nil, e.failure
-	}
-	e.clk.AdvanceTo(deadline)
 	e.log.Mark(e.sc.Name, "run-end", map[string]any{"records": int64(e.log.Len())})
 
 	recs := Normalize(e.log.Records())
@@ -186,18 +236,54 @@ func (e *Engine) Run() (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Scenario: e.sc, Records: recs, Digest: digest}
+	res := &Result{
+		Scenario: e.sc,
+		Records:  recs,
+		Digest:   digest,
+		Speed:    e.speed,
+		Wall:     e.wall.Now().Sub(wallStart),
+	}
 	if walker != nil {
 		res.Report = walker.Report()
 	}
 	return res, nil
 }
 
+// Pacer exposes the run's scaled clock so callers can pause, resume,
+// or retune the speed of an in-flight run.
+func (e *Engine) Pacer() *clock.Scaled { return e.pacer }
+
+// Speed returns the configured pacing factor.
+func (e *Engine) Speed() float64 { return e.speed }
+
+// Elapsed returns the scenario time the run has covered so far; safe
+// to call from other goroutines while Run is in flight.
+func (e *Engine) Elapsed() time.Duration { return e.clk.Elapsed() }
+
+// Cancel aborts an in-flight Run with err (e.g. context cancellation
+// from a ctl handler). Safe from any goroutine; idempotent.
+func (e *Engine) Cancel(err error) {
+	if err == nil {
+		err = fmt.Errorf("replay: %s: run cancelled", e.sc.Name)
+	}
+	e.fail(err)
+	e.pacer.Stop()
+}
+
 // fail records the first engine error and stops the run.
 func (e *Engine) fail(err error) {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
 	if e.failure == nil && err != nil {
 		e.failure = err
 	}
+}
+
+// err returns the sticky first engine error.
+func (e *Engine) err() error {
+	e.failMu.Lock()
+	defer e.failMu.Unlock()
+	return e.failure
 }
 
 // createDigi mirrors core.Run: instantiate the model (schema defaults
@@ -328,7 +414,7 @@ func (e *Engine) attach(child, parent string) error {
 		updates = append(updates, cu)
 	}
 	e.propagate(updates)
-	return e.failure
+	return e.err()
 }
 
 // applyEdit fires one scripted edit: a mark record, then the merge
@@ -362,7 +448,7 @@ func (e *Engine) applyEdit(ed Edit) {
 // scene whose attach list names the target), in creation order. New
 // commits join the queue until the ensemble reaches its fixpoint.
 func (e *Engine) propagate(updates []model.Update) {
-	if e.failure != nil {
+	if e.err() != nil {
 		return
 	}
 	pending := append(updates, e.queued...)
@@ -417,7 +503,13 @@ func podName(digiName string) string {
 // Record is the one-call surface: run the scenario deterministically
 // against the registered kinds and return the canonical result.
 func Record(registry *digi.Registry, sc *Scenario) (*Result, error) {
-	e, err := NewEngine(registry, sc)
+	return RecordExec(registry, sc, ExecOptions{})
+}
+
+// RecordExec runs the scenario in the given execution mode. The
+// result's Records and Digest are identical at every speed.
+func RecordExec(registry *digi.Registry, sc *Scenario, opts ExecOptions) (*Result, error) {
+	e, err := NewEngineExec(registry, sc, opts)
 	if err != nil {
 		return nil, err
 	}

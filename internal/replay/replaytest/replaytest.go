@@ -23,7 +23,9 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 
+	"repro/internal/clock"
 	"repro/internal/digi"
 	"repro/internal/replay"
 )
@@ -47,6 +49,28 @@ func Golden(t *testing.T, registry *digi.Registry, sc *replay.Scenario, path str
 	if a.Digest != b.Digest {
 		t.Fatalf("replaytest: scenario %s is nondeterministic:\n  run 1 %s\n  run 2 %s",
 			sc.Name, a.Digest, b.Digest)
+	}
+
+	// Speed invariance: the same scenario paced against the wall
+	// clock must produce the same digest as the unpaced run above, so
+	// one canonical fixture covers every execution mode (-update
+	// regenerates exactly that one file). Paced speeds that would
+	// take unreasonable wall time for this scenario are skipped —
+	// long-horizon scenes prove equivalence at high finite factors.
+	for _, speed := range []float64{100, 1} {
+		if wallCost := time.Duration(float64(sc.Duration) / speed); wallCost > 5*time.Second {
+			t.Logf("replaytest: %s: skipping speed %s (%v of wall time)",
+				sc.Name, clock.FormatSpeed(speed), wallCost)
+			continue
+		}
+		p, err := replay.RecordExec(registry, sc, replay.ExecOptions{Speed: speed})
+		if err != nil {
+			t.Fatalf("replaytest: record %s at speed %s: %v", sc.Name, clock.FormatSpeed(speed), err)
+		}
+		if p.Digest != a.Digest {
+			t.Fatalf("replaytest: scenario %s digest is speed-dependent:\n  speed max %s\n  speed %-3s %s",
+				sc.Name, a.Digest, clock.FormatSpeed(speed), p.Digest)
+		}
 	}
 
 	var buf bytes.Buffer

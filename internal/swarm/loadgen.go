@@ -155,12 +155,16 @@ func (g *Generator) RunWorker(ctx context.Context, w int) error {
 	if w < 0 || w >= g.spec.Workers {
 		return fmt.Errorf("swarm: worker %d out of range [0,%d)", w, g.spec.Workers)
 	}
-	// The context deadline caps the whole run; it stays on the wall
-	// clock (context deadlines cannot ride an injected clock), while
-	// the pacing below runs on g.clk.
-	deadline := time.Now().Add(g.spec.Duration) //dbox:allow wallclock -- context.WithDeadline compares against the wall clock
-	ctx, cancel := context.WithDeadline(ctx, deadline)
+	// The run window is g.spec.Duration of *generator-clock* time:
+	// context deadlines cannot ride an injected clock, so a clocked
+	// AfterFunc cancels the context instead. On the wall clock this is
+	// the old wall deadline; on a compressed clock the window tracks
+	// scenario time, so a 2s burst at 1000x lasts 2ms of wall time
+	// rather than publishing flat-out for 2 wall seconds.
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	stopT := g.clk.AfterFunc(g.spec.Duration, cancel)
+	defer stopT.Stop()
 	if g.spec.Profile == ProfileOpen {
 		return g.runOpen(ctx, w)
 	}
