@@ -30,6 +30,7 @@
 //	replay [-verify] ARCHIVE  re-execute a replay archive (byte-exact)
 //	chaos run PLAN.yaml       apply a fault-injection plan
 //	swarm [flags]             run a sharded-broker load session (BENCH_swarm.json)
+//	capture [flags]           fit a device profile from live traffic (dbox capture)
 //	top [-n iters] [-i secs] [-watch secs]  live per-digi throughput/latency table
 //	metrics                   dump Prometheus text exposition
 //	ls                        list running mocks and scenes
@@ -51,7 +52,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/vet"
+	"repro/internal/yamlite"
 
 	// Kind libraries declare their config bounds with the vet engine in
 	// init(); linking device in makes local-file "dbox vet" check them.
@@ -90,9 +93,11 @@ commands (Table 1):
   replay [-verify] [-remote] ARCHIVE.zip
   trace save FILE | trace push NAME
   chaos run PLAN.yaml
-  swarm [-devices N] [-rate R] [-shards S] [-profile closed|open]
+  swarm [-devices N] [-rate R] [-shards S] [-profile closed|open|FILE]
         [-mock] [-kill-shard N@T] [-max-recovery-p99 MS]
         [-max-p99 MS] [-o BENCH_swarm.json] [-remote]
+  capture [-name N] [-seed S] [-duration D] [-o PROFILE.yaml]
+          [-devices N] [-period P] [-speed N|max] [-commit] [-remote]
   top [-n iters] [-i secs] [-watch secs] | metrics
   ls | status
 `)
@@ -315,6 +320,8 @@ func dispatch(cli *ctl.Client, args []string) error {
 		return chaosRunCmd(cli, rest[1])
 	case "swarm":
 		return swarmCmd(cli, rest)
+	case "capture":
+		return captureCmd(cli, rest)
 	case "top":
 		return topCmd(cli, rest)
 	case "metrics":
@@ -407,7 +414,7 @@ func vetCmd(cli *ctl.Client, rest []string) error {
 	}
 	var results map[string][]vet.Diagnostic
 	if data, err := os.ReadFile(target); !all && err == nil {
-		results = map[string][]vet.Diagnostic{target: vet.RunData(target, data, nil)}
+		results = map[string][]vet.Diagnostic{target: vetFileData(target, data)}
 	} else {
 		results, err = cli.Vet(target, "", all)
 		if err != nil {
@@ -507,4 +514,14 @@ func setNested(patch map[string]any, path string, v any) {
 		cur = next
 	}
 	cur[parts[len(parts)-1]] = v
+}
+
+// vetFileData routes a local file to the right analyzer: a document
+// with a top-level profile name and populations list is a device
+// profile (V018 and friends); everything else is a setup config.
+func vetFileData(name string, data []byte) []vet.Diagnostic {
+	if docs, err := yamlite.DecodeAll(data); err == nil && len(docs) == 1 && profile.IsProfileValue(docs[0]) {
+		return vet.RunProfileData(name, data)
+	}
+	return vet.RunData(name, data, nil)
 }

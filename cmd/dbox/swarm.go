@@ -10,6 +10,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"os"
 	"sort"
 	"strconv"
 	"strings"
@@ -17,6 +18,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/ctl"
+	"repro/internal/profile"
 	"repro/internal/swarm"
 )
 
@@ -48,7 +50,7 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 	devices := fs.Int("devices", 0, "simulated device count")
 	rate := fs.Float64("rate", 0, "open-loop target msgs/s")
 	shards := fs.Int("shards", 0, "broker shards (0 = derive from device count)")
-	profile := fs.String("profile", "", "load profile: closed or open")
+	profFlag := fs.String("profile", "", "load profile: closed, open, or a device-profile YAML file")
 	duration := fs.Duration("duration", 0, "run length")
 	period := fs.Duration("period", 0, "closed-loop per-device publish period")
 	workers := fs.Int("workers", 0, "generator workers (one kube pod each)")
@@ -69,11 +71,32 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 		return fmt.Errorf("usage: dbox swarm [flags] (see dbox swarm -h)")
 	}
 
+	// -profile takes a discipline name or a device-profile file: any
+	// value that is not a known discipline is read as trace-fitted
+	// profile YAML (the output of dbox capture) and drives the
+	// heterogeneous profiled load.
+	discipline := *profFlag
+	var deviceProf *profile.Profile
+	switch discipline {
+	case "", string(swarm.ProfileClosed), string(swarm.ProfileOpen):
+	default:
+		data, err := os.ReadFile(discipline)
+		if err != nil {
+			return fmt.Errorf("swarm: -profile %q is neither closed, open, nor a readable profile file: %w", discipline, err)
+		}
+		p, err := profile.Parse(data)
+		if err != nil {
+			return fmt.Errorf("swarm: -profile %s: %w", discipline, err)
+		}
+		deviceProf = p
+		discipline = ""
+	}
+
 	var rep *swarm.Report
 	var err error
 	if *remote {
 		req := ctl.SwarmRequest{
-			Profile:     *profile,
+			Profile:     discipline,
 			Devices:     *devices,
 			Rate:        *rate,
 			PeriodSec:   period.Seconds(),
@@ -85,6 +108,9 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 			Subscribers: *subs,
 			Shards:      *shards,
 			Mock:        *mock,
+		}
+		if deviceProf != nil {
+			req.DeviceProfile = deviceProf.Value()
 		}
 		for _, k := range kills {
 			req.Kills = append(req.Kills, ctl.SwarmKill{
@@ -99,8 +125,9 @@ func swarmCmd(cli *ctl.Client, rest []string) error {
 		run.HTTP = &http.Client{Timeout: wait + 120*time.Second}
 		rep, err = run.Swarm(req)
 	} else {
-		spec := swarmLocalSpec(*profile, *devices, *rate, *period,
+		spec := swarmLocalSpec(discipline, *devices, *rate, *period,
 			*duration, *workers, *subs, *seed, *qos, *payload, *shards, *mock)
+		spec.Load.DeviceProfile = deviceProf
 		spec.Kills = kills
 		rep, err = swarmLocal(spec, *nodes)
 	}
@@ -198,8 +225,11 @@ func swarmLocal(spec core.SwarmSpec, nodes int) (*swarm.Report, error) {
 
 func printSwarmReport(rep *swarm.Report) {
 	pacing := fmt.Sprintf("rate %.0f msg/s", rep.RateTarget)
-	if rep.Profile == string(swarm.ProfileClosed) {
+	switch rep.Profile {
+	case string(swarm.ProfileClosed):
 		pacing = fmt.Sprintf("period %.3fs", rep.PeriodSec)
+	case string(swarm.ProfileProfiled):
+		pacing = fmt.Sprintf("device profile %q", rep.ProfileName)
 	}
 	fmt.Printf("swarm %s: %d devices, %d shards, %d workers, %d subs, qos %d, %s, %.1fs\n",
 		rep.Profile, rep.Devices, rep.Shards, rep.Workers, rep.Subscribers,

@@ -88,6 +88,12 @@ func runTop(cli *ctl.Client, clk clock.Clock, iters int, interval time.Duration,
 		if err != nil {
 			return err
 		}
+		// The timewarp lane rides the status document; a daemon old
+		// enough to lack it just renders without the lane.
+		lane := ""
+		if status, err := cli.Status(); err == nil {
+			lane = timewarpLane(status)
+		}
 		now := clk.Now()
 		rows := assembleTop(snap, prev, now.Sub(prevAt))
 		for _, r := range rows {
@@ -97,7 +103,7 @@ func runTop(cli *ctl.Client, clk clock.Clock, iters int, interval time.Duration,
 		if ansi && frame > 0 {
 			fmt.Fprint(w, "\x1b[H\x1b[2J")
 		}
-		renderTop(w, snap, rows)
+		renderTop(w, snap, rows, lane)
 	}
 	return nil
 }
@@ -153,7 +159,38 @@ func assembleTop(snap *obs.Snapshot, prev map[string]float64, since time.Duratio
 	return rows
 }
 
-func renderTop(w io.Writer, snap *obs.Snapshot, rows []topRow) {
+// timewarpLane renders the scenario-time vs wall-time line from the
+// /ctl/status timewarp section. Empty when the testbed has never run
+// a time-compressed scenario — the table then renders without it.
+func timewarpLane(status map[string]any) string {
+	tw, ok := status["timewarp"].(map[string]any)
+	if !ok {
+		return ""
+	}
+	num := func(key string) float64 {
+		v, _ := tw[key].(float64)
+		return v
+	}
+	str := func(key string) string {
+		s, _ := tw[key].(string)
+		return s
+	}
+	state := "done"
+	if running, _ := tw["running"].(bool); running {
+		state = "running"
+	}
+	return fmt.Sprintf("timewarp — scenario %s / wall %s  warp %.1fx  (%s @ speed %s, %s)\n",
+		fmtMs(num("scenario_ms")), fmtMs(num("wall_ms")), num("compression_x"),
+		str("name"), str("speed"), state)
+}
+
+// fmtMs prints a millisecond count as a duration, millisecond
+// resolution.
+func fmtMs(ms float64) string {
+	return (time.Duration(ms) * time.Millisecond).String()
+}
+
+func renderTop(w io.Writer, snap *obs.Snapshot, rows []topRow, lane string) {
 	total := func(name string) float64 {
 		var sum float64
 		if fs := snap.Family(name); fs != nil {
@@ -169,6 +206,9 @@ func renderTop(w io.Writer, snap *obs.Snapshot, rows []topRow) {
 		total("digibox_broker_connections"),
 		total(obs.FaultsRecoveredName),
 		total(obs.FaultsInjectedName))
+	if lane != "" {
+		fmt.Fprint(w, lane)
+	}
 	fmt.Fprintf(w, "%-16s %8s %8s %10s %10s %8s %7s\n",
 		"DIGI", "MSGS", "MSGS/S", "P50", "P99", "RESTART", "FAULTS")
 	for _, r := range rows {

@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ctl"
 	"repro/internal/device"
+	"repro/internal/replay"
 	"repro/internal/scene"
 )
 
@@ -68,6 +69,10 @@ func TestTopRendersLatency(t *testing.T) {
 	text := out.String()
 	if !strings.Contains(text, "DIGI") || !strings.Contains(text, "O1") {
 		t.Fatalf("table missing digi row:\n%s", text)
+	}
+	// No scenario has run here, so the timewarp lane must be absent.
+	if strings.Contains(text, "timewarp —") {
+		t.Fatalf("timewarp lane rendered without a scenario run:\n%s", text)
 	}
 	// The O1 row must carry a real latency, not the "-" placeholder.
 	for _, line := range strings.Split(text, "\n") {
@@ -178,6 +183,56 @@ func TestTopWatchPacesOnInjectedClock(t *testing.T) {
 	waitFrames(3)
 	if err := <-done; err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTopTimewarpLane: once a time-compressed scenario has run, the
+// top header grows a timewarp lane with scenario time, wall time, and
+// the achieved warp factor from /ctl/status.
+func TestTopTimewarpLane(t *testing.T) {
+	tb, err := core.New(core.Options{
+		LocalRepoDir: filepath.Join(t.TempDir(), "local"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	device.RegisterAll(tb.Registry)
+	scene.RegisterAll(tb.Registry)
+	if err := tb.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Stop)
+	srv := &ctl.Server{TB: tb}
+	if err := srv.ListenAndServe("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	cli := &ctl.Client{Base: "http://" + srv.Addr()}
+
+	sc := &replay.Scenario{
+		Name:     "warped",
+		Duration: 30 * time.Second,
+		Digis: []replay.Digi{
+			{Type: "Occupancy", Name: "O1", Config: map[string]any{"interval_ms": int64(100), "trigger_prob": 1.0}},
+		},
+	}
+	if _, err := cli.RunScenario(sc, "max"); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := runTop(cli, nil, 1, time.Second, &out, false); err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	if !strings.Contains(text, "timewarp — scenario 30s / wall ") {
+		t.Fatalf("timewarp lane missing or malformed:\n%s", text)
+	}
+	if !strings.Contains(text, "(warped @ speed max, done)") {
+		t.Fatalf("timewarp lane missing run identity:\n%s", text)
+	}
+	if !strings.Contains(text, "warp ") || !strings.Contains(text, "x ") {
+		t.Fatalf("timewarp lane missing warp factor:\n%s", text)
 	}
 }
 

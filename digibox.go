@@ -74,6 +74,14 @@ type ShardKill = core.ShardKill
 // BENCH_swarm.json payload).
 type SwarmReport = swarm.Report
 
+// CaptureSpec configures a Testbed.Capture run — recording live
+// broker or swarm traffic into a fitted device profile.
+type CaptureSpec = core.CaptureSpec
+
+// CaptureResult is a settled capture: the fitted profile plus the
+// observation accounting.
+type CaptureResult = core.CaptureResult
+
 // Kind defines a mock or scene type (schema + Loop/Sim handlers).
 type Kind = digi.Kind
 

@@ -1,0 +1,336 @@
+package main
+
+// The cityscape drill, shared by `go run ./examples/cityscape` and
+// the golden test tier: a heterogeneous city block — thermostats on
+// diurnal Poisson cadences, fixed-cadence streetlamps, heavy-tailed
+// bursty traffic cams — driven from the shipped device profile
+// through the profiled swarm discipline, then captured back into a
+// fitted profile. The gates demand the full loop closes: the profile
+// vets clean, the live traffic digest equals the clock-free expected
+// digest (the speed-invariance claim, checked on real messages), QoS 1
+// loses nothing, and the capture refit replays each topic class within
+// 5% of what was observed.
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	digibox "repro"
+	"repro/internal/clock"
+	"repro/internal/profile"
+	"repro/internal/swarm"
+	"repro/internal/vet"
+)
+
+// cityConfig parameterizes one run of the drill.
+type cityConfig struct {
+	// Speed is the time-compression factor (clock.SpeedMax = unpaced
+	// discrete-event firing; the default).
+	Speed float64
+	// Window is the scenario-time run length (default 60s).
+	Window time.Duration
+	// ProfilePath is the device profile to drive (default the shipped
+	// profile.yaml next to the binary's source).
+	ProfilePath string
+	// Log, when set, receives progress lines (fmt.Printf shaped).
+	Log func(format string, args ...any)
+}
+
+// cityReport is the machine-readable outcome (BENCH_profile.json).
+type cityReport struct {
+	Profile     string  `json:"profile"`
+	Speed       string  `json:"speed"`
+	ScenarioSec float64 `json:"scenario_sec"`
+	WallSec     float64 `json:"wall_sec"`
+	// CompressionX is scenario seconds per wall second achieved.
+	CompressionX float64 `json:"compression_x"`
+
+	// Digest chains every device's (topic, payload) stream from the
+	// live tapped run; ExpectedDigest is the same chain computed from
+	// the compiled sampler with no clock at all. Equal digests are the
+	// speed-invariance proof on real traffic.
+	Digest         string `json:"digest"`
+	ExpectedDigest string `json:"expected_digest"`
+
+	Messages int64            `json:"messages"`
+	PerClass map[string]int64 `json:"per_class"`
+
+	Published int64   `json:"published"`
+	Lost      int64   `json:"lost"`
+	P50Ms     float64 `json:"p50_ms"`
+	P99Ms     float64 `json:"p99_ms"`
+
+	// RefitClasses maps topic class → the message count the capture's
+	// fitted profile would replay over the same window and seed.
+	RefitClasses map[string]int64 `json:"refit_classes"`
+
+	// Gates lists every failed acceptance gate; empty means the loop
+	// closed clean.
+	Gates []string `json:"gates_failed"`
+}
+
+// WriteJSON saves the report.
+func (r *cityReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// cityPrefix is the swarm topic prefix: device topics look like
+// "city/thermostat-3/status".
+const cityPrefix = "city"
+
+// refitGateFloor is the minimum observed per-class message count for
+// the ±5% refit gate to be statistically meaningful.
+const refitGateFloor = 1000
+
+// expectedDigest walks the compiled sampler's full schedule — pure
+// arithmetic, no clock — chaining each device's (topic, payload)
+// stream and folding the chains in device order. A live run at any
+// -speed must reproduce it exactly.
+func expectedDigest(p *profile.Profile, devices int, seed int64, window time.Duration) (string, int64, error) {
+	s, err := profile.Compile(p, devices, seed)
+	if err != nil {
+		return "", 0, err
+	}
+	// One chain per device, folded in sorted-topic order to match the
+	// tap's fold (which never sees device indices, only topics).
+	var total int64
+	chains := map[string][]byte{}
+	topics := make([]string, 0, s.Devices())
+	for d := 0; d < s.Devices(); d++ {
+		topic := s.DeviceTopic(cityPrefix, d)
+		chain := []byte(topic)
+		var n int64
+		for {
+			at, payload := s.NextFire(d)
+			if at >= window {
+				break
+			}
+			chain = append(chain, payload...)
+			n++
+		}
+		// A silent device never reaches the tap; it must not reach the
+		// fold either.
+		if n == 0 {
+			continue
+		}
+		topics = append(topics, topic)
+		chains[topic] = chain
+		total += n
+	}
+	sort.Strings(topics)
+	fold := sha256.New()
+	for _, topic := range topics {
+		chain := sha256.Sum256(chains[topic])
+		fold.Write(chain[:])
+	}
+	return hex.EncodeToString(fold.Sum(nil)), total, nil
+}
+
+// tapDigest accumulates the live run's per-topic payload chains. QoS 1
+// in-process delivery preserves per-device order (one device, one
+// shard session), so each topic's chain is deterministic; folding in
+// sorted topic order makes the total independent of cross-device
+// interleaving.
+type tapDigest struct {
+	mu     sync.Mutex
+	chains map[string][]byte // topic → running payload concat hash input
+	counts map[string]int64
+}
+
+func newTapDigest() *tapDigest {
+	return &tapDigest{chains: map[string][]byte{}, counts: map[string]int64{}}
+}
+
+func (t *tapDigest) observe(topic string, payload []byte) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if _, ok := t.chains[topic]; !ok {
+		t.chains[topic] = []byte(topic)
+	}
+	t.chains[topic] = append(t.chains[topic], payload...)
+	t.counts[topic]++
+}
+
+// sum folds the per-topic chains in sorted topic order.
+func (t *tapDigest) sum() (string, int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	topics := make([]string, 0, len(t.chains))
+	var total int64
+	for topic, n := range t.counts {
+		topics = append(topics, topic)
+		total += n
+	}
+	sort.Strings(topics)
+	fold := sha256.New()
+	for _, topic := range topics {
+		chain := sha256.Sum256(t.chains[topic])
+		fold.Write(chain[:])
+	}
+	return hex.EncodeToString(fold.Sum(nil)), total
+}
+
+// runCity executes the drill: vet the profile, run the profiled swarm
+// on a 4-shard plane with the digest tap, capture the same load into
+// a fitted profile, and gate the loop.
+func runCity(cfg cityConfig) (*cityReport, error) {
+	if cfg.Window <= 0 {
+		cfg.Window = 60 * time.Second
+	}
+	if cfg.ProfilePath == "" {
+		cfg.ProfilePath = "profile.yaml"
+	}
+	logf := cfg.Log
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	data, err := os.ReadFile(cfg.ProfilePath)
+	if err != nil {
+		return nil, err
+	}
+	p, err := profile.Parse(data)
+	if err != nil {
+		return nil, err
+	}
+	rep := &cityReport{Profile: p.Name, ScenarioSec: cfg.Window.Seconds()}
+	gate := func(ok bool, format string, args ...any) {
+		if !ok {
+			rep.Gates = append(rep.Gates, fmt.Sprintf(format, args...))
+		}
+	}
+
+	// Gate 1: the shipped profile vets clean (V018 and friends).
+	if diags := vet.Errors(vet.RunProfileData(cfg.ProfilePath, data)); len(diags) > 0 {
+		gate(false, "profile not vet-clean: %s", vet.Summary(diags))
+	}
+
+	// The clock-free expectation: what the city must emit, at any speed.
+	expDigest, expTotal, err := expectedDigest(p, 0, p.Seed, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	rep.ExpectedDigest = expDigest
+	logf("profile %s: %d populations, %d messages expected over %s\n",
+		p.Name, len(p.Populations), expTotal, cfg.Window)
+
+	var nodes []digibox.NodeSpec
+	for i := 0; i < 4; i++ {
+		nodes = append(nodes, digibox.NodeSpec{
+			Name: fmt.Sprintf("node-%d", i), Capacity: 64, Zone: "local",
+		})
+	}
+	tb, err := digibox.New(digibox.Options{
+		Nodes:      nodes,
+		BrokerAddr: "none", // the profiled swarm runs on the in-process plane
+		RESTAddr:   "none",
+		TimeScale:  cfg.Speed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.Start(); err != nil {
+		return nil, err
+	}
+	defer tb.Stop()
+	rep.Speed = clock.FormatSpeed(tb.TimeScale())
+
+	load := swarm.LoadSpec{
+		Profile:       swarm.ProfileProfiled,
+		DeviceProfile: p,
+		Duration:      cfg.Window,
+		Workers:       4,
+		QoS:           1,
+		Subs:          1,
+		Seed:          p.Seed,
+		Prefix:        cityPrefix,
+	}
+
+	// Leg 1 — the live run: profiled traffic over 4 shards with the
+	// digest tap on the delivery path.
+	tap := newTapDigest()
+	wallStart := time.Now()
+	swarmRep, err := tb.RunSwarm(context.Background(), digibox.SwarmSpec{
+		Shards: 4,
+		Load:   load,
+		Tap:    tap.observe,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.WallSec = time.Since(wallStart).Seconds()
+	if rep.WallSec > 0 {
+		rep.CompressionX = cfg.Window.Seconds() / rep.WallSec
+	}
+	rep.Published, rep.Lost = swarmRep.Published, swarmRep.Lost
+	rep.P50Ms, rep.P99Ms = swarmRep.P50Ms, swarmRep.P99Ms
+	rep.Digest, rep.Messages = tap.sum()
+	logf("live run: %d published, %d lost, p99 %.3f ms, %s wall (%.0fx)\n",
+		rep.Published, rep.Lost, rep.P99Ms, time.Duration(rep.WallSec*float64(time.Second)).Round(time.Millisecond), rep.CompressionX)
+
+	// Gate 2: zero QoS-1 loss on the sharded plane.
+	gate(rep.Lost == 0, "lost %d of %d QoS-1 messages", rep.Lost, rep.Published)
+	// Gate 3: the live digest equals the clock-free expectation — the
+	// run at this -speed emitted exactly the scheduled message set.
+	gate(rep.Digest == expDigest && rep.Messages == expTotal,
+		"live digest %s (%d msgs) != expected %s (%d msgs)",
+		rep.Digest, rep.Messages, expDigest, expTotal)
+
+	// Leg 2 — capture: the same load observed through the capture tap
+	// and fitted back into a profile.
+	res, err := tb.Capture(context.Background(), digibox.CaptureSpec{
+		Name:  p.Name + "-refit",
+		Seed:  p.Seed,
+		Swarm: &digibox.SwarmSpec{Shards: 4, Load: load},
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.PerClass = res.Classes
+	fitted := res.Profile
+
+	// Gate 4: the fitted profile vets clean too.
+	refitYAML, err := profile.Marshal(fitted)
+	if err != nil {
+		return nil, err
+	}
+	if diags := vet.Errors(vet.RunProfileData("refit", refitYAML)); len(diags) > 0 {
+		gate(false, "refit profile not vet-clean: %s", vet.Summary(diags))
+	}
+
+	// Gate 5: replayed with the same seed, the fitted profile lands
+	// within 5% of the observed per-class counts.
+	refit, err := profile.ExpectedCounts(fitted, 0, p.Seed, cfg.Window)
+	if err != nil {
+		return nil, err
+	}
+	rep.RefitClasses = refit
+	for cls, observed := range res.Classes {
+		got := refit[cls]
+		logf("class %-12s captured %5d, refit replays %5d\n", cls, observed, got)
+		// The ±5% acceptance bound is a statement about the standard
+		// 60-second window; with only a handful of observed gaps the
+		// fit's sampling error alone exceeds it, so short debug runs
+		// skip the bound instead of failing it vacuously.
+		if observed < refitGateFloor {
+			logf("class %-12s below the %d-message floor; ±5%% refit gate skipped\n", cls, refitGateFloor)
+			continue
+		}
+		lo, hi := observed-observed/20, observed+observed/20
+		gate(got >= lo && got <= hi,
+			"class %s: refit replays %d messages, captured %d (±5%% bounds [%d, %d])",
+			cls, got, observed, lo, hi)
+	}
+	return rep, nil
+}

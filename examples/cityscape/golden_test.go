@@ -1,0 +1,96 @@
+package main
+
+import (
+	"os"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/profile"
+)
+
+// goldenCityDigest pins the shipped profile's full 60-second schedule
+// — every device's (topic, payload) stream, folded in topic order. It
+// is a pure function of (profile.yaml, seed); any change to the
+// profile, the sampler's draw order, or the payload encoding moves it.
+const goldenCityDigest = "2b29db5336d442a518cdd9f77db43ae76a318969ada1dee40049d4e0b00d0265"
+
+func shippedCityProfile(t *testing.T) *profile.Profile {
+	t.Helper()
+	data, err := os.ReadFile("profile.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := profile.Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestGoldenProfileDigest pins the shipped cityscape schedule to its
+// golden digest over the standard 60-second window.
+func TestGoldenProfileDigest(t *testing.T) {
+	p := shippedCityProfile(t)
+	got, total, err := expectedDigest(p, 0, p.Seed, 60*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total == 0 {
+		t.Fatal("golden schedule is empty")
+	}
+	if got != goldenCityDigest {
+		t.Fatalf("cityscape golden digest moved:\n  got  %s\n  want %s\n(%d messages; update the pin only for an intentional profile or sampler change)",
+			got, goldenCityDigest, total)
+	}
+}
+
+// TestSpeedInvariance is the acceptance claim on live traffic: the
+// same drill at -speed 1 and -speed max delivers byte-identical
+// per-device message streams — the digest of what the consumers saw
+// matches the clock-free expectation at both speeds. The window is
+// trimmed to 2 scenario seconds so the speed-1 leg costs 2 wall
+// seconds, not 60.
+func TestSpeedInvariance(t *testing.T) {
+	const window = 2 * time.Second
+	run := func(speed float64) *cityReport {
+		t.Helper()
+		rep, err := runCity(cityConfig{Speed: speed, Window: window, ProfilePath: "profile.yaml"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	paced := run(1)
+	unpaced := run(clock.SpeedMax)
+
+	if paced.Digest != paced.ExpectedDigest {
+		t.Errorf("speed 1: live digest %s != expected %s", paced.Digest, paced.ExpectedDigest)
+	}
+	if unpaced.Digest != unpaced.ExpectedDigest {
+		t.Errorf("speed max: live digest %s != expected %s", unpaced.Digest, unpaced.ExpectedDigest)
+	}
+	if paced.Digest != unpaced.Digest || paced.Messages != unpaced.Messages {
+		t.Fatalf("traffic is speed-dependent:\n  speed 1   %s (%d msgs)\n  speed max %s (%d msgs)",
+			paced.Digest, paced.Messages, unpaced.Digest, unpaced.Messages)
+	}
+	if paced.Lost != 0 || unpaced.Lost != 0 {
+		t.Fatalf("QoS-1 loss: speed 1 lost %d, speed max lost %d", paced.Lost, unpaced.Lost)
+	}
+}
+
+// TestFullWindowGates runs the complete 60-second drill at speed max
+// — the CI profile-gate path — and demands every gate passes,
+// including the capture→refit ±5% replay bound.
+func TestFullWindowGates(t *testing.T) {
+	rep, err := runCity(cityConfig{Speed: clock.SpeedMax, Window: 60 * time.Second, ProfilePath: "profile.yaml"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Gates) > 0 {
+		t.Fatalf("gates failed: %v", rep.Gates)
+	}
+	if rep.Digest != goldenCityDigest {
+		t.Fatalf("live 60s digest %s != golden %s", rep.Digest, goldenCityDigest)
+	}
+}

@@ -1,0 +1,31 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/vet"
+)
+
+// The shipped device profile must vet clean, and the V018 analyzer
+// must catch an unsatisfiable mutation of it.
+func TestProfileIsVetClean(t *testing.T) {
+	data, err := os.ReadFile("profile.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := vet.Errors(vet.RunProfileData("profile.yaml", data)); len(diags) > 0 {
+		t.Fatalf("profile not vet-clean:\n%s", vet.Text(diags))
+	}
+
+	// Zeroing a cadence makes the thermostat population unsatisfiable.
+	broken := strings.Replace(string(data), "mean_ms: 250", "mean_ms: 0", 1)
+	diags := vet.Errors(vet.RunProfileData("profile.yaml", []byte(broken)))
+	if len(diags) == 0 {
+		t.Fatal("V018 missed a zero-rate population")
+	}
+	if diags[0].Rule != "V018" {
+		t.Fatalf("rule = %s, want V018: %s", diags[0].Rule, diags[0].Message)
+	}
+}

@@ -227,6 +227,7 @@ func benchFanout(b *testing.B, fanout int) {
 	}
 
 	payload := []byte(`{"seq":1,"v":0.42}`)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := br.Publish("fan/load", payload, false); err != nil {

@@ -11,10 +11,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/broker"
 	"repro/internal/chaos"
 	"repro/internal/clock"
 	"repro/internal/digi"
 	"repro/internal/kube"
+	"repro/internal/profile"
 	"repro/internal/swarm"
 )
 
@@ -34,6 +36,10 @@ type SwarmSpec struct {
 	// drill. Each kill is compiled into a chaos plan (seeded from the
 	// load seed) and applied by the pool's self-healing plane.
 	Kills []ShardKill
+	// Tap, when set, receives every message the run's consumers see —
+	// the capture path's feed. It must be fast and non-blocking; it
+	// runs on the delivery path.
+	Tap func(topic string, payload []byte) `json:"-"`
 }
 
 // ShardKill is one scheduled shard crash: shard Shard dies At into the
@@ -102,16 +108,28 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 
 	// Mock mode publishes through the digi swarm fleet so payloads are
 	// the runtime's deterministic random walks; either way the pool is
-	// the message plane.
-	var fire func(device int, seq uint64)
+	// the message plane. A profiled load hands the fleet its own
+	// compiled sampler so sampled payloads route onto per-kind device
+	// topics (the sampler compile is pure, so the fleet's copy maps
+	// devices to kinds identically to the generator's).
+	var fire swarm.Fire
 	if spec.Mock {
-		fleet, err := tb.Runtime.NewSwarmFleet(digi.SwarmFleetOptions{
+		opts := digi.SwarmFleetOptions{
 			Devices: load.Devices,
 			Seed:    load.Seed,
 			Prefix:  load.Prefix,
 			QoS:     load.QoS,
 			Publish: pool.Publish,
-		})
+		}
+		if load.DeviceProfile != nil {
+			smp, err := profile.Compile(load.DeviceProfile, load.Devices, load.Seed)
+			if err != nil {
+				return nil, err
+			}
+			opts.Sampler = smp
+			opts.Devices = smp.Devices()
+		}
+		fleet, err := tb.Runtime.NewSwarmFleet(opts)
 		if err != nil {
 			return nil, err
 		}
@@ -120,6 +138,18 @@ func (tb *Testbed) RunSwarm(ctx context.Context, spec SwarmSpec) (*swarm.Report,
 	sess, err := swarm.NewSession(pool, load, tb.Obs, fire)
 	if err != nil {
 		return nil, err
+	}
+	// The capture tap rides a dedicated consumer on the pool so it
+	// sees exactly what the run's subscribers see (one copy per
+	// message, not per subscriber).
+	if spec.Tap != nil {
+		tapFilter := load.Prefix + "/+/status"
+		if err := pool.Subscribe("capture-tap", tapFilter, load.QoS, func(m broker.Message) {
+			spec.Tap(m.Topic, m.Payload)
+		}); err != nil {
+			return nil, err
+		}
+		defer pool.Unsubscribe("capture-tap", tapFilter)
 	}
 	// The session paces its load generator and quiesce polls on the
 	// testbed clock, so swarm windows compress with TimeScale.

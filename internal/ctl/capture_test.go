@@ -1,0 +1,74 @@
+package ctl
+
+import (
+	"testing"
+)
+
+// TestCaptureOverHTTP drives a swarm-fed capture through the control
+// API: the fitted profile must round-trip the wire encoding, commit
+// into the daemon's repository when asked, and replay back into a
+// profiled swarm request.
+func TestCaptureOverHTTP(t *testing.T) {
+	tb, cli := startServer(t, "")
+	p, resp, err := cli.Capture(CaptureRequest{
+		Name:   "wired",
+		Seed:   5,
+		Commit: true,
+		Swarm: &SwarmRequest{
+			Profile:     "closed",
+			Devices:     10,
+			PeriodSec:   0.05,
+			DurationSec: 0.5,
+			Workers:     2,
+			QoS:         1,
+			Subscribers: 1,
+			Shards:      1,
+			Seed:        5,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Messages == 0 || resp.Report == nil {
+		t.Fatalf("capture response = %+v, want messages and a swarm report", resp)
+	}
+	if p.Name != "wired" || len(p.Populations) == 0 {
+		t.Fatalf("profile = %+v, want fitted populations named wired", p)
+	}
+	if resp.Version != "v1" {
+		t.Fatalf("commit version = %q, want v1", resp.Version)
+	}
+	// The commit landed in the daemon's profiles class.
+	committed, err := tb.GetProfile("wired", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if committed.Name != "wired" {
+		t.Fatalf("committed profile name = %q", committed.Name)
+	}
+
+	// The captured profile drives a profiled run over the same API.
+	rep, err := cli.Swarm(SwarmRequest{
+		DurationSec:   0.3,
+		Workers:       2,
+		QoS:           1,
+		Subscribers:   1,
+		Shards:        1,
+		Seed:          5,
+		DeviceProfile: p.Value(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Profile != "profiled" || rep.ProfileName != "wired" {
+		t.Fatalf("report profile = %q/%q, want profiled/wired", rep.Profile, rep.ProfileName)
+	}
+	if rep.Published == 0 || rep.Lost != 0 {
+		t.Fatalf("published %d lost %d, want traffic with no loss", rep.Published, rep.Lost)
+	}
+
+	// A malformed device_profile is a 400, not a panic.
+	if _, err := cli.Swarm(SwarmRequest{DeviceProfile: "nonsense", DurationSec: 0.1}); err == nil {
+		t.Fatal("malformed device_profile accepted")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dash"
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/replay"
 	"repro/internal/swarm"
 	"repro/internal/trace"
@@ -124,6 +125,10 @@ type SwarmRequest struct {
 	Mock        bool    `json:"mock,omitempty"`
 	// Kills is the failover-drill schedule (`dbox swarm -kill-shard`).
 	Kills []SwarmKill `json:"kills,omitempty"`
+	// DeviceProfile is an optional device-population profile in its
+	// generic-value encoding (profile.Profile.Value); setting it makes
+	// the run profiled (`dbox swarm -profile FILE`).
+	DeviceProfile any `json:"device_profile,omitempty"`
 }
 
 // SwarmKill schedules one shard crash: shard Shard dies at AtSec into
@@ -135,7 +140,7 @@ type SwarmKill struct {
 }
 
 // spec converts the wire request into the core spec.
-func (r SwarmRequest) spec() core.SwarmSpec {
+func (r SwarmRequest) spec() (core.SwarmSpec, error) {
 	var kills []core.ShardKill
 	for _, k := range r.Kills {
 		kills = append(kills, core.ShardKill{
@@ -144,24 +149,57 @@ func (r SwarmRequest) spec() core.SwarmSpec {
 			For:   time.Duration(k.ForSec * float64(time.Second)),
 		})
 	}
+	var prof *profile.Profile
+	if r.DeviceProfile != nil {
+		p, err := profile.FromValue(r.DeviceProfile)
+		if err != nil {
+			return core.SwarmSpec{}, fmt.Errorf("ctl: device_profile: %w", err)
+		}
+		prof = p
+	}
 	return core.SwarmSpec{
 		Load: swarm.LoadSpec{
-			Profile:  swarm.Profile(r.Profile),
-			Devices:  r.Devices,
-			Rate:     r.Rate,
-			Period:   time.Duration(r.PeriodSec * float64(time.Second)),
-			Duration: time.Duration(r.DurationSec * float64(time.Second)),
-			Workers:  r.Workers,
-			Seed:     r.Seed,
-			QoS:      byte(r.QoS),
-			Payload:  r.Payload,
-			Subs:     r.Subscribers,
-			Prefix:   r.Prefix,
+			Profile:       swarm.Profile(r.Profile),
+			Devices:       r.Devices,
+			Rate:          r.Rate,
+			Period:        time.Duration(r.PeriodSec * float64(time.Second)),
+			Duration:      time.Duration(r.DurationSec * float64(time.Second)),
+			Workers:       r.Workers,
+			Seed:          r.Seed,
+			QoS:           byte(r.QoS),
+			Payload:       r.Payload,
+			Subs:          r.Subscribers,
+			Prefix:        r.Prefix,
+			DeviceProfile: prof,
 		},
 		Shards: r.Shards,
 		Mock:   r.Mock,
 		Kills:  kills,
-	}
+	}, nil
+}
+
+// CaptureRequest is the body of POST /ctl/capture: record traffic
+// into a fitted device profile. With Swarm set the capture drives
+// that swarm load and taps it; otherwise the live broker is tapped
+// for DurationSec of scenario time.
+type CaptureRequest struct {
+	DurationSec float64       `json:"duration_sec,omitempty"`
+	Filter      string        `json:"filter,omitempty"`
+	Name        string        `json:"name,omitempty"`
+	Seed        int64         `json:"seed,omitempty"`
+	Commit      bool          `json:"commit,omitempty"`
+	Swarm       *SwarmRequest `json:"swarm,omitempty"`
+}
+
+// CaptureResponse carries the fitted profile (generic-value encoding)
+// plus the observation accounting; Version is set when the request
+// asked for a repository commit.
+type CaptureResponse struct {
+	Profile  any              `json:"profile"`
+	Messages int64            `json:"messages"`
+	Classes  map[string]int64 `json:"classes"`
+	Report   *swarm.Report    `json:"report,omitempty"`
+	Version  string           `json:"version,omitempty"`
 }
 
 // ShareRequest is the body of POST /ctl/push and /ctl/pull.
@@ -267,6 +305,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /ctl/recreate", s.handleRecreate)
 	mux.HandleFunc("POST /ctl/chaos", s.handleChaos)
 	mux.HandleFunc("POST /ctl/swarm", s.handleSwarm)
+	mux.HandleFunc("POST /ctl/capture", s.handleCapture)
 	mux.HandleFunc("POST /ctl/record", s.handleRecord)
 	mux.HandleFunc("POST /ctl/replay", s.handleReplay)
 	mux.HandleFunc("POST /ctl/checktrace", s.handleCheckTrace)
@@ -597,12 +636,61 @@ func (s *Server) handleSwarm(w http.ResponseWriter, r *http.Request) {
 	if !decode(w, r, &req) {
 		return
 	}
-	rep, err := s.TB.RunSwarm(r.Context(), req.spec())
+	spec, err := req.spec()
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	rep, err := s.TB.RunSwarm(r.Context(), spec)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, rep)
+}
+
+// handleCapture records traffic into a fitted device profile — the
+// `dbox capture -remote` path. Like swarm, the connection stays open
+// for the capture window.
+func (s *Server) handleCapture(w http.ResponseWriter, r *http.Request) {
+	var req CaptureRequest
+	if !decode(w, r, &req) {
+		return
+	}
+	spec := core.CaptureSpec{
+		Duration: time.Duration(req.DurationSec * float64(time.Second)),
+		Filter:   req.Filter,
+		Name:     req.Name,
+		Seed:     req.Seed,
+	}
+	if req.Swarm != nil {
+		sw, err := req.Swarm.spec()
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		spec.Swarm = &sw
+	}
+	res, err := s.TB.Capture(r.Context(), spec)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := CaptureResponse{
+		Profile:  res.Profile.Value(),
+		Messages: res.Messages,
+		Classes:  res.Classes,
+		Report:   res.Report,
+	}
+	if req.Commit {
+		ver, err := s.TB.CommitProfile(res.Profile.Name, res.Profile)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		resp.Version = ver
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRecord executes a scenario on the deterministic replay engine
@@ -911,6 +999,21 @@ func (c *Client) Swarm(req SwarmRequest) (*swarm.Report, error) {
 		return nil, err
 	}
 	return &rep, nil
+}
+
+// Capture issues dbox capture -remote: the daemon records traffic
+// into a fitted device profile and returns it with the observation
+// accounting.
+func (c *Client) Capture(req CaptureRequest) (*profile.Profile, *CaptureResponse, error) {
+	var resp CaptureResponse
+	if err := c.post("/ctl/capture", req, &resp); err != nil {
+		return nil, nil, err
+	}
+	p, err := profile.FromValue(resp.Profile)
+	if err != nil {
+		return nil, nil, fmt.Errorf("ctl: capture response profile: %w", err)
+	}
+	return p, &resp, nil
 }
 
 // Replay issues dbox replay against a shared trace.

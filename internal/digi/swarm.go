@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strconv"
 	"sync/atomic"
+
+	"repro/internal/profile"
 )
 
 // Swarm mock mode: event generation for fleets far past what the
@@ -37,6 +39,12 @@ type SwarmFleetOptions struct {
 	// Publish overrides the publish path; nil uses the runtime's
 	// in-process broker.
 	Publish SwarmPublish
+	// Sampler, when set, turns the fleet heterogeneous: Fire publishes
+	// the load generator's sampled payloads on the sampler's per-kind
+	// device topics ("prefix/thermostat-3/status") instead of walking
+	// the uniform mocks. The fleet keeps the metrics and accounting
+	// role either way.
+	Sampler *profile.Sampler
 }
 
 // swarmMock is one simulated device: a bounded random walk standing in
@@ -83,6 +91,8 @@ type SwarmFleet struct {
 	qos       byte
 	publish   SwarmPublish
 	rt        *Runtime
+	sampler   *profile.Sampler
+	prefix    string
 	published int64
 }
 
@@ -109,6 +119,8 @@ func (rt *Runtime) NewSwarmFleet(opts SwarmFleetOptions) (*SwarmFleet, error) {
 		qos:     opts.QoS,
 		publish: pub,
 		rt:      rt,
+		sampler: opts.Sampler,
+		prefix:  prefix,
 	}
 	for i := range f.mocks {
 		m := &swarmMock{
@@ -127,26 +139,33 @@ func (f *SwarmFleet) Devices() int { return len(f.mocks) }
 // Published returns the number of successful fleet publishes.
 func (f *SwarmFleet) Published() int64 { return atomic.LoadInt64(&f.published) }
 
-// Fire advances device's random walk one step and publishes its
-// status. The payload is a compact JSON document with the sequence
-// number and the walked value — enough to correlate, dedupe, and
-// eyeball, nothing that needs the model store.
-func (f *SwarmFleet) Fire(device int, _ uint64) {
+// Fire publishes device's next status. With a nil payload the uniform
+// mock advances its random walk one step and synthesizes a compact
+// JSON document with the sequence number and the walked value. A
+// sampled payload (profiled load) publishes as-is on the sampler's
+// per-kind device topic — the mock's own state stays untouched, so
+// uniform and profiled runs never share rng draws.
+func (f *SwarmFleet) Fire(device int, _ uint64, payload []byte) {
 	m := f.mocks[device%len(f.mocks)]
-	m.value += (m.rng.float64() - 0.5) * 0.1
-	if m.value < 0 {
-		m.value = 0
+	topic := m.topic
+	if payload == nil {
+		m.value += (m.rng.float64() - 0.5) * 0.1
+		if m.value < 0 {
+			m.value = 0
+		}
+		if m.value > 1 {
+			m.value = 1
+		}
+		m.seq++
+		payload = []byte(`{"seq":` + strconv.FormatUint(m.seq, 10) +
+			`,"v":` + strconv.FormatFloat(m.value, 'f', 4, 64) + `}`)
+	} else if f.sampler != nil {
+		topic = f.sampler.DeviceTopic(f.prefix, device)
 	}
-	if m.value > 1 {
-		m.value = 1
-	}
-	m.seq++
-	payload := []byte(`{"seq":` + strconv.FormatUint(m.seq, 10) +
-		`,"v":` + strconv.FormatFloat(m.value, 'f', 4, 64) + `}`)
 	// Non-retained: fleet traffic is load, not state to re-establish,
 	// and retained publishes would make the swarm bridge replicate
 	// every message to every shard.
-	if err := f.publish(swarmFrom, m.topic, payload, f.qos, false); err != nil {
+	if err := f.publish(swarmFrom, topic, payload, f.qos, false); err != nil {
 		return
 	}
 	atomic.AddInt64(&f.published, 1)

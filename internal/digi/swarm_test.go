@@ -42,7 +42,7 @@ func TestSwarmFleetPublishesDeterministicWalks(t *testing.T) {
 		}
 		for step := 0; step < 5; step++ {
 			for d := 0; d < 3; d++ {
-				fleet.Fire(d, 0)
+				fleet.Fire(d, 0, nil)
 			}
 		}
 		if fleet.Published() != 15 {
@@ -102,7 +102,7 @@ func TestSwarmFleetDefaultsToRuntimeBroker(t *testing.T) {
 		t.Fatal(err)
 	}
 	for d := 0; d < 4; d++ {
-		fleet.Fire(d, 0)
+		fleet.Fire(d, 0, nil)
 	}
 	if got != 4 {
 		t.Fatalf("delivered %d, want 4", got)
@@ -144,7 +144,7 @@ func TestSwarmFleetFootprint(t *testing.T) {
 	if perMock > 512 {
 		t.Fatalf("fleet footprint %.0f B/mock exceeds budget", perMock)
 	}
-	fleet.Fire(9_999, 0)
+	fleet.Fire(9_999, 0, nil)
 	if fleet.Published() != 1 {
 		t.Fatal("fire on last device failed")
 	}

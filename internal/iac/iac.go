@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/chaos"
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/yamlite"
 )
 
@@ -38,6 +39,11 @@ type Setup struct {
 	// dashboard — should listen. Vet rule V017 checks the address
 	// against ports the scene's own devices claim.
 	Ctl *CtlConfig
+	// Profile is the optional device-population traffic profile
+	// (header "profile" section) the setup's swarm runs drive. Vet
+	// rule V018 checks it for unsatisfiable cadence/burst/mix clauses
+	// and population kinds with no kind reference.
+	Profile *profile.Profile
 }
 
 // CtlConfig is the header "ctl" section.
@@ -79,6 +85,9 @@ func Marshal(s *Setup) ([]byte, error) {
 	}
 	if s.Ctl != nil {
 		header["ctl"] = map[string]any{"listen": s.Ctl.Listen}
+	}
+	if s.Profile != nil {
+		header["profile"] = s.Profile.Value()
 	}
 	docs := []any{header}
 	for _, m := range s.Models {
@@ -162,6 +171,13 @@ func Parse(data []byte) (*Setup, error) {
 		listen, _ := m["listen"].(string)
 		s.Ctl = &CtlConfig{Listen: listen}
 	}
+	if raw, ok := header["profile"]; ok {
+		p, err := profile.FromValue(raw)
+		if err != nil {
+			return nil, fmt.Errorf("iac: profile section: %w", err)
+		}
+		s.Profile = p
+	}
 	for i, d := range docs[1:] {
 		m, ok := d.(map[string]any)
 		if !ok {
@@ -209,6 +225,11 @@ func Validate(s *Setup) error {
 	}
 	if s.Ctl != nil && s.Ctl.Listen == "" {
 		return fmt.Errorf("iac: ctl section needs a listen address")
+	}
+	if s.Profile != nil {
+		if err := s.Profile.Validate(); err != nil {
+			return fmt.Errorf("iac: %w", err)
+		}
 	}
 	return checkAcyclic(names)
 }

@@ -4,8 +4,10 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/model"
+	"repro/internal/profile"
 )
 
 func mkModel(typ, name string, attach ...string) model.Doc {
@@ -235,5 +237,57 @@ func TestCtlSectionRoundTrip(t *testing.T) {
 	empty.Ctl = &CtlConfig{}
 	if _, err := Marshal(empty); err == nil {
 		t.Fatal("empty ctl.listen marshalled, want validation error")
+	}
+}
+
+func TestProfileSectionRoundTrip(t *testing.T) {
+	s := smartBuildingSetup()
+	s.Profile = &profile.Profile{
+		Name: "city",
+		Seed: 7,
+		Populations: []profile.Population{
+			{Kind: "thermostat", Count: 4,
+				Cadence: profile.Cadence{Dist: profile.DistPoisson, Mean: 200 * time.Millisecond},
+				Fields:  []profile.Field{{Name: "temp_c", Gen: profile.GenSine, Min: 18, Max: 26, Period: time.Minute}}},
+			{Kind: "meter", Count: 2,
+				Cadence: profile.Cadence{Dist: profile.DistFixed, Mean: 100 * time.Millisecond}},
+		},
+	}
+	data, err := Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v\n%s", err, data)
+	}
+	if back.Profile == nil || back.Profile.Name != "city" || back.Profile.Seed != 7 {
+		t.Fatalf("profile section = %+v, want name city seed 7", back.Profile)
+	}
+	if n := len(back.Profile.Populations); n != 2 {
+		t.Fatalf("populations = %d, want 2", n)
+	}
+	if got := back.Profile.Populations[0]; got.Kind != "thermostat" ||
+		got.Cadence.Dist != profile.DistPoisson || got.Cadence.Mean != 200*time.Millisecond {
+		t.Fatalf("population 0 = %+v", got)
+	}
+
+	// No section stays absent, and an invalid profile fails validation.
+	plain, err := Marshal(smartBuildingSetup())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back, err := Unmarshal(plain); err != nil || back.Profile != nil {
+		t.Fatalf("profile = %+v, err %v; want absent", back.Profile, err)
+	}
+	bad := smartBuildingSetup()
+	bad.Profile = &profile.Profile{Name: "bad", Populations: []profile.Population{
+		{Kind: "x", Count: 1, Cadence: profile.Cadence{Dist: "weibull", Mean: time.Second}},
+	}}
+	if _, err := Marshal(bad); err == nil {
+		t.Fatal("unknown cadence dist marshalled, want validation error")
+	}
+	if _, err := Parse([]byte("setup: t\nprofile: notamap\n")); err == nil {
+		t.Fatal("non-mapping profile section accepted")
 	}
 }

@@ -1,0 +1,162 @@
+package profile
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestSamplerDeterminism compiles the same profile twice and walks
+// both schedules in different device orders: every (offset, payload)
+// stream must be byte-identical, because the schedule is pure
+// arithmetic on (profile, seed, device).
+func TestSamplerDeterminism(t *testing.T) {
+	p := testProfile()
+	s1, err := Compile(p, 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Compile(testProfile(), 12, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Devices() != s2.Devices() {
+		t.Fatalf("device counts differ: %d vs %d", s1.Devices(), s2.Devices())
+	}
+	// Walk s1 forward, s2 backward over devices: interleaving across
+	// devices must not matter, only per-device call order.
+	type msg struct {
+		at      time.Duration
+		payload []byte
+	}
+	walk := func(s *Sampler, reverse bool) map[int][]msg {
+		out := map[int][]msg{}
+		order := make([]int, s.Devices())
+		for i := range order {
+			if reverse {
+				order[i] = s.Devices() - 1 - i
+			} else {
+				order[i] = i
+			}
+		}
+		for _, d := range order {
+			for {
+				at, payload := s.NextFire(d)
+				if at >= 2*time.Second {
+					break
+				}
+				out[d] = append(out[d], msg{at, payload})
+			}
+		}
+		return out
+	}
+	m1, m2 := walk(s1, false), walk(s2, true)
+	total := 0
+	for d := 0; d < s1.Devices(); d++ {
+		a, b := m1[d], m2[d]
+		if len(a) != len(b) {
+			t.Fatalf("device %d: %d vs %d messages", d, len(a), len(b))
+		}
+		total += len(a)
+		for i := range a {
+			if a[i].at != b[i].at || !bytes.Equal(a[i].payload, b[i].payload) {
+				t.Fatalf("device %d message %d diverges: (%v, %s) vs (%v, %s)",
+					d, i, a[i].at, a[i].payload, b[i].at, b[i].payload)
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no messages sampled")
+	}
+}
+
+// TestDigestStable pins the digest of the reference profile: any
+// change to the sampling arithmetic shows up here before it shows up
+// as a cross-speed or golden-trace failure in the examples.
+func TestDigestStable(t *testing.T) {
+	d1, n1, err := Digest(testProfile(), 12, 0, 2*time.Second, "swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, n2, err := Digest(testProfile(), 12, 0, 2*time.Second, "swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 || n1 != n2 {
+		t.Fatalf("digest not reproducible: %s/%d vs %s/%d", d1, n1, d2, n2)
+	}
+	d3, _, err := Digest(testProfile(), 12, 99, 2*time.Second, "swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d3 != d1 {
+		t.Fatal("profile seed 42 should shadow the fallback seed, but digests differ")
+	}
+	unseeded := testProfile()
+	unseeded.Seed = 0
+	d4, _, err := Digest(unseeded, 12, 5, 2*time.Second, "swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d5, _, err := Digest(unseeded, 12, 6, 2*time.Second, "swarm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d4 == d5 {
+		t.Fatal("fallback seed has no effect on an unseeded profile")
+	}
+}
+
+// TestExpectedCountsMatchMeanRate sanity-checks the schedule volume:
+// a fixed 100ms cadence over 10 seconds is 100 messages per device.
+func TestExpectedCountsMatchMeanRate(t *testing.T) {
+	p := &Profile{
+		Name: "flat",
+		Seed: 3,
+		Populations: []Population{{
+			Kind: "meter", Count: 5,
+			Cadence: Cadence{Dist: DistFixed, Mean: 100 * time.Millisecond},
+		}},
+	}
+	counts, err := ExpectedCounts(p, 0, 0, 10*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// First fire lands at 100ms, last below 10s: exactly 99..100 per
+	// device depending on the boundary.
+	if got := counts["meter"]; got < 5*99 || got > 5*100 {
+		t.Fatalf("expected ~500 meter messages, got %d", got)
+	}
+}
+
+// TestBurstAmplifies verifies the burst window multiplies the rate:
+// a bursty population must emit measurably more than its flat twin.
+func TestBurstAmplifies(t *testing.T) {
+	flat := &Profile{
+		Name: "flat", Seed: 9,
+		Populations: []Population{{
+			Kind: "cam", Count: 4,
+			Cadence: Cadence{Dist: DistFixed, Mean: 50 * time.Millisecond},
+		}},
+	}
+	bursty := &Profile{
+		Name: "bursty", Seed: 9,
+		Populations: []Population{{
+			Kind: "cam", Count: 4,
+			Cadence: Cadence{Dist: DistFixed, Mean: 50 * time.Millisecond},
+			Burst:   &Burst{Every: time.Second, Length: 500 * time.Millisecond, Factor: 10},
+		}},
+	}
+	fc, err := ExpectedCounts(flat, 0, 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := ExpectedCounts(bursty, 0, 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bc["cam"] < 2*fc["cam"] {
+		t.Fatalf("burst x10 for half of every second should at least double volume: flat %d bursty %d",
+			fc["cam"], bc["cam"])
+	}
+}

@@ -36,9 +36,12 @@ const (
 	Setups RefClass = "setups"
 	// Traces holds shared trace archives ("building-trace/v1").
 	Traces RefClass = "traces"
+	// Profiles holds device-population traffic profiles, authored or
+	// fitted by capture ("cityscape/v1").
+	Profiles RefClass = "profiles"
 )
 
-var refClasses = []RefClass{Kinds, Setups, Traces}
+var refClasses = []RefClass{Kinds, Setups, Traces, Profiles}
 
 var nameRe = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]*$`)
 
@@ -123,8 +126,9 @@ func (r *Repo) objectPath(hash string) string {
 // the latest version, that version is returned without creating a new
 // one (committing an unchanged setup is a no-op, like Git).
 //
-// Setup commits pass through the vet pre-commit gate: a setup with
-// error-severity diagnostics is refused. ForceCommit bypasses the gate.
+// Setup and profile commits pass through the vet pre-commit gate: a
+// setup (or device profile) with error-severity diagnostics is
+// refused. ForceCommit bypasses the gate.
 func (r *Repo) Commit(class RefClass, name string, data []byte) (string, error) {
 	return r.commit(class, name, data, false)
 }
@@ -141,6 +145,11 @@ func (r *Repo) commit(class RefClass, name string, data []byte, force bool) (str
 	}
 	if class == Setups && !force {
 		if diags := vet.Errors(vet.RunData(name, data, r.KindSource())); len(diags) > 0 {
+			return "", fmt.Errorf("%w: %s (use force to commit anyway): %s", ErrVetFailed, name, vet.Summary(diags))
+		}
+	}
+	if class == Profiles && !force {
+		if diags := vet.Errors(vet.RunProfileData(name, data)); len(diags) > 0 {
 			return "", fmt.Errorf("%w: %s (use force to commit anyway): %s", ErrVetFailed, name, vet.Summary(diags))
 		}
 	}

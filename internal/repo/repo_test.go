@@ -314,3 +314,45 @@ func TestObjectPathSharding(t *testing.T) {
 		t.Errorf("path = %q", r.objectPath(hash))
 	}
 }
+
+func TestCommitVetsProfiles(t *testing.T) {
+	r := open(t)
+	// A profile with a zero cadence rate is unsatisfiable (V018) and
+	// refused by the pre-commit gate.
+	bad := []byte(`profile: deadair
+seed: 1
+populations:
+  - kind: thermostat
+    count: 2
+    cadence:
+      dist: fixed
+      mean_ms: 0
+`)
+	if _, err := r.Commit(Profiles, "deadair", bad); err == nil {
+		t.Fatal("unsatisfiable profile committed")
+	} else if !errors.Is(err, ErrVetFailed) {
+		t.Errorf("err = %v, want ErrVetFailed", err)
+	}
+	// ForceCommit bypasses the gate.
+	if v, err := r.ForceCommit(Profiles, "deadair", bad); err != nil || v != "v1" {
+		t.Errorf("ForceCommit = %q, %v", v, err)
+	}
+	// A satisfiable profile commits and round-trips.
+	good := []byte(`profile: city
+seed: 7
+populations:
+  - kind: thermostat
+    count: 2
+    cadence:
+      dist: fixed
+      mean_ms: 100
+`)
+	v, err := r.Commit(Profiles, "city", good)
+	if err != nil || v != "v1" {
+		t.Fatalf("clean Commit = %q, %v", v, err)
+	}
+	back, err := r.Get(Profiles, "city", "")
+	if err != nil || !bytes.Equal(back, good) {
+		t.Errorf("Get = %q, %v", back, err)
+	}
+}

@@ -1,6 +1,7 @@
 package swarm
 
 import (
+	"container/heap"
 	"context"
 	"fmt"
 	"math/rand"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/profile"
 )
 
 // Profile selects the load-generation discipline.
@@ -23,6 +25,12 @@ const (
 	// arrivals, seeded for determinism. Offered load is independent of
 	// the system's speed — the profile that exposes saturation.
 	ProfileOpen Profile = "open"
+	// ProfileProfiled drives a heterogeneous device-profile schedule
+	// (LoadSpec.DeviceProfile): per-population cadences, payload
+	// schemas, diurnal/burst modulation. The schedule is pure
+	// arithmetic on (profile, seed, device), so the fire stream is
+	// identical at every -speed factor.
+	ProfileProfiled Profile = "profiled"
 )
 
 // openQuantum batches open-loop arrivals: each worker draws all
@@ -45,11 +53,25 @@ type LoadSpec struct {
 	Payload  int           `json:"payload"`     // payload size in bytes
 	Subs     int           `json:"subscribers"` // wildcard consumers
 	Prefix   string        `json:"prefix"`      // topic prefix, default "swarm"
+
+	// DeviceProfile is the device-population mix for ProfileProfiled
+	// runs; setting it selects that profile. Explicit population
+	// counts override Devices; weighted populations split the Devices
+	// budget.
+	DeviceProfile *profile.Profile `json:"device_profile,omitempty"`
 }
 
 // WithDefaults fills unset fields with usable values and returns the
 // result.
 func (s LoadSpec) WithDefaults() LoadSpec {
+	if s.DeviceProfile != nil {
+		s.Profile = ProfileProfiled
+		if s.Devices <= 0 {
+			if n := s.DeviceProfile.TotalCount(); n > 0 {
+				s.Devices = n
+			}
+		}
+	}
 	if s.Profile == "" {
 		s.Profile = ProfileClosed
 	}
@@ -90,8 +112,16 @@ func (s LoadSpec) WithDefaults() LoadSpec {
 func (s LoadSpec) Validate() error {
 	switch s.Profile {
 	case ProfileClosed, ProfileOpen:
+	case ProfileProfiled:
+		if s.DeviceProfile == nil {
+			return fmt.Errorf("swarm: profiled load needs a DeviceProfile")
+		}
+		if err := s.DeviceProfile.Validate(); err != nil {
+			return fmt.Errorf("swarm: %w", err)
+		}
 	default:
-		return fmt.Errorf("swarm: unknown profile %q (want %q or %q)", s.Profile, ProfileClosed, ProfileOpen)
+		return fmt.Errorf("swarm: unknown profile %q (want %q, %q or %q)",
+			s.Profile, ProfileClosed, ProfileOpen, ProfileProfiled)
 	}
 	if s.Devices <= 0 {
 		return fmt.Errorf("swarm: devices must be positive")
@@ -112,26 +142,50 @@ func DeviceTopic(prefix string, i int) string {
 	return fmt.Sprintf("%s/dev-%d/status", prefix, i)
 }
 
+// Fire is the generator's emit callback: device index, a per-worker
+// sequence number, and — for profiled runs — the sampled payload.
+// Closed/open runs pass a nil payload and the publisher synthesizes
+// one. Fire must be safe for concurrent use across devices; a single
+// device is only ever fired by its owning worker.
+type Fire func(device int, seq uint64, payload []byte)
+
 // Generator paces fire callbacks according to a LoadSpec. Create with
 // NewGenerator, then run each worker (RunWorker) until its context
 // ends — typically one worker per kube pod so placement is exercised.
 type Generator struct {
-	spec  LoadSpec
-	fire  func(device int, seq uint64)
-	clk   clock.Clock
-	count int64
+	spec    LoadSpec
+	fire    Fire
+	clk     clock.Clock
+	sampler *profile.Sampler
+	count   int64
 }
 
 // NewGenerator builds a generator over a defaulted, validated spec.
-// fire is called for every generated message with the device index and
-// a per-worker sequence number; it must be safe for concurrent use.
-func NewGenerator(spec LoadSpec, fire func(device int, seq uint64)) (*Generator, error) {
+// fire is called for every generated message; it must be safe for
+// concurrent use. A profiled spec compiles its device profile here,
+// so an unsatisfiable profile fails fast rather than producing a
+// silent zero-message run.
+func NewGenerator(spec LoadSpec, fire Fire) (*Generator, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
 	}
-	return &Generator{spec: spec, fire: fire, clk: clock.System}, nil
+	g := &Generator{spec: spec, fire: fire, clk: clock.System}
+	if spec.Profile == ProfileProfiled {
+		s, err := profile.Compile(spec.DeviceProfile, spec.Devices, spec.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g.sampler = s
+		g.spec.Devices = s.Devices()
+	}
+	return g, nil
 }
+
+// Sampler returns the compiled device-profile sampler (nil unless the
+// spec is profiled). Publishers use it to route sampled payloads onto
+// per-kind device topics.
+func (g *Generator) Sampler() *profile.Sampler { return g.sampler }
 
 // SetClock replaces the generator's pacing clock (default: the wall
 // clock). Call before RunWorker; a virtual clock lets a load run be
@@ -154,6 +208,15 @@ func (g *Generator) Published() int64 { return atomic.LoadInt64(&g.count) }
 func (g *Generator) RunWorker(ctx context.Context, w int) error {
 	if w < 0 || w >= g.spec.Workers {
 		return fmt.Errorf("swarm: worker %d out of range [0,%d)", w, g.spec.Workers)
+	}
+	// A profiled worker terminates intrinsically: the schedule runs
+	// dry when every owned device's next arrival falls past Duration.
+	// No clocked cancel is armed, because a cancel firing at exactly
+	// the Duration boundary would race the final arrivals and make the
+	// emitted message set depend on timer ordering — the one thing a
+	// profiled run must never do.
+	if g.spec.Profile == ProfileProfiled {
+		return g.runProfiled(ctx, w)
 	}
 	// The run window is g.spec.Duration of *generator-clock* time:
 	// context deadlines cannot ride an injected clock, so a clocked
@@ -194,7 +257,7 @@ func (g *Generator) runClosed(ctx context.Context, w int) error {
 	var seq uint64
 	cycle := func() {
 		for _, d := range owned {
-			g.fire(d, seq)
+			g.fire(d, seq, nil)
 			atomic.AddInt64(&g.count, 1)
 			seq++
 		}
@@ -230,7 +293,7 @@ func (g *Generator) runOpen(ctx context.Context, w int) error {
 				return nil
 			default:
 			}
-			g.fire(rng.Intn(g.spec.Devices), seq)
+			g.fire(rng.Intn(g.spec.Devices), seq, nil)
 			atomic.AddInt64(&g.count, 1)
 			seq++
 			next += rng.ExpFloat64() / rate
@@ -250,4 +313,71 @@ func (g *Generator) runOpen(ctx context.Context, w int) error {
 			}
 		}
 	}
+}
+
+// pendArrival is one scheduled profiled message waiting to fire.
+type pendArrival struct {
+	at      time.Duration
+	device  int
+	payload []byte
+}
+
+// pendHeap orders pending arrivals by (offset, device) — the device
+// tiebreak keeps the within-worker fire order deterministic when two
+// devices land on the same instant.
+type pendHeap []pendArrival
+
+func (h pendHeap) Len() int { return len(h) }
+func (h pendHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].device < h[j].device
+}
+func (h pendHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *pendHeap) Push(x any)   { *h = append(*h, x.(pendArrival)) }
+func (h *pendHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// runProfiled drives this worker's device slice through the compiled
+// sampler schedule: a min-heap of pending arrivals, each fired at its
+// sampled offset on the generator clock, each immediately replaced by
+// the device's next draw. The message set — contents, per-device
+// order, count — is a pure function of (profile, seed, duration);
+// the clock only stretches or compresses the waits between firings.
+func (g *Generator) runProfiled(ctx context.Context, w int) error {
+	var h pendHeap
+	for d := w; d < g.spec.Devices; d += g.spec.Workers {
+		at, payload := g.sampler.NextFire(d)
+		if at < g.spec.Duration {
+			heap.Push(&h, pendArrival{at, d, payload})
+		}
+	}
+	start := g.clk.Now()
+	var seq uint64
+	for h.Len() > 0 {
+		next := h[0]
+		if sleep := next.at - g.clk.Since(start); sleep > 0 {
+			select {
+			case <-g.clk.After(sleep):
+			case <-ctx.Done():
+				return nil
+			}
+		} else if err := ctx.Err(); err != nil {
+			return nil
+		}
+		heap.Pop(&h)
+		g.fire(next.device, seq, next.payload)
+		seq++
+		atomic.AddInt64(&g.count, 1)
+		if at, payload := g.sampler.NextFire(next.device); at < g.spec.Duration {
+			heap.Push(&h, pendArrival{at, next.device, payload})
+		}
+	}
+	return nil
 }

@@ -39,7 +39,7 @@ type Session struct {
 // JSON padded to the payload size, QoS from the spec, via the pool).
 // The digi swarm-mock fleet passes its own fire to publish stateful
 // mock payloads instead.
-func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire func(device int, seq uint64)) (*Session, error) {
+func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire Fire) (*Session, error) {
 	spec = spec.WithDefaults()
 	if err := spec.Validate(); err != nil {
 		return nil, err
@@ -57,6 +57,10 @@ func NewSession(pool *Pool, spec LoadSpec, reg *obs.Registry, fire func(device i
 		return nil, err
 	}
 	s.gen = gen
+	// A profiled spec's device count can grow when explicit population
+	// counts exceed the budget; keep the report's view in sync with
+	// what the sampler actually compiled.
+	s.spec.Devices = gen.Spec().Devices
 	// Consumers: each holds one wildcard filter matching every device
 	// topic, anchored on the shard its client id hashes to — so with
 	// multiple subscribers the bridge's cross-shard path is exercised
@@ -82,19 +86,27 @@ func (s *Session) SetClock(c clock.Clock) {
 	s.started = s.clk.Now()
 }
 
-// firePool is the synthetic publisher: JSON carrying the sequence
-// number and device index, padded to the configured payload size.
-func (s *Session) firePool(device int, seq uint64) {
-	head := fmt.Sprintf(`{"seq":%d,"dev":%d,"pad":"`, seq, device)
-	payload := make([]byte, 0, s.spec.Payload+2)
-	payload = append(payload, head...)
-	if pad := s.spec.Payload - len(head) - 2; pad > 0 {
-		payload = append(payload, s.payload[:pad]...)
+// firePool is the built-in publisher. Closed/open runs (nil payload)
+// synthesize JSON carrying the sequence number and device index,
+// padded to the configured payload size. Profiled runs arrive with
+// the sampled payload and publish it on the sampler's per-kind device
+// topic.
+func (s *Session) firePool(device int, seq uint64, payload []byte) {
+	topic := DeviceTopic(s.spec.Prefix, device)
+	if payload == nil {
+		head := fmt.Sprintf(`{"seq":%d,"dev":%d,"pad":"`, seq, device)
+		buf := make([]byte, 0, s.spec.Payload+2)
+		buf = append(buf, head...)
+		if pad := s.spec.Payload - len(head) - 2; pad > 0 {
+			buf = append(buf, s.payload[:pad]...)
+		}
+		payload = append(buf, '"', '}')
+	} else if sm := s.gen.Sampler(); sm != nil {
+		topic = sm.DeviceTopic(s.spec.Prefix, device)
 	}
-	payload = append(payload, '"', '}')
 	// Non-retained: load traffic must not trigger the bridge's
 	// retained full-replication path.
-	s.pool.Publish(loadFrom, DeviceTopic(s.spec.Prefix, device), payload, s.spec.QoS, false)
+	s.pool.Publish(loadFrom, topic, payload, s.spec.QoS, false)
 }
 
 // Spec returns the defaulted spec this session runs.
@@ -156,9 +168,12 @@ func (s *Session) Finish(quiesce time.Duration) *Report {
 	rep.RecoveryP50Ms = quantile(fo.RecoverySec, 0.5) * 1000
 	rep.RecoveryP99Ms = quantile(fo.RecoverySec, 0.99) * 1000
 	rep.ShardsDown = stats.ShardsDown
-	if s.spec.Profile == ProfileOpen {
+	switch s.spec.Profile {
+	case ProfileOpen:
 		rep.RateTarget = s.spec.Rate
-	} else {
+	case ProfileProfiled:
+		rep.ProfileName = s.spec.DeviceProfile.Name
+	default:
 		rep.PeriodSec = s.spec.Period.Seconds()
 	}
 	if elapsed > 0 {

@@ -60,7 +60,7 @@ func TestOpenLoopDeterminism(t *testing.T) {
 		var wg sync.WaitGroup
 		for w := 0; w < 3; w++ {
 			w := w
-			g, err := NewGenerator(spec, func(device int, seq uint64) {
+			g, err := NewGenerator(spec, func(device int, seq uint64, _ []byte) {
 				mu.Lock()
 				perWorker[w] = append(perWorker[w], device)
 				mu.Unlock()
@@ -107,7 +107,7 @@ func TestClosedLoopCoverage(t *testing.T) {
 	}
 	var wg sync.WaitGroup
 	for w := 0; w < spec.Workers; w++ {
-		g, err := NewGenerator(spec, func(device int, _ uint64) {
+		g, err := NewGenerator(spec, func(device int, _ uint64, _ []byte) {
 			mu.Lock()
 			seen[device]++
 			mu.Unlock()

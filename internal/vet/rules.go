@@ -103,6 +103,11 @@ func init() {
 		Doc: "the header ctl listen address collides with a port a device or broker in the scene declares",
 		Run: ruleDashPortCollision,
 	})
+	RegisterRule(Rule{
+		ID: "V018", Name: "profile-unsatisfiable", Severity: Error,
+		Doc: "the header device profile has populations that can never emit traffic (zero rate, empty diurnal window, dead mix) or kinds the setup does not pin",
+		Run: ruleProfileUnsatisfiable,
+	})
 }
 
 // modelNames indexes the setup's models by name, skipping documents
@@ -825,6 +830,67 @@ func ruleDashPortCollision(ctx *Context) []Diagnostic {
 					ctl.Listen, k, ctlPort, meta.Name,
 					net.JoinHostPort(host, strconv.Itoa(ctlPort+1))),
 			})
+		}
+	}
+	return out
+}
+
+// ruleProfileUnsatisfiable checks the header device profile: every
+// population must be able to emit traffic when compiled into a
+// sampler — a non-positive cadence rate, an empty diurnal window, a
+// burst clause that never fires, a firmware mix whose shares all sum
+// to zero, or an empty population mix each make the profile silently
+// produce nothing (or refuse to compile) at run time. Every finding
+// carries the profile model's mechanical fix-it hint. When the setup
+// pins kind references, population kinds must resolve to one of them
+// (case-insensitively): a profiled swarm run maps each population
+// onto committed device kinds, and an unknown kind means the traffic
+// would impersonate a device the setup cannot recreate.
+func ruleProfileUnsatisfiable(ctx *Context) []Diagnostic {
+	p := ctx.Setup.Profile
+	if p == nil {
+		return nil
+	}
+	if err := p.Validate(); err != nil {
+		return []Diagnostic{{
+			Severity: Error, Doc: 0,
+			Message: fmt.Sprintf("profile does not validate: %v", err),
+		}}
+	}
+	var out []Diagnostic
+	for _, prob := range p.Unsatisfiable() {
+		msg := prob.Message
+		if prob.Population != "" {
+			msg = fmt.Sprintf("profile population %q: %s", prob.Population, prob.Message)
+		} else {
+			msg = "profile: " + msg
+		}
+		if prob.Fix != "" {
+			msg += "; fix: " + prob.Fix
+		}
+		out = append(out, Diagnostic{Severity: Error, Doc: 0, Message: msg})
+	}
+	if len(ctx.Setup.Kinds) > 0 {
+		refs := make([]string, 0, len(ctx.Setup.Kinds))
+		for typ := range ctx.Setup.Kinds {
+			refs = append(refs, typ)
+		}
+		sort.Strings(refs)
+		for _, pop := range p.Populations {
+			known := false
+			for _, typ := range refs {
+				if strings.EqualFold(typ, pop.Kind) {
+					known = true
+					break
+				}
+			}
+			if !known {
+				out = append(out, Diagnostic{
+					Severity: Error, Doc: 0,
+					Message: fmt.Sprintf("profile population %q references a kind with no kind reference in the header (have: %s); fix: add a kinds entry for %q or rename the population",
+						pop.Kind, strings.Join(refs, ", "), pop.Kind),
+				})
+			}
 		}
 	}
 	return out

@@ -10,6 +10,7 @@ import (
 	"repro/internal/chaos"
 	"repro/internal/iac"
 	"repro/internal/model"
+	"repro/internal/profile"
 	"repro/internal/vet"
 )
 
@@ -545,4 +546,87 @@ func TestDashPortCollision(t *testing.T) {
 	// A listen address that is not host:port never reaches deploy.
 	exactIDs(t, vet.RunSetup(withCtl("7825", mkdoc("Lamp", "l1", nil)), nil), "V017")
 	exactIDs(t, vet.RunSetup(withCtl("127.0.0.1:http", mkdoc("Lamp", "l1", nil)), nil), "V017")
+}
+
+// popProfile builds a satisfiable single-population profile for kind.
+func popProfile(kind string) *profile.Profile {
+	return &profile.Profile{
+		Name: "p",
+		Seed: 1,
+		Populations: []profile.Population{
+			{Kind: kind, Count: 2,
+				Cadence: profile.Cadence{Dist: profile.DistFixed, Mean: 100 * time.Millisecond}},
+		},
+	}
+}
+
+func TestProfileUnsatisfiable(t *testing.T) {
+	// A satisfiable profile whose population kind matches a pinned kind
+	// reference (case-insensitively) is clean.
+	good := setup(mkdoc("Thermostat", "t1", nil))
+	good.Profile = popProfile("thermostat")
+	exactIDs(t, vet.RunSetup(good, nil))
+
+	// Zero cadence mean: the population can never fire.
+	dead := setup(mkdoc("Thermostat", "t1", nil))
+	dead.Profile = popProfile("thermostat")
+	dead.Profile.Populations[0].Cadence.Mean = 0
+	diags := vet.RunSetup(dead, nil)
+	exactIDs(t, diags, "V018")
+	if !strings.Contains(vet.Text(diags), "fix:") {
+		t.Errorf("V018 diagnostic missing fix-it hint:\n%s", vet.Text(diags))
+	}
+
+	// Empty diurnal window.
+	night := setup(mkdoc("Thermostat", "t1", nil))
+	night.Profile = popProfile("thermostat")
+	night.Profile.Populations[0].Cadence.Diurnal = &profile.Diurnal{Start: 9, End: 9}
+	exactIDs(t, vet.RunSetup(night, nil), "V018")
+
+	// A population kind with no kind reference in the header.
+	ghost := setup(mkdoc("Thermostat", "t1", nil))
+	ghost.Profile = popProfile("camera")
+	diags = vet.RunSetup(ghost, nil)
+	exactIDs(t, diags, "V018")
+	if !strings.Contains(vet.Text(diags), "kinds entry") {
+		t.Errorf("unknown-kind diagnostic missing fix-it hint:\n%s", vet.Text(diags))
+	}
+
+	// A profile that fails structural validation is reported, not
+	// silently skipped.
+	broken := setup(mkdoc("Thermostat", "t1", nil))
+	broken.Profile = popProfile("thermostat")
+	broken.Profile.Populations[0].Cadence.Dist = "weibull"
+	exactIDs(t, vet.RunSetup(broken, nil), "V018")
+
+	// A setup with no kind references skips the kind check (standalone
+	// profiles vet this way).
+	free := &iac.Setup{Name: "t", Profile: popProfile("anything")}
+	exactIDs(t, vet.RunSetup(free, nil))
+}
+
+func TestRunProfileData(t *testing.T) {
+	if diags := vet.RunProfileData("p.yaml", []byte(": not yaml")); !ruleIDs(diags)["V000"] {
+		t.Fatalf("garbage profile = %v, want V000", diags)
+	}
+
+	goodData, err := profile.Marshal(popProfile("thermostat"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := vet.RunProfileData("p.yaml", goodData); len(diags) != 0 {
+		t.Fatalf("clean profile = %v, want none", diags)
+	}
+
+	bad := popProfile("thermostat")
+	bad.Populations[0].Cadence.Mean = 0
+	badData, err := profile.Marshal(bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := vet.RunProfileData("p.yaml", badData)
+	exactIDs(t, diags, "V018")
+	if diags[0].File != "p.yaml" {
+		t.Errorf("file = %q, want p.yaml", diags[0].File)
+	}
 }

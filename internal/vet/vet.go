@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/iac"
 	"repro/internal/model"
+	"repro/internal/profile"
 )
 
 // Severity ranks a diagnostic.
@@ -261,6 +262,27 @@ func RunData(file string, data []byte, kinds KindSource) []Diagnostic {
 		}}
 	}
 	return Run(&Context{Setup: s, File: file, Kinds: kinds})
+}
+
+// RunProfileData parses and analyzes a standalone device-profile
+// document — the "dbox vet" path for committed profiles and capture
+// output. A profile that does not parse yields the single V000
+// parse-error diagnostic; a parsed one runs through the
+// profile-unsatisfiable analyzer (V018) wrapped in a synthetic
+// header-only setup, so standalone and setup-embedded profiles get
+// identical findings.
+func RunProfileData(file string, data []byte) []Diagnostic {
+	p, err := profile.Parse(data)
+	if err != nil {
+		return []Diagnostic{{
+			Rule: "V000", Severity: Error, File: file,
+			Message: fmt.Sprintf("profile does not parse: %v", err),
+		}}
+	}
+	s := &iac.Setup{Name: p.Name, Profile: p}
+	return run(&Context{Setup: s, File: file}, func(r Rule) bool {
+		return r.ID == "V018"
+	})
 }
 
 // CheckDoc runs the document-scope rules (topic syntax, config bounds)

@@ -25,6 +25,13 @@ func FuzzDecode(f *testing.F) {
 		"scalar only",
 		"key:\n  - 1\n  -\n",
 		"\t: tab\n",
+		// Device-profile documents (internal/profile rides this parser):
+		// a full population with cadence, diurnal window, burst, and
+		// generator fields, plus degenerate profile shapes.
+		"profile: city\nseed: 42\npopulations:\n  - kind: thermostat\n    count: 40\n    weight: 2\n    firmware: {\"1.0\": 3, \"1.1\": 1}\n    cadence:\n      dist: poisson\n      mean_ms: 30000\n      diurnal: {start_hour: 7, end_hour: 22, trough: 0.2}\n    burst: {every: 5m, length: 10s, factor: 4}\n    fields:\n      - {name: temp_c, gen: randomwalk, min: 15, max: 30, step: 0.2}\n      - {name: mode, gen: enum, states: [heat, cool, \"off\"], p_change: 0.05}\n",
+		"profile: dead\nseed: 1\npopulations:\n  - kind: x\n    count: 1\n    cadence: {dist: fixed, mean_ms: 0}\n",
+		"profile: odd\npopulations:\n  - cadence: {dist: lognormal, mean_ms: 250, sigma: 0.6}\n    fields: [{name: s, gen: sine, min: -1, max: 1, period: 60s}]\n",
+		"profile: [not, a, name]\nseed: {nested: true}\npopulations: scalar\n",
 	}
 	for _, s := range seeds {
 		f.Add([]byte(s))
